@@ -1,0 +1,82 @@
+"""Auto-tuner benchmark (the paper's Section 7 future work, implemented).
+
+Tunes representative layers of each operator class and reports the
+winner versus the best Table 3 dataflow, plus the evaluation rate of
+the cost model in the tuning loop (the paper's headline is 0.17M
+designs/second for the C++ DSE; this records the Python equivalent).
+"""
+
+import time
+
+import pytest
+
+from repro.dataflow.library import table3_dataflows
+from repro.engines.analysis import analyze_layer
+from repro.hardware.accelerator import Accelerator
+from repro.model.zoo import build
+from repro.tuner import enumerate_candidates, tune_layer
+from repro.util.text_table import format_table
+
+ACCELERATOR = Accelerator(num_pes=256)
+
+
+def workloads():
+    return [
+        ("vgg16/CONV2", build("vgg16").layer("CONV2")),
+        ("vgg16/CONV11", build("vgg16").layer("CONV11")),
+        ("mobilenet_v2/BN2_1_dw", build("mobilenet_v2").layer("BN2_1_dw")),
+        ("mobilenet_v2/BN2_1_expand", build("mobilenet_v2").layer("BN2_1_expand")),
+    ]
+
+
+def test_autotuner_vs_table3(emit_result):
+    rows = []
+    for name, layer in workloads():
+        start = time.perf_counter()
+        result = tune_layer(layer, ACCELERATOR, objective="runtime")
+        elapsed = time.perf_counter() - start
+        baseline_name, baseline = min(
+            (
+                (flow_name, analyze_layer(layer, flow, ACCELERATOR))
+                for flow_name, flow in table3_dataflows().items()
+            ),
+            key=lambda pair: pair[1].runtime,
+        )
+        speedup = baseline.runtime / result.best_report.runtime
+        rows.append(
+            [
+                name,
+                result.best.spec.name,
+                f"{result.best_report.runtime:.4e}",
+                f"{baseline_name}: {baseline.runtime:.4e}",
+                f"{speedup:.2f}x",
+                f"{result.evaluated / elapsed:,.0f}/s",
+            ]
+        )
+        # The tuner's template space contains the Table 3 strategies, so
+        # it must never lose to them meaningfully.
+        assert result.best_report.runtime <= baseline.runtime * 1.05
+    emit_result(
+        "autotuner",
+        format_table(
+            ["layer", "tuned dataflow", "tuned cycles", "best Table 3", "speedup", "eval rate"],
+            rows,
+            title="Auto-tuner (Section 7 future work) vs the Table 3 dataflows",
+        ),
+    )
+
+
+def test_cost_model_evaluation_rate(benchmark, emit_result):
+    """How many dataflow evaluations per second the model sustains."""
+    layer = build("vgg16").layer("CONV11")
+    specs = list(
+        enumerate_candidates(
+            c_tiles=(1, 16), k_tiles=(1,), plane_tiles=(1,), cluster_sizes=(8,)
+        )
+    )
+
+    def evaluate_all():
+        return tune_layer(layer, ACCELERATOR, candidates=specs)
+
+    result = benchmark(evaluate_all)
+    assert result.evaluated > 0

@@ -1,0 +1,131 @@
+"""Figure 11: reuse factors and NoC bandwidth requirements per operator.
+
+Four representative operators (the paper's picks, with MobileNetV2's
+depthwise standing in for ResNeXt's — see EXPERIMENTS.md), five
+dataflows, 256 PEs: activation and filter reuse factors (log scale in
+the paper), the algorithmic maximum ("A" bars), and the NoC bandwidth
+each dataflow needs to stay compute-bound.
+"""
+
+import math
+
+import pytest
+
+from repro.dataflow.library import table3_dataflows
+from repro.engines.analysis import analyze_layer
+from repro.hardware.accelerator import Accelerator
+from repro.model.zoo import build
+from repro.util.text_table import format_table
+
+ACCELERATOR = Accelerator(num_pes=256)
+
+
+def operators():
+    return [
+        ("early layer", build("resnet50").layer("CONV1")),
+        ("late layer", build("vgg16").layer("CONV13")),
+        ("depth-wise", build("mobilenet_v2").layer("BN4_1_dw")),
+        ("point-wise", build("mobilenet_v2").layer("BN2_1_expand")),
+    ]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    table = {}
+    for op_name, layer in operators():
+        for flow_name, flow in table3_dataflows().items():
+            table[(op_name, flow_name)] = analyze_layer(layer, flow, ACCELERATOR)
+    return table
+
+
+def test_fig11a_activation_reuse(reports, emit_result):
+    rows = []
+    for op_name, layer in operators():
+        for flow_name in table3_dataflows():
+            report = reports[(op_name, flow_name)]
+            rows.append(
+                [op_name, flow_name, f"{report.reuse_factors['I']:.1f}"]
+            )
+        rows.append(
+            [op_name, "A (max)", f"{report.max_reuse_factors['I']:.1f}"]
+        )
+    emit_result(
+        "fig11a_activation_reuse",
+        format_table(
+            ["operator", "dataflow", "activation reuse factor"],
+            rows,
+            title="Figure 11(a) — activation reuse factors (paper plots log scale)",
+        ),
+    )
+
+
+def test_fig11b_filter_reuse(reports, emit_result):
+    rows = []
+    for op_name, layer in operators():
+        for flow_name in table3_dataflows():
+            report = reports[(op_name, flow_name)]
+            if "W" not in report.reuse_factors:
+                continue
+            rows.append([op_name, flow_name, f"{report.reuse_factors['W']:.1f}"])
+        rows.append([op_name, "A (max)", f"{report.max_reuse_factors['W']:.1f}"])
+    emit_result(
+        "fig11b_filter_reuse",
+        format_table(
+            ["operator", "dataflow", "filter reuse factor"],
+            rows,
+            title="Figure 11(b) — filter reuse factors (paper plots log scale)",
+        ),
+    )
+
+
+def test_fig11c_noc_bandwidth_requirements(reports, emit_result):
+    rows = []
+    for op_name, _layer in operators():
+        for flow_name in table3_dataflows():
+            report = reports[(op_name, flow_name)]
+            rows.append([op_name, flow_name, f"{report.noc_bw_req_gbps:.1f}"])
+    emit_result(
+        "fig11c_noc_bandwidth",
+        format_table(
+            ["operator", "dataflow", "required bandwidth (GB/s)"],
+            rows,
+            title="Figure 11(c) — NoC bandwidth requirements, 256 PEs",
+        ),
+    )
+
+
+def test_fig11_shape_claims(reports):
+    flows = list(table3_dataflows())
+
+    # Reuse never exceeds the algorithmic maximum.
+    for key, report in reports.items():
+        for tensor, factor in report.reuse_factors.items():
+            assert factor <= report.max_reuse_factors[tensor] * 1.001
+
+    # YR-P exploits more activation reuse than KC-P on the early layer
+    # (the basis of its early-layer energy win, Section 5.1).
+    assert (
+        reports[("early layer", "YR-P")].reuse_factors["I"]
+        > reports[("early layer", "KC-P")].reuse_factors["I"]
+    )
+
+    # On the late layer YR-P's and KC-P's reuse factors are of the same
+    # order ("almost similar" in the paper's words).
+    late_ratio = (
+        reports[("late layer", "YR-P")].reuse_factors["I"]
+        / reports[("late layer", "KC-P")].reuse_factors["I"]
+    )
+    assert 0.5 < late_ratio < 2.0
+
+    # Point-wise convolution kills convolutional reuse: YX-P needs more
+    # bandwidth there than on the late CONV2D layer.
+    assert (
+        reports[("point-wise", "YX-P")].noc_bw_req_gbps
+        > reports[("late layer", "YX-P")].noc_bw_req_gbps
+    )
+
+
+def test_fig11_kernel_benchmark(benchmark):
+    layer = build("vgg16").layer("CONV13")
+    flow = table3_dataflows()["YR-P"]
+    benchmark(analyze_layer, layer, flow, ACCELERATOR)

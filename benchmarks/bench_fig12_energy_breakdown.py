@@ -1,0 +1,87 @@
+"""Figure 12: energy breakdown (MAC + L1/L2 accesses) per dataflow.
+
+VGG16 CONV1 (early) and CONV11 (late), five dataflows, access counts
+multiplied by the embedded energy table and normalized to C-P's MAC
+energy — exactly the figure's presentation.
+"""
+
+import pytest
+
+from repro.dataflow.library import table3_dataflows
+from repro.engines.analysis import analyze_layer
+from repro.hardware.accelerator import Accelerator
+from repro.model.zoo import build
+from repro.util.text_table import format_table
+
+ACCELERATOR = Accelerator(num_pes=256)
+COMPONENTS = ["MAC", "L1 read", "L1 write", "L2 read", "L2 write"]
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    vgg16 = build("vgg16")
+    table = {}
+    for layer_name in ("CONV1", "CONV11"):
+        layer = vgg16.layer(layer_name)
+        for flow_name, flow in table3_dataflows().items():
+            report = analyze_layer(layer, flow, ACCELERATOR)
+            table[(layer_name, flow_name)] = report.energy_breakdown
+    return table
+
+
+def test_fig12_breakdown_table(breakdowns, emit_result):
+    rows = []
+    for layer_name in ("CONV1", "CONV11"):
+        mac_ref = breakdowns[(layer_name, "C-P")]["MAC"]
+        for flow_name in table3_dataflows():
+            breakdown = breakdowns[(layer_name, flow_name)]
+            rows.append(
+                [layer_name, flow_name]
+                + [f"{breakdown[c] / mac_ref:.3f}" for c in COMPONENTS]
+                + [f"{sum(breakdown[c] for c in COMPONENTS) / mac_ref:.3f}"]
+            )
+    emit_result(
+        "fig12_energy_breakdown",
+        format_table(
+            ["layer", "dataflow"] + COMPONENTS + ["total"],
+            rows,
+            title=(
+                "Figure 12 — energy breakdown normalized to C-P MAC energy "
+                "(VGG16 CONV1 and CONV11, 256 PEs)"
+            ),
+        ),
+    )
+
+
+def test_fig12_shape_claims(breakdowns):
+    # Reuse-exploiting dataflows keep traffic local: L1 energy beats L2
+    # for every dataflow except C-P, the paper's "no local reuse" (NLR)
+    # case, whose bars are L2-read dominated in Figure 12.
+    for (layer_name, flow_name), breakdown in breakdowns.items():
+        l1 = breakdown["L1 read"] + breakdown["L1 write"]
+        l2 = breakdown["L2 read"] + breakdown["L2 write"]
+        if flow_name != "C-P":
+            assert l1 > l2, (layer_name, flow_name)
+    nlr_late = breakdowns[("CONV11", "C-P")]
+    assert nlr_late["L2 read"] > nlr_late["L1 read"]
+
+    # C-P pays heavily in L2 on the late layer (no local reuse, Table 3).
+    late_l2 = {
+        flow_name: breakdowns[("CONV11", flow_name)]["L2 read"]
+        for flow_name in table3_dataflows()
+    }
+    assert late_l2["C-P"] == max(late_l2.values())
+
+    # MAC energy itself is dataflow-independent.
+    for layer_name in ("CONV1", "CONV11"):
+        macs = {
+            flow_name: breakdowns[(layer_name, flow_name)]["MAC"]
+            for flow_name in table3_dataflows()
+        }
+        assert max(macs.values()) == pytest.approx(min(macs.values()))
+
+
+def test_fig12_kernel_benchmark(benchmark):
+    layer = build("vgg16").layer("CONV1")
+    flow = table3_dataflows()["C-P"]
+    benchmark(analyze_layer, layer, flow, ACCELERATOR)

@@ -1,0 +1,62 @@
+"""Figures 5 and 6: dataflow playground reuse and row-stationary mapping.
+
+Regenerates Figure 5's per-dataflow reuse annotations (the six 1-D
+convolution variants) and Figure 6(d)'s per-PE mapping tables for the
+row-stationary example, using the reuse classifier and the mapping
+enumerator.
+"""
+
+import pytest
+
+from repro.dataflow.library import fig5_playground, row_stationary_fig6
+from repro.engines.analysis import analyze_layer
+from repro.engines.insight import summarize_reuse
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import conv2d
+from repro.visualize import mapping_table
+
+
+def conv1d():
+    return conv2d("conv1d", k=1, c=1, y=1, x=17, r=1, s=6)
+
+
+def fig6_layer():
+    return conv2d("fig1", n=2, k=4, c=6, y=8, x=8, r=3, s=3)
+
+
+def test_fig5_reuse_annotations(emit_result):
+    layer = conv1d()
+    blocks = []
+    for key, flow in fig5_playground().items():
+        accelerator = Accelerator(num_pes=6 if key == "F" else 3)
+        summary = summarize_reuse(layer, flow, accelerator)
+        report = analyze_layer(layer, flow, accelerator)
+        blocks.append(
+            f"--- Figure 5({key}) ---\n"
+            + summary.describe()
+            + f"\n  L2 reads: W={report.l2_reads['W']:.0f} I={report.l2_reads['I']:.0f}"
+            + f"  L2 writes: O={report.l2_writes['O']:.0f}"
+        )
+    emit_result("fig5_playground", "\n".join(blocks))
+
+
+def test_fig6d_mapping_tables(emit_result):
+    layer = fig6_layer()
+    flow = row_stationary_fig6()
+    accelerator = Accelerator(num_pes=6)
+    tables = [
+        mapping_table(layer, flow, accelerator, tensor, steps=2)
+        for tensor in ("I", "W", "O")
+    ]
+    emit_result(
+        "fig6d_mappings",
+        "Figure 6(d) — per-PE data mapping, row-stationary on 6 PEs\n\n"
+        + "\n\n".join(tables),
+    )
+
+
+def test_fig56_kernel_benchmark(benchmark):
+    layer = fig6_layer()
+    flow = row_stationary_fig6()
+    accelerator = Accelerator(num_pes=6)
+    benchmark(analyze_layer, layer, flow, accelerator)

@@ -1,0 +1,108 @@
+"""Section 5.1's closing suggestion: adaptive vs heterogeneous chips.
+
+The paper: per-operator dataflow preference "can be exploited by
+flexible accelerators like Flexflow and MAERI or via heterogeneous
+accelerators that employ multiple sub-accelerators with various
+dataflow styles in a single DNN accelerator chip." This bench compares,
+at equal total PE count:
+
+- the best *homogeneous* single-dataflow chip;
+- a *flexible* chip that reconfigures its dataflow per layer
+  (the adaptive analysis);
+- a *heterogeneous* chip split into a KC-P half and a YX-P half,
+  sequentially and pipelined across inputs.
+"""
+
+import pytest
+
+from repro.adaptive import adaptive_analysis
+from repro.dataflow.library import kc_partitioned, table3_dataflows, yx_partitioned
+from repro.engines.analysis import analyze_network
+from repro.hardware.accelerator import Accelerator
+from repro.hetero import SubAccelerator, analyze_heterogeneous, split_accelerator
+from repro.model.zoo import build
+from repro.util.text_table import format_table
+
+CHIP = Accelerator(num_pes=256)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    network = build("mobilenet_v2")
+    flows = table3_dataflows()
+
+    homogeneous = {
+        name: analyze_network(network, flow, CHIP) for name, flow in flows.items()
+    }
+    best_name = min(homogeneous, key=lambda name: homogeneous[name].runtime)
+
+    flexible = adaptive_analysis(network, flows, CHIP, metric="runtime")
+
+    subs = split_accelerator(
+        CHIP,
+        {
+            "KC-half": (0.5, kc_partitioned(c_tile=16)),
+            "YX-half": (0.5, yx_partitioned()),
+        },
+    )
+    hetero_seq = analyze_heterogeneous(network, subs, mode="sequential")
+    hetero_pipe = analyze_heterogeneous(network, subs, mode="pipelined")
+    return network, homogeneous[best_name], best_name, flexible, hetero_seq, hetero_pipe
+
+
+def test_heterogeneous_comparison(comparison, emit_result):
+    network, best, best_name, flexible, hetero_seq, hetero_pipe = comparison
+    rows = [
+        [f"homogeneous ({best_name})", f"{best.runtime:.4e}", f"{best.energy_total:.4e}", "-"],
+        [
+            "flexible (adaptive)",
+            f"{flexible.runtime:.4e}",
+            f"{flexible.energy_total:.4e}",
+            f"{1 - flexible.runtime / best.runtime:.1%}",
+        ],
+        [
+            "heterogeneous (sequential)",
+            f"{hetero_seq.runtime:.4e}",
+            f"{hetero_seq.energy_total:.4e}",
+            f"{1 - hetero_seq.runtime / best.runtime:+.1%}",
+        ],
+        [
+            "heterogeneous (pipelined interval)",
+            f"{hetero_pipe.runtime:.4e}",
+            f"{hetero_pipe.energy_total:.4e}",
+            "-",
+        ],
+    ]
+    emit_result(
+        "heterogeneous",
+        format_table(
+            ["organization", "runtime (cycles)", "energy (xMAC)", "vs best homogeneous"],
+            rows,
+            title=f"Section 5.1 — chip organizations on {network.name}, 256 PEs total",
+        )
+        + f"\npipelined partition usage: {hetero_pipe.histogram()}",
+    )
+
+
+def test_heterogeneous_shape_claims(comparison):
+    _, best, _, flexible, hetero_seq, hetero_pipe = comparison
+    # The flexible chip is the upper bound at full width.
+    assert flexible.runtime <= best.runtime
+    # Pipelined heterogeneity beats its own sequential latency per input
+    # interval and keeps both halves busy.
+    assert hetero_pipe.runtime < hetero_seq.runtime
+    usage = hetero_pipe.utilization_by_partition()
+    assert len(usage) == 2
+    assert min(usage.values()) > 0.3
+
+
+def test_heterogeneous_kernel_benchmark(benchmark):
+    network = build("alexnet")
+    subs = split_accelerator(
+        CHIP,
+        {
+            "KC-half": (0.5, kc_partitioned(c_tile=16)),
+            "YX-half": (0.5, yx_partitioned()),
+        },
+    )
+    benchmark(analyze_heterogeneous, network, subs, "pipelined")

@@ -1,0 +1,89 @@
+"""Table 4: the operator taxonomy across state-of-the-art DNNs.
+
+Regenerates the table's rows from the model zoo: every operator class,
+the zoo layers exemplifying it, and the measured characteristics the
+paper lists (dimensions, parallelism, reuse behavior under a reference
+dataflow).
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.dataflow.library import kc_partitioned
+from repro.engines.analysis import analyze_layer
+from repro.hardware.accelerator import Accelerator
+from repro.model.taxonomy import OperatorClass, classify_layer
+from repro.model.zoo import build
+from repro.util.text_table import format_table
+
+MODELS = ["vgg16", "resnet50", "resnext50", "mobilenet_v2", "unet", "dcgan", "lstm"]
+
+
+@pytest.fixture(scope="module")
+def inventory():
+    table = defaultdict(list)
+    for model_name in MODELS:
+        network = build(model_name)
+        for layer in network.layers:
+            table[classify_layer(layer)].append((model_name, layer))
+    return table
+
+
+def test_table4_operator_inventory(inventory, emit_result):
+    accelerator = Accelerator(num_pes=256)
+    flow = kc_partitioned(c_tile=16)
+    rows = []
+    for operator_class in OperatorClass:
+        members = inventory.get(operator_class, [])
+        if not members:
+            continue
+        model_name, example = members[0]
+        try:
+            report = analyze_layer(example, flow, accelerator)
+            reuse = f"{report.reuse_factors.get('I', 0):.1f}"
+            bandwidth = f"{report.noc_bw_req_gbps:.1f}"
+        except Exception:
+            reuse = bandwidth = "-"
+        rows.append(
+            [
+                operator_class.value,
+                len(members),
+                f"{model_name}/{example.name}",
+                f"{example.total_ops():.2e}",
+                reuse,
+                bandwidth,
+            ]
+        )
+    emit_result(
+        "table4_operators",
+        format_table(
+            [
+                "operator class", "layers in zoo", "example",
+                "example ops", "act reuse (KC-P)", "BW req GB/s",
+            ],
+            rows,
+            title="Table 4 — operator classes across the model zoo",
+        ),
+    )
+
+
+def test_table4_every_class_represented(inventory):
+    present = set(inventory)
+    for required in (
+        OperatorClass.EARLY_CONV,
+        OperatorClass.LATE_CONV,
+        OperatorClass.POINTWISE,
+        OperatorClass.DEPTHWISE,
+        OperatorClass.TRANSPOSED,
+        OperatorClass.FULLY_CONNECTED,
+        OperatorClass.RESIDUAL,
+    ):
+        assert required in present, required
+
+
+def test_table4_kernel_benchmark(benchmark, inventory):
+    accelerator = Accelerator(num_pes=256)
+    flow = kc_partitioned(c_tile=16)
+    _, layer = inventory[OperatorClass.LATE_CONV][0]
+    benchmark(analyze_layer, layer, flow, accelerator)

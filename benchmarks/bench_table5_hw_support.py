@@ -1,0 +1,101 @@
+"""Table 5: the impact of multicast, reduction, bandwidth, and buffers.
+
+Fixed 56-PE KC-P design points on VGG16 CONV2 (the paper's setting):
+a reference design, a bandwidth-starved one, one without spatial
+multicast hardware, and one without spatial reduction hardware. The
+paper's shape: less bandwidth costs throughput at equal energy; missing
+multicast/reduction support costs ~1.4-1.5x energy.
+"""
+
+import pytest
+
+from repro.dataflow.library import kc_partitioned
+from repro.engines.analysis import analyze_layer
+from repro.hardware.accelerator import Accelerator, NoC
+from repro.model.zoo import build
+from repro.util.text_table import format_table
+
+#: KC-P with 8-wide clusters so 56 PEs form 7 clusters (K spatial across
+#: clusters -> input multicast exists for the 'no multicast' ablation).
+FLOW = kc_partitioned(c_tile=8)
+
+
+def design_points():
+    return [
+        ("Reference", Accelerator(num_pes=56, noc=NoC(bandwidth=40))),
+        ("Small bandwidth", Accelerator(num_pes=56, noc=NoC(bandwidth=2))),
+        (
+            "No multicast",
+            Accelerator(num_pes=56, noc=NoC(bandwidth=40, multicast=False)),
+        ),
+        (
+            "No sp. reduction",
+            Accelerator(num_pes=56, noc=NoC(bandwidth=40), spatial_reduction=False),
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    layer = build("vgg16").layer("CONV2")
+    return {
+        name: analyze_layer(layer, kc_partitioned(c_tile=8), accelerator)
+        for name, accelerator in design_points()
+    }
+
+
+def test_table5(reports, emit_result):
+    rows = []
+    for (name, accelerator) in design_points():
+        report = reports[name]
+        rows.append(
+            [
+                name,
+                accelerator.num_pes,
+                accelerator.noc.bandwidth,
+                "yes" if accelerator.noc.multicast else "no",
+                "yes" if accelerator.spatial_reduction else "no",
+                f"{report.throughput:.2f}",
+                f"{report.energy_total:.4e}",
+                report.l1_buffer_req,
+            ]
+        )
+    emit_result(
+        "table5_hw_support",
+        format_table(
+            [
+                "design point", "PEs", "BW (pt/cyc)", "multicast",
+                "sp. reduction", "MAC/cycle", "energy (xMAC)", "L1 (B)",
+            ],
+            rows,
+            title="Table 5 — hardware reuse-support ablations (KC-P, VGG16 CONV2, 56 PEs)",
+        ),
+    )
+
+
+def test_table5_shape_claims(reports):
+    reference = reports["Reference"]
+
+    # Less bandwidth: throughput drops, energy essentially unchanged.
+    starved = reports["Small bandwidth"]
+    assert starved.throughput < reference.throughput
+    assert starved.energy_total == pytest.approx(reference.energy_total, rel=0.01)
+
+    # No multicast: energy rises (duplicate fetches).
+    no_multicast = reports["No multicast"]
+    assert no_multicast.energy_total > reference.energy_total * 1.05
+
+    # No spatial reduction: energy rises (per-PE partial-sum commits).
+    no_reduction = reports["No sp. reduction"]
+    assert no_reduction.energy_total > reference.energy_total * 1.02
+
+    # The reference point dominates both ablations on energy.
+    assert reference.energy_total == min(
+        r.energy_total for r in reports.values()
+    )
+
+
+def test_table5_kernel_benchmark(benchmark):
+    layer = build("vgg16").layer("CONV2")
+    accelerator = Accelerator(num_pes=56, noc=NoC(bandwidth=40))
+    benchmark(analyze_layer, layer, kc_partitioned(c_tile=8), accelerator)

@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+prints the rows/series the paper reports and also writes them under
+``results/`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print an experiment table and persist it to results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def emit_result():
+    return emit
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_collection_modifyitems(config, items):
+    """Keep the experiment (table-regenerating) tests under --benchmark-only.
+
+    pytest-benchmark skips tests without the ``benchmark`` fixture when
+    ``--benchmark-only`` is active; in this suite those tests *are* the
+    benchmark payload (they regenerate the paper's tables and figures),
+    so strip that skip marker again for items in this directory.
+    """
+    if not config.getoption("benchmark_only", False):
+        return
+    for item in items:
+        item.own_markers = [
+            marker
+            for marker in item.own_markers
+            if not (
+                marker.name == "skip"
+                and "--benchmark-only" in str(marker.kwargs.get("reason", ""))
+            )
+        ]

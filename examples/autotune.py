@@ -1,0 +1,73 @@
+"""Auto-tune a dataflow for a layer (the paper's future-work tool).
+
+Run::
+
+    python examples/autotune.py [--layer CONV11] [--objective runtime]
+
+Searches a structured space of dataflow templates (spatial dims, tile
+sizes, schedules, cluster sizes) with the analytical cost model in the
+loop, and compares the winner against the five hand-designed Table 3
+dataflows.
+"""
+
+import argparse
+
+from repro import Accelerator, analyze_layer
+from repro.dataflow.library import table3_dataflows
+from repro.model.zoo import build
+from repro.tuner import tune_layer
+from repro.util.text_table import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="vgg16")
+    parser.add_argument("--layer", default="CONV11")
+    parser.add_argument("--objective", default="runtime",
+                        choices=["runtime", "energy", "edp"])
+    parser.add_argument("--pes", type=int, default=256)
+    args = parser.parse_args()
+
+    layer = build(args.model).layer(args.layer)
+    accelerator = Accelerator(num_pes=args.pes)
+
+    result = tune_layer(layer, accelerator, objective=args.objective)
+    print(
+        f"evaluated {result.evaluated} candidates "
+        f"({result.rejected} rejected) for {layer.name}"
+    )
+
+    rows = []
+    for candidate in result.top:
+        report = candidate.report
+        rows.append(
+            [
+                candidate.spec.name,
+                f"{report.runtime:.4e}",
+                f"{report.energy_total:.4e}",
+                f"{report.utilization:.2f}",
+            ]
+        )
+    for name, flow in table3_dataflows().items():
+        report = analyze_layer(layer, flow, accelerator)
+        rows.append(
+            [
+                f"(library) {name}",
+                f"{report.runtime:.4e}",
+                f"{report.energy_total:.4e}",
+                f"{report.utilization:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["dataflow", "cycles", "energy", "utilization"],
+            rows,
+            title=f"top tuned candidates vs Table 3 ({args.objective}-optimized)",
+        )
+    )
+    print("\nwinning dataflow:")
+    print(result.best_dataflow.describe())
+
+
+if __name__ == "__main__":
+    main()

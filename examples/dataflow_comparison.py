@@ -1,0 +1,63 @@
+"""Compare the five Table 3 dataflows across DNN models (Figure 10).
+
+Run::
+
+    python examples/dataflow_comparison.py [--models vgg16 unet] [--pes 256]
+
+For each model and each dataflow (C-P, X-P, YX-P, YR-P, KC-P) this
+prints total runtime and energy — the data behind the paper's Figure 10
+— plus the adaptive (best-per-layer) row of Figure 10(f).
+"""
+
+import argparse
+
+from repro import Accelerator, NoC, analyze_network
+from repro.adaptive import adaptive_analysis
+from repro.dataflow.library import table3_dataflows
+from repro.model.zoo import MODELS, build
+from repro.util.text_table import format_table
+
+DEFAULT_MODELS = ["resnet50", "vgg16", "resnext50", "mobilenet_v2", "unet"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--models", nargs="*", default=DEFAULT_MODELS, choices=sorted(MODELS))
+    parser.add_argument("--pes", type=int, default=256)
+    parser.add_argument("--bandwidth", type=int, default=32, help="NoC elements/cycle")
+    args = parser.parse_args()
+
+    accelerator = Accelerator(num_pes=args.pes, noc=NoC(bandwidth=args.bandwidth))
+    dataflows = table3_dataflows()
+
+    for model_name in args.models:
+        network = build(model_name)
+        rows = []
+        best_runtime = best_energy = None
+        for dataflow_name, dataflow in dataflows.items():
+            result = analyze_network(network, dataflow, accelerator)
+            rows.append(
+                [dataflow_name, f"{result.runtime:.4e}", f"{result.energy_total:.4e}"]
+            )
+            best_runtime = min(best_runtime or result.runtime, result.runtime)
+            best_energy = min(best_energy or result.energy_total, result.energy_total)
+        adaptive = adaptive_analysis(network, dataflows, accelerator, metric="runtime")
+        rows.append(
+            ["Adaptive", f"{adaptive.runtime:.4e}", f"{adaptive.energy_total:.4e}"]
+        )
+        print(
+            format_table(
+                ["dataflow", "runtime (cycles)", "energy (xMAC)"],
+                rows,
+                title=f"--- {network.name} ({network.total_ops():.3e} ops, {args.pes} PEs) ---",
+            )
+        )
+        print(
+            f"adaptive wins: {adaptive.dataflow_histogram()} "
+            f"(runtime {adaptive.runtime / best_runtime:.2f}x of best single dataflow)"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

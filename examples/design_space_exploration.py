@@ -1,0 +1,90 @@
+"""Hardware design-space exploration case study (Figure 13, Section 5.2).
+
+Run::
+
+    python examples/design_space_exploration.py [--layer CONV11]
+
+Sweeps PE count, NoC bandwidth, and dataflow tile sizes for a VGG16
+layer under the paper's Eyeriss-class budget (16 mm^2, 450 mW), then
+reports sweep statistics, the throughput-/energy-/EDP-optimized design
+points, and the throughput-energy Pareto front — the paper's headline
+that the energy-optimized design trades PEs for SRAM.
+"""
+
+import argparse
+
+from repro.dse import explore
+from repro.dse.space import (
+    DesignSpace,
+    default_bandwidths,
+    default_pe_counts,
+    kc_partitioned_variants,
+    yr_partitioned_variants,
+)
+from repro.model.zoo import build
+from repro.util.text_table import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--layer", default="CONV11")
+    parser.add_argument("--area", type=float, default=16.0)
+    parser.add_argument("--power", type=float, default=450.0)
+    parser.add_argument("--max-pes", type=int, default=512)
+    args = parser.parse_args()
+
+    layer = build("vgg16").layer(args.layer)
+
+    for label, variants in (
+        ("KC-P", kc_partitioned_variants()),
+        ("YR-P", yr_partitioned_variants()),
+    ):
+        space = DesignSpace(
+            pe_counts=default_pe_counts(max_pes=args.max_pes, step=8),
+            noc_bandwidths=default_bandwidths(),
+            dataflow_variants=variants,
+        )
+        result = explore(
+            layer, space, area_budget=args.area, power_budget=args.power
+        )
+        stats = result.statistics
+        print(f"=== {label} on VGG16 {args.layer} ===")
+        print(
+            f"explored {stats.explored}, valid {stats.valid}, pruned "
+            f"{stats.pruned}, {stats.elapsed_seconds:.2f}s "
+            f"({stats.effective_rate:,.0f} designs/s)"
+        )
+        rows = []
+        for name, point in (
+            ("throughput-opt", result.throughput_optimal),
+            ("energy-opt", result.energy_optimal),
+            ("edp-opt", result.edp_optimal),
+        ):
+            if point is None:
+                continue
+            rows.append(
+                [
+                    name,
+                    point.tile_label,
+                    point.num_pes,
+                    point.noc_bandwidth,
+                    point.l1_size * point.num_pes + point.l2_size,
+                    f"{point.throughput:.1f}",
+                    f"{point.energy:.3e}",
+                    f"{point.area:.2f}",
+                    f"{point.power:.0f}",
+                ]
+            )
+        print(
+            format_table(
+                ["objective", "tile", "PEs", "BW", "buffer B", "MAC/cyc", "energy", "mm^2", "mW"],
+                rows,
+            )
+        )
+        front = result.pareto()
+        print(f"Pareto front: {len(front)} points (of {stats.valid} valid)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: analyze one DNN layer under one dataflow.
+
+Run::
+
+    python examples/quickstart.py
+
+This is the 60-second tour: build a model from the zoo, pick a dataflow
+from the paper's Table 3, describe the hardware, and read the report.
+"""
+
+from repro import Accelerator, NoC, analyze_layer
+from repro.dataflow.library import kc_partitioned
+from repro.model.zoo import build
+
+
+def main() -> None:
+    # 1. A workload: VGG16's second convolution layer (224x224, 64->64).
+    vgg16 = build("vgg16")
+    layer = vgg16.layer("CONV2")
+
+    # 2. A dataflow: NVDLA-style KC-partitioning (Table 3 of the paper).
+    dataflow = kc_partitioned(c_tile=64)
+
+    # 3. Hardware: 256 PEs, a 32 elements/cycle NoC with multicast.
+    accelerator = Accelerator(
+        num_pes=256,
+        noc=NoC(bandwidth=32, avg_latency=2, multicast=True),
+    )
+
+    # 4. Analyze.
+    report = analyze_layer(layer, dataflow, accelerator)
+
+    print(f"layer                : {layer}")
+    print(f"dataflow             : {dataflow.name}")
+    print(f"runtime              : {report.runtime:,.0f} cycles")
+    print(f"throughput           : {report.throughput:.1f} MACs/cycle")
+    print(f"PE utilization       : {report.utilization:.1%}")
+    print(f"energy (MAC units)   : {report.energy_total:,.0f}")
+    print(f"L1 buffer required   : {report.l1_buffer_req} B per PE")
+    print(f"L2 buffer required   : {report.l2_buffer_req} B shared")
+    print(f"NoC bandwidth needed : {report.noc_bw_req_gbps:.1f} GB/s")
+    print("reuse factors        :")
+    for tensor, factor in report.reuse_factors.items():
+        peak = report.max_reuse_factors[tensor]
+        print(f"  {tensor}: {factor:10.1f}   (algorithmic max {peak:10.1f})")
+    print("energy breakdown     :")
+    for component, value in report.energy_breakdown.items():
+        print(f"  {component:12s} {value:14,.0f}")
+
+
+if __name__ == "__main__":
+    main()

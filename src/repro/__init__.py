@@ -1,0 +1,49 @@
+"""repro — a reproduction of MAESTRO (Kwon et al., MICRO 2019).
+
+A data-centric DNN dataflow description language and analytical cost
+model: describe how a DNN layer's dimensions are mapped across PEs and
+time with ``SpatialMap`` / ``TemporalMap`` / ``Cluster`` directives, and
+estimate runtime, data reuse, buffer requirements, NoC bandwidth needs,
+and energy for any layer/dataflow/hardware combination — fast enough to
+drive design-space exploration over millions of candidate designs.
+
+Quickstart::
+
+    from repro import analyze_layer, Accelerator
+    from repro.dataflow.library import kc_partitioned
+    from repro.model.zoo import build
+
+    vgg = build("vgg16")
+    result = analyze_layer(vgg.layer("CONV2"), kc_partitioned(), Accelerator(num_pes=256))
+    print(result.runtime, result.energy_total, result.reuse_factors)
+"""
+
+from repro.dataflow import Dataflow, parse_dataflow
+from repro.engines import (
+    LayerAnalysis,
+    NetworkAnalysis,
+    analyze_layer,
+    analyze_network,
+    bind_dataflow,
+)
+from repro.hardware import Accelerator, AreaModel, EnergyModel, NoC
+from repro.model import Layer, Network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataflow",
+    "parse_dataflow",
+    "analyze_layer",
+    "analyze_network",
+    "bind_dataflow",
+    "LayerAnalysis",
+    "NetworkAnalysis",
+    "Accelerator",
+    "NoC",
+    "EnergyModel",
+    "AreaModel",
+    "Layer",
+    "Network",
+    "__version__",
+]

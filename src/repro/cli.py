@@ -1,0 +1,236 @@
+"""Command-line interface: ``maestro-repro`` / ``python -m repro``.
+
+Subcommands:
+
+- ``analyze`` — run the cost model for a zoo model (or one layer) under
+  a named dataflow and print the per-layer report table;
+- ``validate`` — compare the analytical model against the reference
+  simulator on a layer;
+- ``dse`` — run a small hardware design-space exploration for a layer;
+- ``dataflows`` / ``models`` — list what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.adaptive import adaptive_analysis
+from repro.dataflow.dataflow import Dataflow
+from repro.dataflow.library import table3_dataflows
+from repro.dataflow.parser import parse_dataflow
+from repro.engines.analysis import analyze_layer
+from repro.hardware.accelerator import Accelerator, NoC
+from repro.model.zoo import MODELS, build
+from repro.util.text_table import format_table
+
+
+def _load_dataflow(name_or_path: str) -> Dataflow:
+    catalog = table3_dataflows()
+    if name_or_path in catalog:
+        return catalog[name_or_path]
+    try:
+        with open(name_or_path) as handle:
+            return parse_dataflow(handle.read(), name=name_or_path)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"unknown dataflow {name_or_path!r}: not in {sorted(catalog)} "
+            f"and not a readable file"
+        )
+
+
+def _accelerator(args: argparse.Namespace) -> Accelerator:
+    return Accelerator(
+        num_pes=args.pes,
+        noc=NoC(bandwidth=args.bandwidth, avg_latency=args.latency),
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    network = build(args.model)
+    accelerator = _accelerator(args)
+    dataflow = _load_dataflow(args.dataflow)
+    layers = [network.layer(args.layer)] if args.layer else list(network.layers)
+    if args.detail:
+        from repro.report import layer_report
+
+        for layer in layers:
+            print(layer_report(analyze_layer(layer, dataflow, accelerator)))
+            print()
+        return 0
+    rows = []
+    for layer in layers:
+        try:
+            report = analyze_layer(layer, dataflow, accelerator)
+        except Exception as error:  # surfaced per-layer, sweep continues
+            rows.append([layer.name, "-", "-", "-", "-", f"error: {error}"])
+            continue
+        rows.append(
+            [
+                layer.name,
+                f"{report.runtime:.3e}",
+                f"{report.utilization:.2f}",
+                f"{report.energy_total:.3e}",
+                f"{report.noc_bw_req_gbps:.1f}",
+                f"{report.reuse_factors.get('I', float('nan')):.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["layer", "cycles", "util", "energy (xMAC)", "BW req (GB/s)", "act reuse"],
+            rows,
+            title=f"{network.name} under {dataflow.name} on {accelerator.num_pes} PEs",
+        )
+    )
+    return 0
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    network = build(args.model)
+    accelerator = _accelerator(args)
+    result = adaptive_analysis(
+        network, table3_dataflows(), accelerator, metric=args.metric
+    )
+    rows = [
+        [choice.layer_name, choice.dataflow_name, f"{choice.report.runtime:.3e}"]
+        for choice in result.choices
+    ]
+    print(format_table(["layer", "best dataflow", "cycles"], rows))
+    print(f"total runtime: {result.runtime:.3e} cycles")
+    print(f"total energy : {result.energy_total:.3e} x MAC")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.simulator import simulate_layer
+
+    network = build(args.model)
+    layer = network.layer(args.layer)
+    accelerator = _accelerator(args)
+    dataflow = _load_dataflow(args.dataflow)
+    report = analyze_layer(layer, dataflow, accelerator)
+    sim = simulate_layer(layer, dataflow, accelerator)
+    error = (report.runtime - sim.runtime) / sim.runtime * 100.0
+    print(f"analytical : {report.runtime:.4e} cycles")
+    print(f"simulated  : {sim.runtime:.4e} cycles ({sim.steps_total} steps)")
+    print(f"error      : {error:+.2f}%")
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.dse import explore
+    from repro.dse.space import (
+        DesignSpace,
+        default_bandwidths,
+        default_pe_counts,
+        kc_partitioned_variants,
+        yr_partitioned_variants,
+    )
+
+    network = build(args.model)
+    layer = network.layer(args.layer)
+    variants = (
+        kc_partitioned_variants()
+        if args.dataflow.upper().startswith("KC")
+        else yr_partitioned_variants()
+    )
+    space = DesignSpace(
+        pe_counts=default_pe_counts(max_pes=args.max_pes, step=args.pe_step),
+        noc_bandwidths=default_bandwidths(),
+        dataflow_variants=variants,
+    )
+    result = explore(layer, space, area_budget=args.area, power_budget=args.power)
+    stats = result.statistics
+    print(
+        f"explored {stats.explored} designs ({stats.valid} valid, "
+        f"{stats.pruned} pruned) in {stats.elapsed_seconds:.2f}s "
+        f"({stats.effective_rate:.0f} designs/s)"
+    )
+    for label, point in (
+        ("throughput-optimal", result.throughput_optimal),
+        ("energy-optimal", result.energy_optimal),
+        ("edp-optimal", result.edp_optimal),
+    ):
+        if point is None:
+            print(f"{label}: none within budget")
+            continue
+        print(
+            f"{label}: {point.tile_label} PEs={point.num_pes} BW={point.noc_bandwidth} "
+            f"L1={point.l1_size}B L2={point.l2_size}B thpt={point.throughput:.1f} "
+            f"energy={point.energy:.3e} area={point.area:.2f}mm2 power={point.power:.0f}mW"
+        )
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    for name in sorted(MODELS):
+        network = build(name)
+        print(f"{name:14s} {len(network.layers):4d} layers  {network.total_ops():.3e} ops")
+    return 0
+
+
+def _cmd_dataflows(args: argparse.Namespace) -> int:
+    for name, dataflow in table3_dataflows().items():
+        print(dataflow.describe())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="maestro-repro",
+        description="MAESTRO reproduction: DNN dataflow cost analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_hw(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--pes", type=int, default=256, help="number of PEs")
+        p.add_argument("--bandwidth", type=int, default=32, help="NoC elems/cycle")
+        p.add_argument("--latency", type=int, default=2, help="NoC average latency")
+
+    p_analyze = sub.add_parser("analyze", help="run the cost model")
+    p_analyze.add_argument("--model", required=True, choices=sorted(MODELS))
+    p_analyze.add_argument("--dataflow", default="KC-P")
+    p_analyze.add_argument("--layer", help="single layer name (default: all)")
+    p_analyze.add_argument(
+        "--detail", action="store_true", help="full per-layer report"
+    )
+    add_hw(p_analyze)
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_adaptive = sub.add_parser("adaptive", help="best dataflow per layer")
+    p_adaptive.add_argument("--model", required=True, choices=sorted(MODELS))
+    p_adaptive.add_argument("--metric", default="runtime", choices=["runtime", "energy", "edp"])
+    add_hw(p_adaptive)
+    p_adaptive.set_defaults(func=_cmd_adaptive)
+
+    p_validate = sub.add_parser("validate", help="model vs reference simulator")
+    p_validate.add_argument("--model", required=True, choices=sorted(MODELS))
+    p_validate.add_argument("--layer", required=True)
+    p_validate.add_argument("--dataflow", default="KC-P")
+    add_hw(p_validate)
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_dse = sub.add_parser("dse", help="hardware design-space exploration")
+    p_dse.add_argument("--model", required=True, choices=sorted(MODELS))
+    p_dse.add_argument("--layer", required=True)
+    p_dse.add_argument("--dataflow", default="KC-P", choices=["KC-P", "YR-P"])
+    p_dse.add_argument("--area", type=float, default=16.0, help="mm^2 budget")
+    p_dse.add_argument("--power", type=float, default=450.0, help="mW budget")
+    p_dse.add_argument("--max-pes", type=int, default=512)
+    p_dse.add_argument("--pe-step", type=int, default=8)
+    p_dse.set_defaults(func=_cmd_dse)
+
+    p_models = sub.add_parser("models", help="list zoo models")
+    p_models.set_defaults(func=_cmd_models)
+
+    p_dataflows = sub.add_parser("dataflows", help="list library dataflows")
+    p_dataflows.set_defaults(func=_cmd_dataflows)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

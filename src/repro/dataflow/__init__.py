@@ -1,0 +1,43 @@
+"""The data-centric dataflow IR (Section 3 of the paper).
+
+A dataflow is an ordered list of directives:
+
+- ``TemporalMap(size, offset) dim`` — iterate ``dim`` across time steps;
+- ``SpatialMap(size, offset) dim`` — distribute ``dim`` across PEs;
+- ``Cluster(size)`` — group the units below into logical clusters,
+  opening a new (inner) cluster level.
+
+Sizes and offsets may be symbolic expressions over layer dimensions
+(``Sz(R)``, ``8 + Sz(S) - 1``) so one dataflow describes a family of
+mappings across layers, exactly as Table 3 of the paper writes them.
+"""
+
+from repro.dataflow.directives import (
+    ClusterDirective,
+    Directive,
+    MapDirective,
+    SizeExpr,
+    Sz,
+    evaluate_size,
+    spatial_map,
+    temporal_map,
+)
+from repro.dataflow.dataflow import Dataflow, LevelSpec
+from repro.dataflow.loopnest import Loop, loopnest_to_dataflow
+from repro.dataflow.parser import parse_dataflow
+
+__all__ = [
+    "Dataflow",
+    "LevelSpec",
+    "Directive",
+    "MapDirective",
+    "ClusterDirective",
+    "SizeExpr",
+    "Sz",
+    "evaluate_size",
+    "temporal_map",
+    "spatial_map",
+    "parse_dataflow",
+    "Loop",
+    "loopnest_to_dataflow",
+]

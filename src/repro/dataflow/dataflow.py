@@ -1,0 +1,117 @@
+"""The :class:`Dataflow` container: an ordered directive list.
+
+A dataflow is split into *cluster levels* by its ``Cluster`` directives:
+directives above the first ``Cluster`` form level 0 (mapped across the
+top-level clusters), directives between the first and second ``Cluster``
+form level 1, and so on. Multiple ``SpatialMap`` directives inside one
+level distribute their dimensions *jointly* (aligned): sub-cluster ``i``
+takes chunk ``i`` along every spatially mapped dimension, which is how
+the paper expresses Eyeriss' diagonal row-stationary mapping (Figure 6
+and Table 3's YR-P).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dataflow.directives import (
+    ClusterDirective,
+    Directive,
+    MapDirective,
+    SizeLike,
+)
+from repro.errors import DataflowError
+from repro.tensors import dims as D
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One cluster level: its map directives and the cluster size below.
+
+    ``cluster_size`` is the argument of the ``Cluster`` directive that
+    *closes* this level (i.e. the size of the sub-clusters the next level
+    runs across); ``None`` for the innermost level.
+    """
+
+    maps: Tuple[MapDirective, ...]
+    cluster_size: "SizeLike | None"
+
+
+@dataclass(frozen=True)
+class Dataflow:
+    """A named, ordered list of mapping directives."""
+
+    name: str
+    directives: Tuple[Directive, ...]
+
+    def __post_init__(self) -> None:
+        if not self.directives:
+            raise DataflowError(f"{self.name}: a dataflow needs at least one directive")
+        for directive in self.directives:
+            if not isinstance(directive, (MapDirective, ClusterDirective)):
+                raise DataflowError(
+                    f"{self.name}: unexpected directive {directive!r}"
+                )
+        if isinstance(self.directives[-1], ClusterDirective):
+            raise DataflowError(
+                f"{self.name}: a Cluster directive must be followed by maps"
+            )
+        self._validate_representation()
+
+    def _validate_representation(self) -> None:
+        """Each activation axis must use one coordinate system throughout."""
+        for in_dim, out_dim in ((D.Y, D.YP), (D.X, D.XP)):
+            used = {
+                directive.dim
+                for directive in self.directives
+                if isinstance(directive, MapDirective)
+                and directive.dim in (in_dim, out_dim)
+            }
+            if len(used) > 1:
+                raise DataflowError(
+                    f"{self.name}: directives mix {in_dim} and {out_dim}; "
+                    f"pick one coordinate system per axis"
+                )
+
+    def levels(self) -> List[LevelSpec]:
+        """Split the directive list into cluster levels."""
+        levels: List[LevelSpec] = []
+        current: List[MapDirective] = []
+        for directive in self.directives:
+            if isinstance(directive, ClusterDirective):
+                levels.append(LevelSpec(maps=tuple(current), cluster_size=directive.size))
+                current = []
+            else:
+                current.append(directive)
+        levels.append(LevelSpec(maps=tuple(current), cluster_size=None))
+        return levels
+
+    def map_directives(self) -> List[MapDirective]:
+        """All map directives, in order, ignoring level boundaries."""
+        return [d for d in self.directives if isinstance(d, MapDirective)]
+
+    def uses_output_coordinates(self, axis: str) -> bool:
+        """Whether the row (``axis='row'``) or column axis uses Y'/X'."""
+        target = D.YP if axis == "row" else D.XP
+        return any(
+            isinstance(d, MapDirective) and d.dim == target for d in self.directives
+        )
+
+    def describe(self) -> str:
+        """Multi-line, human-readable rendering of the directive list."""
+        lines = [f"Dataflow {self.name}:"]
+        indent = 0
+        for directive in self.directives:
+            lines.append("  " * (indent + 1) + str(directive))
+            if isinstance(directive, ClusterDirective):
+                indent += 1
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+def dataflow(name: str, *directives: Directive) -> Dataflow:
+    """Convenience constructor: ``dataflow("x", tmap(...), smap(...))``."""
+    return Dataflow(name=name, directives=tuple(directives))

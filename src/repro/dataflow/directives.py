@@ -1,0 +1,226 @@
+"""Data-centric mapping directives and symbolic size expressions.
+
+The four directives of Section 3 of the paper are represented by two
+dataclasses: :class:`MapDirective` (spatial or temporal — the order of
+map directives *is* the data movement order) and
+:class:`ClusterDirective`. Sizes are either plain integers or
+:class:`SizeExpr` symbolic expressions over layer dimensions, written
+exactly like the paper's Table 3 (``Sz(R)``, ``8 + Sz(S) - 1``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from repro.errors import DataflowError, DataflowParseError
+from repro.tensors.dims import validate_dim
+
+
+@dataclass(frozen=True)
+class SizeExpr:
+    """A symbolic size: an arithmetic expression over layer quantities.
+
+    Supported grammar (integer arithmetic)::
+
+        expr   := term (('+' | '-') term)*
+        term   := factor ('*' factor)*
+        factor := INT | 'Sz' '(' DIM ')' | 'St' '(' DIM ')' | '(' expr ')'
+
+    ``Sz(dim)`` is the dimension's extent (the paper's notation);
+    ``St(dim)`` is the layer's stride along an activation axis (1 for
+    non-activation dims), needed to write stride-portable tile sizes
+    like ``(4-1)*St(Y)+Sz(R)`` (a chunk covering four output rows).
+    """
+
+    text: str
+
+    def evaluate(
+        self,
+        dim_sizes: Mapping[str, int],
+        strides: "Mapping[str, int] | None" = None,
+    ) -> int:
+        """Evaluate against concrete layer extents (and strides)."""
+        return _Parser(self.text, dim_sizes, strides or {}).parse()
+
+    def __str__(self) -> str:
+        return self.text
+
+
+SizeLike = Union[int, SizeExpr, str]
+
+
+def Sz(dim: str) -> SizeExpr:
+    """The full extent of ``dim``: the paper's ``Sz(R)`` notation."""
+    return SizeExpr(f"Sz({validate_dim(dim)})")
+
+
+def St(dim: str) -> SizeExpr:
+    """The layer stride along ``dim`` (1 for non-activation dims)."""
+    return SizeExpr(f"St({validate_dim(dim)})")
+
+
+def evaluate_size(
+    size: SizeLike,
+    dim_sizes: Mapping[str, int],
+    strides: "Mapping[str, int] | None" = None,
+) -> int:
+    """Resolve an int / str / :class:`SizeExpr` size to a concrete int."""
+    if isinstance(size, bool):
+        raise DataflowError(f"size must be an int or expression, got {size!r}")
+    if isinstance(size, int):
+        return size
+    if isinstance(size, str):
+        size = SizeExpr(size)
+    if isinstance(size, SizeExpr):
+        return size.evaluate(dim_sizes, strides)
+    raise DataflowError(f"size must be an int or expression, got {size!r}")
+
+
+_TOKEN_RE = re.compile(r"\s*(?:(\d+)|(Sz|St)|([A-Z]'?)|([()+\-*]))")
+
+
+class _Parser:
+    """Recursive-descent evaluator for :class:`SizeExpr`."""
+
+    def __init__(
+        self,
+        text: str,
+        dim_sizes: Mapping[str, int],
+        strides: "Mapping[str, int] | None" = None,
+    ):
+        self.text = text
+        self.dim_sizes = dim_sizes
+        self.strides = strides or {}
+        self.tokens = self._tokenize(text)
+        self.pos = 0
+
+    @staticmethod
+    def _tokenize(text: str):
+        tokens = []
+        index = 0
+        while index < len(text):
+            match = _TOKEN_RE.match(text, index)
+            if match is None:
+                raise DataflowParseError(
+                    f"bad size expression {text!r} at position {index}"
+                )
+            tokens.append(match.group(match.lastindex))
+            index = match.end()
+        return tokens
+
+    def _peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self):
+        token = self._peek()
+        self.pos += 1
+        return token
+
+    def parse(self) -> int:
+        value = self._expr()
+        if self._peek() is not None:
+            raise DataflowParseError(
+                f"trailing tokens in size expression {self.text!r}"
+            )
+        return value
+
+    def _expr(self) -> int:
+        value = self._term()
+        while self._peek() in ("+", "-"):
+            if self._next() == "+":
+                value += self._term()
+            else:
+                value -= self._term()
+        return value
+
+    def _term(self) -> int:
+        value = self._factor()
+        while self._peek() == "*":
+            self._next()
+            value *= self._factor()
+        return value
+
+    def _factor(self) -> int:
+        token = self._next()
+        if token is None:
+            raise DataflowParseError(f"unexpected end of expression {self.text!r}")
+        if token.isdigit():
+            return int(token)
+        if token in ("Sz", "St"):
+            func = token
+            if self._next() != "(":
+                raise DataflowParseError(f"expected '(' after {func} in {self.text!r}")
+            dim = self._next()
+            if dim is None:
+                raise DataflowParseError(f"expected dimension in {self.text!r}")
+            validate_dim(dim)
+            if self._next() != ")":
+                raise DataflowParseError(
+                    f"expected ')' after {func}({dim} in {self.text!r}"
+                )
+            if func == "St":
+                return self.strides.get(dim, 1)
+            try:
+                return self.dim_sizes[dim]
+            except KeyError:
+                raise DataflowParseError(
+                    f"Sz({dim}) has no binding; known dims: {sorted(self.dim_sizes)}"
+                ) from None
+        if token == "(":
+            value = self._expr()
+            if self._next() != ")":
+                raise DataflowParseError(f"unbalanced parentheses in {self.text!r}")
+            return value
+        raise DataflowParseError(f"unexpected token {token!r} in {self.text!r}")
+
+
+class Directive:
+    """Marker base class for dataflow directives."""
+
+
+@dataclass(frozen=True)
+class MapDirective(Directive):
+    """``SpatialMap``/``TemporalMap`` ``(size, offset) dim``.
+
+    ``size`` indices of ``dim`` are mapped per unit (PE/cluster for
+    spatial maps, time step for temporal maps) and consecutive units
+    shift by ``offset`` indices. ``offset < size`` overlaps chunks —
+    the paper's convolutional (halo) reuse.
+    """
+
+    dim: str
+    size: SizeLike
+    offset: SizeLike
+    spatial: bool
+
+    def __post_init__(self) -> None:
+        validate_dim(self.dim)
+
+    @property
+    def kind(self) -> str:
+        return "SpatialMap" if self.spatial else "TemporalMap"
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.size},{self.offset}) {self.dim}"
+
+
+@dataclass(frozen=True)
+class ClusterDirective(Directive):
+    """``Cluster(size)``: group units below into clusters of ``size``."""
+
+    size: SizeLike
+
+    def __str__(self) -> str:
+        return f"Cluster({self.size})"
+
+
+def temporal_map(size: SizeLike, offset: SizeLike, dim: str) -> MapDirective:
+    """Build a ``TemporalMap(size, offset) dim`` directive."""
+    return MapDirective(dim=dim, size=size, offset=offset, spatial=False)
+
+
+def spatial_map(size: SizeLike, offset: SizeLike, dim: str) -> MapDirective:
+    """Build a ``SpatialMap(size, offset) dim`` directive."""
+    return MapDirective(dim=dim, size=size, offset=offset, spatial=True)

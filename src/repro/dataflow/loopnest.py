@@ -1,0 +1,97 @@
+"""Compute-centric (loop-nest) to data-centric conversion.
+
+The paper positions its directives as "an intermediate representation
+which can be extracted from a high-level loop-nest notation or
+specified directly" (Section 2.5/3.1, Figure 4(b) vs 4(c)). This module
+implements that extraction for tiled, explicitly-parallel loop nests:
+
+- a :class:`Loop` names a dimension, the chunk ("tile") of it one
+  iteration handles, the step between consecutive iterations (defaults
+  to the chunk — sliding windows use a smaller step), and whether the
+  loop is a ``parallel_for``;
+- :func:`loopnest_to_dataflow` walks the nest outer-to-inner. A
+  sequential loop becomes a ``TemporalMap``. The first ``parallel_for``
+  becomes the top-level ``SpatialMap``; each *subsequent* parallel loop
+  opens a new cluster level sized by its own trip count, exactly how
+  Figure 4(b)'s two `par_for` loops become Figure 4(c)'s
+  ``SpatialMap`` / ``Cluster`` / ``SpatialMap`` structure.
+
+Only the loop structure is converted; the array subscripts are implied
+by the dimension names (the same restriction the paper's Section 4.4
+states: tensor indices coupled in affine one/two-dim combinations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.dataflow.dataflow import Dataflow
+from repro.dataflow.directives import (
+    ClusterDirective,
+    Directive,
+    SizeLike,
+    spatial_map,
+    temporal_map,
+)
+from repro.errors import DataflowError
+from repro.tensors.dims import validate_dim
+from repro.util.intmath import ceil_div
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop of a tiled nest.
+
+    ``size`` is the chunk of ``dim`` one iteration covers; ``step`` the
+    advance between iterations (default: ``size``; smaller steps model
+    sliding windows); ``trip_count`` the number of iterations, required
+    for parallel loops that open cluster levels (it sizes the cluster).
+    """
+
+    dim: str
+    size: SizeLike = 1
+    step: Optional[SizeLike] = None
+    parallel: bool = False
+    trip_count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        validate_dim(self.dim)
+
+    @property
+    def offset(self) -> SizeLike:
+        return self.size if self.step is None else self.step
+
+
+def loopnest_to_dataflow(
+    loops: Sequence[Loop], name: str = "from-loopnest"
+) -> Dataflow:
+    """Convert a loop nest to directives; see the module docstring."""
+    if not loops:
+        raise DataflowError("a loop nest needs at least one loop")
+
+    directives: List[Directive] = []
+    seen_parallel = False
+    for index, loop in enumerate(loops):
+        if loop.parallel:
+            if seen_parallel:
+                # A deeper parallel loop opens an inner cluster level
+                # sized by its trip count.
+                if loop.trip_count is None:
+                    raise DataflowError(
+                        f"parallel loop on {loop.dim} needs a trip_count to "
+                        f"size its cluster level"
+                    )
+                directives.append(ClusterDirective(loop.trip_count))
+            directives.append(spatial_map(loop.size, loop.offset, loop.dim))
+            seen_parallel = True
+        else:
+            directives.append(temporal_map(loop.size, loop.offset, loop.dim))
+    return Dataflow(name=name, directives=tuple(directives))
+
+
+def infer_trip_count(extent: int, size: int, step: int) -> int:
+    """Iterations of a loop covering ``extent`` in ``size`` chunks."""
+    if size >= extent:
+        return 1
+    return ceil_div(extent - size, step) + 1

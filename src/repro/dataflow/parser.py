@@ -1,0 +1,95 @@
+"""Parser for the textual dataflow DSL.
+
+The syntax follows the paper's listings (Table 3, Figure 4)::
+
+    // KC-Partitioned (NVDLA-like)
+    SpatialMap(1,1) K
+    TemporalMap(64,64) C
+    TemporalMap(Sz(R),Sz(R)) R
+    TemporalMap(Sz(S),Sz(S)) S
+    TemporalMap(Sz(R),1) Y
+    TemporalMap(Sz(S),1) X
+    Cluster(64)
+    SpatialMap(1,1) C
+
+Comments start with ``//`` or ``#``; blank lines are ignored. Sizes and
+offsets are integer expressions over ``Sz(dim)``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.dataflow.dataflow import Dataflow
+from repro.dataflow.directives import (
+    ClusterDirective,
+    Directive,
+    MapDirective,
+    SizeExpr,
+)
+from repro.errors import DataflowParseError
+from repro.tensors.dims import ALL_DIRECTIVE_DIMS
+
+_MAP_RE = re.compile(
+    r"^(?P<kind>SpatialMap|TemporalMap)\s*\(\s*(?P<args>.+)\s*\)\s*(?P<dim>[A-Z]'?)$"
+)
+_CLUSTER_RE = re.compile(r"^Cluster\s*\(\s*(?P<size>.+?)\s*\)$")
+
+
+def _split_args(args: str, line_number: int) -> "tuple[str, str]":
+    """Split ``size, offset`` on the comma at parenthesis depth zero."""
+    depth = 0
+    for index, char in enumerate(args):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif char == "," and depth == 0:
+            return args[:index].strip(), args[index + 1 :].strip()
+    raise DataflowParseError(
+        f"line {line_number}: expected 'size, offset' arguments, got {args!r}"
+    )
+
+
+def _parse_size(text: str) -> "int | SizeExpr":
+    text = text.strip()
+    if re.fullmatch(r"\d+", text):
+        return int(text)
+    return SizeExpr(text)
+
+
+def parse_dataflow(text: str, name: str = "parsed") -> Dataflow:
+    """Parse a dataflow from its textual DSL form."""
+    directives: List[Directive] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("//")[0].split("#")[0].strip()
+        if not line:
+            continue
+        map_match = _MAP_RE.match(line)
+        if map_match:
+            dim = map_match.group("dim")
+            if dim not in ALL_DIRECTIVE_DIMS:
+                raise DataflowParseError(
+                    f"line {line_number}: unknown dimension {dim!r}"
+                )
+            size_text, offset_text = _split_args(map_match.group("args"), line_number)
+            directives.append(
+                MapDirective(
+                    dim=dim,
+                    size=_parse_size(size_text),
+                    offset=_parse_size(offset_text),
+                    spatial=map_match.group("kind") == "SpatialMap",
+                )
+            )
+            continue
+        cluster_match = _CLUSTER_RE.match(line)
+        if cluster_match:
+            directives.append(
+                ClusterDirective(size=_parse_size(cluster_match.group("size")))
+            )
+            continue
+        raise DataflowParseError(f"line {line_number}: cannot parse {raw_line!r}")
+    if not directives:
+        raise DataflowParseError("empty dataflow description")
+    return Dataflow(name=name, directives=tuple(directives))

@@ -1,0 +1,23 @@
+"""Hardware design-space exploration on top of the cost model (Section 5.2).
+
+The explorer sweeps PE count, NoC bandwidth, and dataflow tile sizes
+under area and power constraints, sizing buffers from the model's
+reported requirements (as the paper's DSE does), and skips invalid
+subspaces by bounding area/power from below before evaluating — the
+pruning that gives the paper its high effective DSE rate.
+"""
+
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.dse.explorer import DSEResult, DSEStatistics, explore
+from repro.dse.objectives import edp_objective, energy_objective, throughput_objective
+
+__all__ = [
+    "DesignSpace",
+    "DesignPoint",
+    "explore",
+    "DSEResult",
+    "DSEStatistics",
+    "throughput_objective",
+    "energy_objective",
+    "edp_objective",
+]

@@ -1,0 +1,38 @@
+"""Optimization objectives for the DSE (throughput, energy, EDP)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dse.space import DesignPoint
+
+
+def throughput_objective(point: DesignPoint) -> float:
+    """Maximize MACs/cycle (returned negated: objectives are minimized)."""
+    return -point.throughput
+
+
+def energy_objective(point: DesignPoint) -> float:
+    """Minimize total energy."""
+    return point.energy
+
+
+def edp_objective(point: DesignPoint) -> float:
+    """Minimize the energy-delay product."""
+    return point.edp
+
+
+OBJECTIVES: dict = {
+    "throughput": throughput_objective,
+    "energy": energy_objective,
+    "edp": edp_objective,
+}
+
+
+def get_objective(name: str) -> Callable[[DesignPoint], float]:
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown objective {name!r}; available: {sorted(OBJECTIVES)}"
+        ) from None

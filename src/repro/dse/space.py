@@ -1,0 +1,113 @@
+"""Design-space definition for hardware DSE.
+
+A :class:`DesignSpace` enumerates candidate hardware configurations:
+PE counts, NoC bandwidths, and per-dataflow tile-size variants (the
+mapping sizes of the dataflow's directives, which the paper identifies
+as the lever behind buffer-use efficiency). Buffer capacities are not
+swept independently: the DSE sizes L1/L2 from the cost model's reported
+requirement for each point, exactly as the paper's tool does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.dataflow.dataflow import Dataflow
+from repro.errors import DSEError
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated hardware design."""
+
+    num_pes: int
+    noc_bandwidth: int
+    dataflow_name: str
+    tile_label: str
+    l1_size: int
+    l2_size: int
+    area: float
+    power: float
+    throughput: float
+    runtime: float
+    energy: float
+
+    @property
+    def edp(self) -> float:
+        return self.energy * self.runtime
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The swept parameter grid.
+
+    ``dataflow_variants`` are ``(label, dataflow)`` pairs — typically one
+    base dataflow instantiated at several tile sizes.
+    """
+
+    pe_counts: Sequence[int]
+    noc_bandwidths: Sequence[int]
+    dataflow_variants: Sequence[Tuple[str, Dataflow]]
+
+    def __post_init__(self) -> None:
+        if not self.pe_counts or not self.noc_bandwidths or not self.dataflow_variants:
+            raise DSEError("design space must have at least one value per axis")
+        if any(p < 1 for p in self.pe_counts):
+            raise DSEError("PE counts must be positive")
+        if any(b < 1 for b in self.noc_bandwidths):
+            raise DSEError("NoC bandwidths must be positive")
+
+    @property
+    def size(self) -> int:
+        return (
+            len(self.pe_counts)
+            * len(self.noc_bandwidths)
+            * len(self.dataflow_variants)
+        )
+
+
+def default_pe_counts(max_pes: int = 1024, step: int = 8) -> List[int]:
+    """A linear PE grid like the paper's sweep (``step`` granularity)."""
+    return list(range(step, max_pes + 1, step))
+
+
+def default_bandwidths(max_bw: int = 128) -> List[int]:
+    """Powers of two up to ``max_bw`` elements/cycle."""
+    values = []
+    bandwidth = 1
+    while bandwidth <= max_bw:
+        values.append(bandwidth)
+        bandwidth *= 2
+    return values
+
+
+def kc_partitioned_variants(
+    c_tiles: Sequence[int] = (8, 16, 32, 64),
+    spatial_tiles: Sequence[Tuple[int, int]] = ((1, 1), (1, 4), (4, 4), (8, 8)),
+) -> List[Tuple[str, Dataflow]]:
+    """KC-P across cluster sizes and activation tile sizes."""
+    from repro.dataflow.library import kc_partitioned
+
+    return [
+        (
+            f"KC-P/c{c}y{y}x{x}",
+            kc_partitioned(c_tile=c, y_tile=y, x_tile=x),
+        )
+        for c in c_tiles
+        for y, x in spatial_tiles
+    ]
+
+
+def yr_partitioned_variants(
+    ck_tiles: Sequence[Tuple[int, int]] = ((1, 1), (2, 2), (4, 4), (8, 4)),
+    x_tiles: Sequence[int] = (1, 4, 14),
+) -> List[Tuple[str, Dataflow]]:
+    """YR-P across (C-tile, K-tile) and X-tile combinations."""
+    from repro.dataflow.library import yr_partitioned
+
+    return [
+        (f"YR-P/c{c}k{k}x{x}", yr_partitioned(c_tile=c, k_tile=k, x_tile=x))
+        for c, k in ck_tiles
+        for x in x_tiles
+    ]

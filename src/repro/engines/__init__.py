@@ -1,0 +1,28 @@
+"""MAESTRO's five analysis engines (Figure 7 of the paper).
+
+- tensor analysis (:mod:`repro.engines.tensor_analysis`) — dimension
+  coupling per tensor;
+- cluster analysis (:mod:`repro.engines.binding`) — split a dataflow
+  into cluster levels, infer omitted directives, bind symbolic sizes;
+- reuse analysis (:mod:`repro.engines.reuse`) — temporal/spatial reuse
+  per data-iteration (transition) case;
+- performance and cost analysis (:mod:`repro.engines.analysis`) —
+  runtime, activity counts, buffer requirements, energy.
+"""
+
+from repro.engines.analysis import LayerAnalysis, NetworkAnalysis, analyze_layer, analyze_network
+from repro.engines.binding import BoundDataflow, BoundDirective, BoundLevel, bind_dataflow
+from repro.engines.tensor_analysis import TensorInfo, analyze_tensors
+
+__all__ = [
+    "analyze_layer",
+    "analyze_network",
+    "LayerAnalysis",
+    "NetworkAnalysis",
+    "bind_dataflow",
+    "BoundDataflow",
+    "BoundLevel",
+    "BoundDirective",
+    "analyze_tensors",
+    "TensorInfo",
+]

@@ -1,0 +1,325 @@
+"""Cluster analysis: bind a symbolic dataflow to a layer and a PE count.
+
+This engine implements the paper's Cluster Analysis (CLA) stage: it
+splits the directive list into cluster levels, evaluates symbolic sizes
+against the layer, infers omitted directives, clamps over-sized
+mappings, counts temporal steps and spatial folds, and derives each
+level's *local* dimension extents (the chunk handed down by the level
+above).
+
+Joint spatial distribution (several ``SpatialMap`` directives in one
+level) is supported with aligned semantics: sub-cluster ``i`` takes
+chunk ``i`` along every spatially mapped dimension, which expresses
+Eyeriss-style diagonal mappings (Figure 6, Table 3's YR-P).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.dataflow.dataflow import Dataflow
+from repro.dataflow.directives import MapDirective, evaluate_size
+from repro.errors import BindingError
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import Layer
+from repro.tensors import dims as D
+from repro.util.intmath import ceil_div, num_chunks, prod
+
+
+@dataclass(frozen=True)
+class BoundDirective:
+    """A map directive with concrete sizes and iteration counts.
+
+    ``steps`` is the number of *temporal* iterations the directive
+    contributes at its level: chunk count for temporal maps, fold count
+    for spatial maps. ``chunks`` is the raw chunk count along the
+    dimension. ``edge_size`` is the size of the last (possibly partial)
+    chunk.
+    """
+
+    dim: str
+    spatial: bool
+    size: int
+    offset: int
+    chunks: int
+    steps: int
+    edge_size: int
+
+    @property
+    def temporal_steps(self) -> int:
+        return self.steps
+
+
+@dataclass(frozen=True)
+class BoundLevel:
+    """One bound cluster level.
+
+    Attributes
+    ----------
+    width:
+        Number of sub-units (sub-clusters or PEs) the level maps across.
+    directives:
+        Bound map directives, outermost first, including inferred ones.
+    local_sizes:
+        The dimension extents this level iterates over (the chunk the
+        parent level maps onto one sub-unit; full layer dims at level 0).
+    spatial_offsets:
+        Per-dimension chunk shift between adjacent sub-units (0 for
+        dimensions that are not spatially mapped).
+    spatial_chunks:
+        Joint spatial chunk count (1 when nothing is spatially mapped).
+    folds:
+        Temporal folds of the spatial distribution
+        (``ceil(spatial_chunks / width)``).
+    avg_active:
+        Average number of active sub-units per step, accounting for the
+        partially filled last fold.
+    """
+
+    index: int
+    width: int
+    directives: Tuple[BoundDirective, ...]
+    local_sizes: Mapping[str, int]
+    spatial_offsets: Mapping[str, int]
+    spatial_chunks: int
+    folds: int
+    avg_active: float
+
+    @property
+    def sweep_steps(self) -> int:
+        """Total temporal steps for one full sweep of this level."""
+        return prod(d.steps for d in self.directives)
+
+    def chunk_sizes(self) -> Dict[str, int]:
+        """Per-step, per-sub-unit mapped chunk size for every dimension."""
+        return {d.dim: d.size for d in self.directives}
+
+    def directive_for(self, dim: str) -> BoundDirective:
+        for directive in self.directives:
+            if directive.dim == dim:
+                return directive
+        raise KeyError(f"level {self.index} has no directive for {dim}")
+
+
+@dataclass(frozen=True)
+class BoundDataflow:
+    """A dataflow bound to a layer and accelerator: all levels resolved."""
+
+    dataflow: Dataflow
+    layer: Layer
+    levels: Tuple[BoundLevel, ...]
+    row_rep: str  # "input" or "output": coordinate system of the row axis
+    col_rep: str
+    used_pes: int  # PEs covered by the cluster hierarchy (<= num_pes)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def innermost(self) -> BoundLevel:
+        return self.levels[-1]
+
+    def total_steps(self) -> int:
+        """PE-level time steps for the whole layer (all levels)."""
+        return prod(level.sweep_steps for level in self.levels)
+
+    def average_utilization(self) -> float:
+        """Average fraction of PEs doing useful work (spatial folds only)."""
+        utilization = self.used_pes / self.layer_pes()
+        for level in self.levels:
+            utilization *= level.avg_active / level.width
+        return utilization
+
+    def layer_pes(self) -> int:
+        return self._num_pes
+
+    # populated by bind_dataflow
+    _num_pes: int = 0
+
+
+def _relevant_dims(dataflow: Dataflow, layer: Layer) -> Tuple[List[str], str, str]:
+    """The dimension names this binding tracks, plus axis representations."""
+    row_rep = "output" if dataflow.uses_output_coordinates("row") else "input"
+    col_rep = "output" if dataflow.uses_output_coordinates("col") else "input"
+    dims = [D.N, D.K, D.C]
+    dims.append(D.YP if row_rep == "output" else D.Y)
+    dims.append(D.XP if col_rep == "output" else D.X)
+    dims.extend([D.R, D.S])
+    return dims, row_rep, col_rep
+
+
+def bind_dataflow(
+    dataflow: Dataflow, layer: Layer, accelerator: Accelerator
+) -> BoundDataflow:
+    """Bind ``dataflow`` to ``layer`` on ``accelerator``; see module doc."""
+    dims, row_rep, col_rep = _relevant_dims(dataflow, layer)
+    full_sizes = layer.all_dim_sizes()
+    level_specs = dataflow.levels()
+
+    cluster_sizes = []
+    for spec in level_specs[:-1]:
+        size = evaluate_size(spec.cluster_size, full_sizes)
+        if size < 1:
+            raise BindingError(
+                f"{dataflow.name} on {layer.name}: cluster size {size} < 1"
+            )
+        cluster_sizes.append(size)
+
+    pes_per_top_cluster = prod(cluster_sizes)
+    if pes_per_top_cluster > accelerator.num_pes:
+        raise BindingError(
+            f"{dataflow.name} on {layer.name}: cluster hierarchy needs "
+            f"{pes_per_top_cluster} PEs but only {accelerator.num_pes} exist"
+        )
+    top_width = accelerator.num_pes // pes_per_top_cluster
+    widths = [top_width] + cluster_sizes
+    used_pes = top_width * pes_per_top_cluster
+
+    # Directive offsets on the *input* coordinates Y/X are written in
+    # output-pixel units (Table 3: "offset 1" means "next output
+    # position"); the cluster engine scales them by the layer stride,
+    # the paper's Figure 7 "apply stride" step.
+    offset_scale = {D.Y: layer.stride[0], D.X: layer.stride[1]}
+
+    local_sizes: Dict[str, int] = {dim: full_sizes[dim] for dim in dims}
+    levels: List[BoundLevel] = []
+    for index, spec in enumerate(level_specs):
+        level = _bind_level(
+            index=index,
+            spec_maps=spec.maps,
+            width=widths[index],
+            local_sizes=local_sizes,
+            full_sizes=full_sizes,
+            dims=dims,
+            offset_scale=offset_scale,
+            context=f"{dataflow.name} on {layer.name}, level {index}",
+        )
+        levels.append(level)
+        local_sizes = level.chunk_sizes()
+
+    bound = BoundDataflow(
+        dataflow=dataflow,
+        layer=layer,
+        levels=tuple(levels),
+        row_rep=row_rep,
+        col_rep=col_rep,
+        used_pes=used_pes,
+    )
+    object.__setattr__(bound, "_num_pes", accelerator.num_pes)
+    return bound
+
+
+def _bind_level(
+    index: int,
+    spec_maps: Tuple[MapDirective, ...],
+    width: int,
+    local_sizes: Mapping[str, int],
+    full_sizes: Mapping[str, int],
+    dims: List[str],
+    offset_scale: Mapping[str, int],
+    context: str,
+) -> BoundLevel:
+    bound: List[BoundDirective] = []
+    seen: Dict[str, int] = {}
+    spatial_offsets: Dict[str, int] = {dim: 0 for dim in dims}
+    spatial_chunk_counts: List[int] = []
+
+    for directive in spec_maps:
+        if directive.dim not in dims:
+            raise BindingError(
+                f"{context}: dimension {directive.dim} is not part of this "
+                f"binding's dimension set {dims}"
+            )
+        if directive.dim in seen:
+            raise BindingError(
+                f"{context}: dimension {directive.dim} mapped twice in one level"
+            )
+        local = local_sizes.get(directive.dim, 1)
+        size = min(evaluate_size(directive.size, full_sizes, offset_scale), local)
+        offset = evaluate_size(
+            directive.offset, full_sizes, offset_scale
+        ) * offset_scale.get(directive.dim, 1)
+        if size < 1 or offset < 1:
+            raise BindingError(
+                f"{context}: non-positive size/offset on {directive.dim} "
+                f"(size={size}, offset={offset})"
+            )
+        chunks = num_chunks(local, size, offset)
+        if directive.spatial:
+            spatial_offsets[directive.dim] = offset
+            spatial_chunk_counts.append(chunks)
+            steps = ceil_div(chunks, width)
+        else:
+            steps = chunks
+        edge_size = local - (chunks - 1) * offset if chunks > 1 else size
+        bound.append(
+            BoundDirective(
+                dim=directive.dim,
+                spatial=directive.spatial,
+                size=size,
+                offset=offset,
+                chunks=chunks,
+                steps=steps,
+                edge_size=max(1, edge_size),
+            )
+        )
+        seen[directive.dim] = size
+
+    # Joint spatial distribution: aligned chunk counts required.
+    if spatial_chunk_counts:
+        spatial_chunks = max(spatial_chunk_counts)
+        if len(set(spatial_chunk_counts)) > 1:
+            # Aligned joint maps normally have matching counts (YR-P);
+            # tolerate mismatch by folding on the largest count.
+            spatial_chunks = max(spatial_chunk_counts)
+        folds = ceil_div(spatial_chunks, width)
+        # Every spatial directive folds together; normalize their steps.
+        bound = [
+            BoundDirective(
+                dim=d.dim,
+                spatial=d.spatial,
+                size=d.size,
+                offset=d.offset,
+                chunks=d.chunks,
+                steps=folds if d.spatial else d.steps,
+                edge_size=d.edge_size,
+            )
+            for d in bound
+        ]
+    else:
+        spatial_chunks = 1
+        folds = 1
+
+    avg_active = spatial_chunks / folds if width > 1 else 1.0
+    avg_active = min(float(width), avg_active)
+    if width > 1 and not spatial_chunk_counts:
+        # Nothing distinguishes the sub-units: only one does useful work.
+        avg_active = 1.0
+
+    # Inferred directives for unmapped dims: a single full-size chunk,
+    # placed outermost (position is irrelevant because steps == 1).
+    inferred = [
+        BoundDirective(
+            dim=dim,
+            spatial=False,
+            size=local_sizes.get(dim, 1),
+            offset=local_sizes.get(dim, 1),
+            chunks=1,
+            steps=1,
+            edge_size=local_sizes.get(dim, 1),
+        )
+        for dim in dims
+        if dim not in seen
+    ]
+
+    return BoundLevel(
+        index=index,
+        width=width,
+        directives=tuple(inferred) + tuple(bound),
+        local_sizes=dict(local_sizes),
+        spatial_offsets=spatial_offsets,
+        spatial_chunks=spatial_chunks,
+        folds=folds,
+        avg_active=avg_active,
+    )

@@ -1,0 +1,138 @@
+"""Qualitative reuse summaries (the paper's Figure 5 / Table 1 view).
+
+While :mod:`repro.engines.analysis` quantifies reuse, this module
+classifies it: for each cluster level of a bound dataflow it reports
+which tensors are temporally stationary across the most frequent
+(steady, innermost) transition, which enjoy partial temporal reuse
+(sliding-window overlap), which are spatially multicast, and whether
+outputs are spatially reduced — the vocabulary of the paper's dataflow
+taxonomy (weight-stationary, output-stationary, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dataflow.dataflow import Dataflow
+from repro.engines.binding import bind_dataflow
+from repro.engines.reuse import LevelReuse, analyze_level_reuse
+from repro.engines.tensor_analysis import analyze_tensors
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import Layer
+
+
+@dataclass(frozen=True)
+class LevelReuseSummary:
+    """Reuse classification for one cluster level."""
+
+    level: int
+    temporally_stationary: Tuple[str, ...]
+    partial_temporal_reuse: Tuple[str, ...]
+    spatial_multicast: Tuple[str, ...]
+    spatial_reduction: bool
+    informal_style: str
+
+
+@dataclass(frozen=True)
+class ReuseSummary:
+    """Per-level reuse classification for a whole dataflow."""
+
+    dataflow_name: str
+    layer_name: str
+    levels: Tuple[LevelReuseSummary, ...]
+
+    @property
+    def innermost(self) -> LevelReuseSummary:
+        return self.levels[-1]
+
+    def describe(self) -> str:
+        lines = [f"{self.dataflow_name} on {self.layer_name}:"]
+        for level in self.levels:
+            lines.append(
+                f"  level {level.level}: {level.informal_style}"
+            )
+            if level.temporally_stationary:
+                lines.append(
+                    "    temporal reuse (stationary): "
+                    + ", ".join(level.temporally_stationary)
+                )
+            if level.partial_temporal_reuse:
+                lines.append(
+                    "    partial temporal reuse: "
+                    + ", ".join(level.partial_temporal_reuse)
+                )
+            if level.spatial_multicast:
+                lines.append(
+                    "    spatial multicast: " + ", ".join(level.spatial_multicast)
+                )
+            if level.spatial_reduction:
+                lines.append("    spatial reduction of outputs")
+        return "\n".join(lines)
+
+
+def summarize_reuse(
+    layer: Layer, dataflow: Dataflow, accelerator: Accelerator
+) -> ReuseSummary:
+    """Classify the reuse each level of ``dataflow`` exposes on ``layer``."""
+    bound = bind_dataflow(dataflow, layer, accelerator)
+    tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
+    summaries: List[LevelReuseSummary] = []
+    for level in bound.levels:
+        reuse = analyze_level_reuse(level, tensors)
+        summaries.append(_summarize_level(reuse, tensors.output.name))
+    return ReuseSummary(
+        dataflow_name=dataflow.name,
+        layer_name=layer.name,
+        levels=tuple(summaries),
+    )
+
+
+def _summarize_level(reuse: LevelReuse, output_name: str) -> LevelReuseSummary:
+    steady = _steady_class(reuse)
+    stationary: List[str] = []
+    partial: List[str] = []
+    if steady is not None:
+        for name, traffic in steady.traffic.items():
+            chunk = reuse.chunk_volumes.get(name, 0.0)
+            if traffic.stationary:
+                stationary.append(name)
+            elif 0.0 < traffic.fetch < chunk:
+                partial.append(name)
+
+    style = _informal_style(output_name, stationary, reuse)
+    return LevelReuseSummary(
+        level=reuse.level.index,
+        temporally_stationary=tuple(sorted(stationary)),
+        partial_temporal_reuse=tuple(sorted(partial)),
+        spatial_multicast=tuple(sorted(reuse.multicast_tensors)),
+        spatial_reduction=reuse.output_spatially_reduced,
+        informal_style=style,
+    )
+
+
+def _steady_class(reuse: LevelReuse):
+    """The most frequent transition class (the innermost steady case)."""
+    best = None
+    for cls in reuse.classes:
+        if best is None or cls.count > best.count:
+            best = cls
+    return best
+
+
+def _informal_style(
+    output_name: str, stationary: List[str], reuse: LevelReuse
+) -> str:
+    """The paper's informal dataflow-style name for a level."""
+    labels = []
+    if output_name in stationary:
+        labels.append("output-stationary")
+    if "W" in stationary:
+        labels.append("weight-stationary")
+    if "I" in stationary:
+        labels.append("input-stationary")
+    if not labels:
+        labels.append("no stationary tensor")
+    if reuse.output_spatially_reduced:
+        labels.append("collaborative (spatial reduction)")
+    return ", ".join(labels)

@@ -1,0 +1,101 @@
+"""Tensor analysis: resolve each tensor's axes and dimension coupling.
+
+Implements the paper's Tensor Analysis engine: from the layer's operator
+and the dataflow's coordinate representation, produce per-tensor
+:class:`TensorInfo` with concrete axes (extent/delta/shift machinery)
+and the set of directive dimensions the tensor is coupled to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Mapping, Tuple
+
+from repro.model.layer import Layer
+from repro.tensors.axes import Axis
+from repro.tensors.operators import TensorRole
+from repro.util.intmath import prod
+
+
+@dataclass(frozen=True)
+class TensorInfo:
+    """One tensor's analysis view.
+
+    ``axes`` are the resolved :class:`~repro.tensors.axes.Axis` objects;
+    ``coupled_dims`` the directive dims appearing in any axis; ``density``
+    the layer's uniform density for this tensor.
+    """
+
+    name: str
+    role: TensorRole
+    axes: Tuple[Axis, ...]
+    coupled_dims: FrozenSet[str]
+    density: float
+
+    @property
+    def is_output(self) -> bool:
+        return self.role is TensorRole.OUTPUT
+
+    def volume(self, sizes: Mapping[str, int]) -> int:
+        """Chunk volume: the product of all axis extents under ``sizes``."""
+        return prod(axis.extent(sizes) for axis in self.axes)
+
+
+@dataclass(frozen=True)
+class TensorAnalysis:
+    """All tensors of a layer plus the resolved compute-domain axes."""
+
+    tensors: Tuple[TensorInfo, ...]
+    compute_axes: Tuple[Axis, ...]
+    reduction_dims: FrozenSet[str]
+
+    def tensor(self, name: str) -> TensorInfo:
+        for info in self.tensors:
+            if info.name == name:
+                return info
+        raise KeyError(f"no tensor named {name!r}")
+
+    @property
+    def inputs(self) -> List[TensorInfo]:
+        return [t for t in self.tensors if not t.is_output]
+
+    @property
+    def output(self) -> TensorInfo:
+        for info in self.tensors:
+            if info.is_output:
+                return info
+        raise KeyError("no output tensor")
+
+    def ops_per_chunk(self, sizes: Mapping[str, int]) -> int:
+        """Compute-domain points in one mapped chunk."""
+        return prod(axis.extent(sizes) for axis in self.compute_axes)
+
+
+def analyze_tensors(layer: Layer, row_rep: str, col_rep: str) -> TensorAnalysis:
+    """Resolve the layer's tensors for the given coordinate representation."""
+    operator = layer.operator
+    infos = []
+    for template in operator.tensors:
+        axes = operator.resolve_axes(
+            template.axis_templates, row_rep, col_rep, layer.stride, layer.dilation
+        )
+        coupled: set = set()
+        for axis in axes:
+            coupled.update(axis.dims)
+        infos.append(
+            TensorInfo(
+                name=template.name,
+                role=template.role,
+                axes=axes,
+                coupled_dims=frozenset(coupled),
+                density=layer.density(template.name),
+            )
+        )
+    compute_axes = operator.resolve_axes(
+        operator.compute_templates, row_rep, col_rep, layer.stride, layer.dilation
+    )
+    return TensorAnalysis(
+        tensors=tuple(infos),
+        compute_axes=compute_axes,
+        reduction_dims=operator.reduction_dims,
+    )

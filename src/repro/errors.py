@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the package derive from :class:`ReproError` so callers
+can catch everything coming from this library with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DataflowError(ReproError):
+    """A dataflow description is malformed or inconsistent."""
+
+
+class DataflowParseError(DataflowError):
+    """The textual dataflow DSL could not be parsed."""
+
+
+class BindingError(DataflowError):
+    """A dataflow could not be bound to a concrete layer.
+
+    Raised for example when a symbolic size like ``Sz(R)`` references a
+    dimension the layer does not define, or when a mapping is incompatible
+    with the layer geometry (e.g. an input-dim chunk smaller than the
+    filter extent).
+    """
+
+
+class UnsupportedDataflowError(DataflowError):
+    """The dataflow is syntactically valid but outside the modeled space."""
+
+
+class LayerError(ReproError):
+    """A layer definition is invalid (non-positive dims, bad stride, ...)."""
+
+
+class HardwareError(ReproError):
+    """A hardware configuration is invalid."""
+
+
+class AnalysisError(ReproError):
+    """The analysis engines hit an internal inconsistency."""
+
+
+class DSEError(ReproError):
+    """Design-space exploration was configured incorrectly."""

@@ -1,0 +1,15 @@
+"""Abstract accelerator hardware model (Figure 2 of the paper).
+
+PEs with private L1 scratchpads and MAC units, a shared L2 scratchpad,
+and a network-on-chip described by the paper's pipe model (bandwidth +
+average latency) with optional spatial multicast and reduction support
+(Table 2's hardware implementation choices). Energy, area, and power
+come from embedded cost tables calibrated to public CACTI/Eyeriss
+ballpark ratios (see DESIGN.md's substitution table).
+"""
+
+from repro.hardware.accelerator import Accelerator, NoC
+from repro.hardware.energy import EnergyModel
+from repro.hardware.area import AreaModel
+
+__all__ = ["Accelerator", "NoC", "EnergyModel", "AreaModel"]

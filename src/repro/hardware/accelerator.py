@@ -1,0 +1,114 @@
+"""Accelerator and NoC configuration objects.
+
+The abstract machine follows Figure 2 of the paper: ``num_pes``
+processing elements, each with a private L1 scratchpad and a
+``vector_width``-wide MAC unit; a shared L2 scratchpad; and a
+network-on-chip modeled as a pipe with a bandwidth and an average
+latency (Section 4.2). Spatial multicast and spatial reduction support
+are independent switches so the Table 5 experiment can toggle them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import HardwareError
+from repro.util.intmath import ceil_div
+
+
+@dataclass(frozen=True)
+class NoC:
+    """Pipe-model network-on-chip.
+
+    ``bandwidth`` is in data elements per cycle (the paper's "data
+    points/cycle", Table 5); ``avg_latency`` in cycles. ``multicast``
+    enables spatial multicast (fan-out wiring, Table 2): without it, data
+    needed by several PEs in a step must be sent once per receiver.
+    """
+
+    bandwidth: int = 32
+    avg_latency: int = 2
+    multicast: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth < 1:
+            raise HardwareError(f"NoC bandwidth must be >= 1, got {self.bandwidth}")
+        if self.avg_latency < 0:
+            raise HardwareError(f"NoC latency must be >= 0, got {self.avg_latency}")
+
+    def delay(self, volume: int) -> int:
+        """Cycles to move ``volume`` elements through the pipe."""
+        if volume <= 0:
+            return 0
+        return ceil_div(volume, self.bandwidth) + self.avg_latency
+
+
+@dataclass(frozen=True)
+class Accelerator:
+    """A concrete hardware configuration.
+
+    Parameters
+    ----------
+    num_pes:
+        Number of processing elements.
+    l1_size, l2_size:
+        Per-PE private and shared scratchpad capacities in bytes. ``None``
+        means "as large as the dataflow requires" (the paper's DSE sizes
+        buffers from the model's reported requirement).
+    noc:
+        The global (L2-to-PE-array) interconnect.
+    spatial_reduction:
+        Whether partial sums can be reduced across PEs in the array
+        (adder tree / reduce-and-forward, Table 2). Without it, every
+        PE's partial sums travel to the upper buffer for accumulation.
+    double_buffered:
+        Whether buffers are double-buffered so communication overlaps
+        compute (the paper's Figure 8 assumption). Disabling it
+        serializes fetch/compute/writeback and halves buffer needs —
+        an ablation knob.
+    vector_width:
+        MACs per PE per cycle.
+    element_bytes:
+        Data element size (2 for 16-bit fixed point).
+    clock_ghz:
+        Clock frequency, used only to convert to GB/s and seconds.
+    """
+
+    num_pes: int = 256
+    l1_size: Optional[int] = None
+    l2_size: Optional[int] = None
+    noc: NoC = NoC()
+    spatial_reduction: bool = True
+    double_buffered: bool = True
+    vector_width: int = 1
+    element_bytes: int = 2
+    clock_ghz: float = 1.0
+    dram_bandwidth: Optional[int] = None  # elements/cycle; None = unbounded
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise HardwareError(f"num_pes must be >= 1, got {self.num_pes}")
+        if self.vector_width < 1:
+            raise HardwareError(f"vector_width must be >= 1, got {self.vector_width}")
+        if self.element_bytes < 1:
+            raise HardwareError(f"element_bytes must be >= 1")
+        for label, size in (("l1_size", self.l1_size), ("l2_size", self.l2_size)):
+            if size is not None and size < 1:
+                raise HardwareError(f"{label} must be positive or None, got {size}")
+        if self.dram_bandwidth is not None and self.dram_bandwidth < 1:
+            raise HardwareError("dram_bandwidth must be positive or None")
+        if self.clock_ghz <= 0:
+            raise HardwareError("clock_ghz must be positive")
+
+    def with_noc(self, **kwargs) -> "Accelerator":
+        """A copy with NoC fields replaced (e.g. ``multicast=False``)."""
+        return replace(self, noc=replace(self.noc, **kwargs))
+
+    def bytes_per_cycle(self) -> int:
+        """NoC bandwidth in bytes per cycle."""
+        return self.noc.bandwidth * self.element_bytes
+
+    def noc_gbps(self) -> float:
+        """NoC bandwidth in GB/s at the configured clock."""
+        return self.bytes_per_cycle() * self.clock_ghz

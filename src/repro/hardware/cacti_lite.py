@@ -1,0 +1,118 @@
+"""CACTI-lite: a first-order analytical SRAM model.
+
+The paper multiplies activity counts by per-access energies from CACTI
+simulations (28 nm, 2 KB L1, 1 MB L2). CACTI itself is a closed tool
+chain we cannot run offline, so this module implements the standard
+first-order scaling relations its outputs follow, normalized to a
+16-bit MAC:
+
+- a square array of ``capacity`` bits has wordlines and bitlines of
+  length ``O(sqrt(capacity))``; switched capacitance per access — and
+  hence dynamic energy — grows with that length plus a fixed decoder/
+  sense-amp floor;
+- area is cell area times capacity plus periphery that also grows with
+  ``sqrt(capacity)``;
+- access time grows with wire RC, again ``O(sqrt(capacity))``;
+- extra ports multiply cell area (~2x per port) and add bitline energy;
+- banking divides the effective length by ``sqrt(banks)`` for energy
+  and latency at an area overhead per bank.
+
+Calibration anchors (28 nm-class, widely published ballpark): a 2 KB
+scratchpad read ~1.2x MAC energy, a 1 MB SRAM ~18x, DRAM ~200x. These
+match :class:`repro.hardware.energy.EnergyModel`'s defaults; the point
+of this module is to expose the *functional form* with ports/banking
+knobs and to generate EnergyModel instances for other anchor points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware.energy import EnergyModel
+
+
+@dataclass(frozen=True)
+class SramConfig:
+    """One SRAM macro."""
+
+    capacity_bytes: int
+    ports: int = 1
+    banks: int = 1
+    word_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 1:
+            raise HardwareError("capacity must be positive")
+        if self.ports < 1 or self.banks < 1 or self.word_bytes < 1:
+            raise HardwareError("ports, banks, word size must be >= 1")
+        if self.banks > self.capacity_bytes:
+            raise HardwareError("more banks than bytes")
+
+
+@dataclass(frozen=True)
+class CactiLite:
+    """First-order SRAM scaling model; see the module docstring.
+
+    Units: energy in MAC-energy multiples, area in mm^2, time in ns.
+    """
+
+    energy_floor: float = 0.42          # decoder + sense amps, x MAC
+    energy_per_sqrt_byte: float = 0.01716  # bitline/wordline term
+    port_energy_factor: float = 0.35    # extra bitline energy per port
+    cell_area_per_kb: float = 0.045     # mm^2 per KB (6T cell + spacing)
+    periphery_area_coeff: float = 2.0e-4  # mm^2 per sqrt(byte)
+    port_area_factor: float = 0.9       # ~2x cells per extra port
+    bank_area_overhead: float = 0.002   # mm^2 per extra bank
+    time_floor_ns: float = 0.15
+    time_per_sqrt_byte_ns: float = 0.0009
+
+    def _effective_length(self, config: SramConfig) -> float:
+        return math.sqrt(config.capacity_bytes / config.banks)
+
+    def read_energy(self, config: SramConfig) -> float:
+        """Energy of one read, in MAC-energy units."""
+        length = self._effective_length(config)
+        port_scale = 1.0 + self.port_energy_factor * (config.ports - 1)
+        return (self.energy_floor + self.energy_per_sqrt_byte * length) * port_scale
+
+    def write_energy(self, config: SramConfig) -> float:
+        """Writes cost about the same as reads at this fidelity."""
+        return self.read_energy(config)
+
+    def area(self, config: SramConfig) -> float:
+        """Macro area in mm^2."""
+        kb = config.capacity_bytes / 1024.0
+        port_scale = 1.0 + self.port_area_factor * (config.ports - 1)
+        return (
+            self.cell_area_per_kb * kb * port_scale
+            + self.periphery_area_coeff * math.sqrt(config.capacity_bytes)
+            + self.bank_area_overhead * (config.banks - 1)
+        )
+
+    def access_time_ns(self, config: SramConfig) -> float:
+        """Access latency in nanoseconds."""
+        return (
+            self.time_floor_ns
+            + self.time_per_sqrt_byte_ns * self._effective_length(config)
+        )
+
+    def access_cycles(self, config: SramConfig, clock_ghz: float = 1.0) -> int:
+        """Access latency in (ceil) clock cycles."""
+        return max(1, math.ceil(self.access_time_ns(config) * clock_ghz))
+
+    def energy_model(self, dram: float = 200.0, noc_hop: float = 0.3) -> EnergyModel:
+        """An :class:`EnergyModel` with this model's single-port curve."""
+        return EnergyModel(
+            mac=1.0,
+            sram_base=self.energy_floor,
+            sram_sqrt=self.energy_per_sqrt_byte,
+            sram_write_factor=1.0,
+            noc_hop=noc_hop,
+            dram=dram,
+        )
+
+
+#: The default instance (28 nm-flavored calibration).
+DEFAULT_CACTI_LITE = CactiLite()

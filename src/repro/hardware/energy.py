@@ -1,0 +1,49 @@
+"""Energy cost tables, normalized to one MAC operation.
+
+The paper multiplies MAESTRO's activity counts by per-access energies
+from CACTI (28 nm, 2 KB L1 scratchpad, 1 MB shared L2). CACTI is not
+available offline, so this module embeds a smooth surrogate calibrated
+to widely published ratios (Eyeriss/CACTI ballpark): a 2 KB scratchpad
+access costs about 1.2x a 16-bit MAC, a 1 MB SRAM about 18x, and DRAM
+about 200x. SRAM access energy grows with the square root of capacity,
+the standard first-order CACTI trend.
+
+All energies are unitless multiples of MAC energy, which is exactly how
+the paper reports Figure 12 ("normalized to the MAC energy").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies in units of one MAC.
+
+    ``sram_base``/``sram_sqrt`` parameterize per-access SRAM energy as
+    ``sram_base + sram_sqrt * sqrt(capacity_bytes)``; the defaults hit
+    1.2x MAC at 2 KB and 18x MAC at 1 MB.
+    """
+
+    mac: float = 1.0
+    sram_base: float = 0.42
+    sram_sqrt: float = 0.01716
+    sram_write_factor: float = 1.0
+    noc_hop: float = 0.3
+    dram: float = 200.0
+
+    def sram_access(self, capacity_bytes: int) -> float:
+        """Energy of one read from an SRAM of the given capacity."""
+        if capacity_bytes < 1:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        return self.sram_base + self.sram_sqrt * math.sqrt(capacity_bytes)
+
+    def sram_write(self, capacity_bytes: int) -> float:
+        """Energy of one write to an SRAM of the given capacity."""
+        return self.sram_access(capacity_bytes) * self.sram_write_factor
+
+
+#: The default model used everywhere unless a caller overrides it.
+DEFAULT_ENERGY_MODEL = EnergyModel()

@@ -1,0 +1,175 @@
+"""NoC topology models mapped onto the pipe abstraction (Section 4.2).
+
+The paper's performance model sees the NoC as a pipe — a bandwidth and
+an average latency — and tells users how to derive those two parameters
+from a concrete topology: a bus is its width with a cycle or two of
+arbitration; a hierarchical bus with dedicated per-tensor channels
+multiplies the width (Eyeriss' 3x); an ``N x N`` mesh injected from a
+corner has bisection bandwidth ``N`` and average latency ``N``; a
+systolic store-and-forward chain delivers one neighbor hop per cycle.
+
+Each topology here computes ``(bandwidth, avg_latency, multicast)`` and
+converts itself to a :class:`~repro.hardware.accelerator.NoC`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware.accelerator import NoC
+
+
+class Topology:
+    """Abstract interconnect topology."""
+
+    def bandwidth(self) -> int:
+        raise NotImplementedError
+
+    def avg_latency(self) -> int:
+        raise NotImplementedError
+
+    def supports_multicast(self) -> bool:
+        raise NotImplementedError
+
+    def as_noc(self) -> NoC:
+        """The equivalent pipe-model NoC."""
+        return NoC(
+            bandwidth=self.bandwidth(),
+            avg_latency=self.avg_latency(),
+            multicast=self.supports_multicast(),
+        )
+
+
+@dataclass(frozen=True)
+class Bus(Topology):
+    """A single shared bus: full fan-out (multicast) at its wire width."""
+
+    width: int  # elements per cycle
+    arbitration_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise HardwareError("bus width must be >= 1")
+
+    def bandwidth(self) -> int:
+        return self.width
+
+    def avg_latency(self) -> int:
+        return self.arbitration_cycles + 1
+
+    def supports_multicast(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class HierarchicalBus(Topology):
+    """Two-level bus with dedicated channels per tensor (Eyeriss-style).
+
+    The paper: "Eyeriss has a two-level hierarchical bus with dedicated
+    channels for input, weight, and output tensors. Therefore, a
+    bandwidth of 3X properly models the top level NoC."
+    """
+
+    channel_width: int
+    channels: int = 3
+    levels: int = 2
+
+    def __post_init__(self) -> None:
+        if self.channel_width < 1 or self.channels < 1 or self.levels < 1:
+            raise HardwareError("hierarchical bus parameters must be >= 1")
+
+    def bandwidth(self) -> int:
+        return self.channel_width * self.channels
+
+    def avg_latency(self) -> int:
+        return self.levels  # one cycle of staging per bus level
+
+    def supports_multicast(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Crossbar(Topology):
+    """A full crossbar: per-port bandwidth, constant latency, multicast."""
+
+    ports: int
+    port_width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ports < 1 or self.port_width < 1:
+            raise HardwareError("crossbar parameters must be >= 1")
+
+    def bandwidth(self) -> int:
+        return self.ports * self.port_width
+
+    def avg_latency(self) -> int:
+        return 2  # input + output stage
+
+    def supports_multicast(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Mesh2D(Topology):
+    """An N x N mesh injected from a corner (the paper's example).
+
+    Bisection bandwidth N (channel width times N links) and average
+    latency of about N hops for uniform traffic from the corner.
+    """
+
+    side: int
+    channel_width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.side < 1 or self.channel_width < 1:
+            raise HardwareError("mesh parameters must be >= 1")
+
+    def bandwidth(self) -> int:
+        return self.side * self.channel_width
+
+    def avg_latency(self) -> int:
+        return self.side
+
+    def supports_multicast(self) -> bool:
+        return True  # path-based multicast along rows/columns
+
+
+@dataclass(frozen=True)
+class SystolicChain(Topology):
+    """A store-and-forward chain (systolic array edge).
+
+    Data enters one end and moves one PE per cycle; the temporal
+    multicast of Table 2. Effective bandwidth is the injection width;
+    the average latency is half the chain length.
+    """
+
+    length: int
+    injection_width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.length < 1 or self.injection_width < 1:
+            raise HardwareError("chain parameters must be >= 1")
+
+    def bandwidth(self) -> int:
+        return self.injection_width
+
+    def avg_latency(self) -> int:
+        return max(1, self.length // 2)
+
+    def supports_multicast(self) -> bool:
+        return True  # forwarding realizes multicast over time
+
+
+def eyeriss_like_noc(channel_width: int = 4) -> NoC:
+    """The Eyeriss configuration the paper quotes (3x channel width)."""
+    return HierarchicalBus(channel_width=channel_width).as_noc()
+
+
+def mesh_noc(num_pes: int, channel_width: int = 1) -> NoC:
+    """A square mesh sized for ``num_pes`` (side = ceil(sqrt(num_pes)))."""
+    side = max(1, math.isqrt(num_pes))
+    if side * side < num_pes:
+        side += 1
+    return Mesh2D(side=side, channel_width=channel_width).as_noc()

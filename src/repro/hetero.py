@@ -1,0 +1,209 @@
+"""Heterogeneous accelerators: multiple sub-accelerators, one chip.
+
+Section 5.1 of the paper motivates two ways to exploit per-operator
+dataflow preference: flexible accelerators that reconfigure per layer
+(:mod:`repro.adaptive`), and *heterogeneous* chips "that employ
+multiple sub-accelerators with various dataflow styles". This module
+models the second option:
+
+- a :class:`SubAccelerator` is a PE partition with a fixed dataflow;
+- layers of a network are assigned to sub-accelerators;
+- under ``sequential`` execution (layer-by-layer, data dependencies
+  respected) a layer simply runs on the sub-accelerator that suits it
+  best, leaving the others idle — the realistic single-inference mode;
+- under ``pipelined`` execution (steady-state streaming of many
+  inputs), every sub-accelerator works on different inputs
+  concurrently and the throughput bottleneck is the most-loaded
+  partition, so the assignment balances load via a greedy
+  longest-processing-time heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dataflow.dataflow import Dataflow
+from repro.engines.analysis import LayerAnalysis, analyze_layer
+from repro.errors import BindingError, DataflowError, HardwareError
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.model.network import Network
+
+
+@dataclass(frozen=True)
+class SubAccelerator:
+    """One partition of the chip: a name, hardware, and a fixed dataflow."""
+
+    name: str
+    accelerator: Accelerator
+    dataflow: Dataflow
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One layer's placement."""
+
+    layer_name: str
+    sub_accelerator: str
+    report: LayerAnalysis
+
+
+@dataclass(frozen=True)
+class HeterogeneousAnalysis:
+    """The assigned network with sequential and pipelined costs."""
+
+    network_name: str
+    mode: str
+    assignments: Tuple[Assignment, ...]
+
+    @property
+    def runtime(self) -> float:
+        """Sequential latency or pipelined steady-state interval."""
+        if self.mode == "sequential":
+            return sum(a.report.runtime for a in self.assignments)
+        loads: Dict[str, float] = {}
+        for assignment in self.assignments:
+            loads[assignment.sub_accelerator] = (
+                loads.get(assignment.sub_accelerator, 0.0)
+                + assignment.report.runtime
+            )
+        return max(loads.values())
+
+    @property
+    def energy_total(self) -> float:
+        return sum(a.report.energy_total for a in self.assignments)
+
+    def utilization_by_partition(self) -> Dict[str, float]:
+        """Fraction of the bottleneck interval each partition works."""
+        loads: Dict[str, float] = {}
+        for assignment in self.assignments:
+            loads[assignment.sub_accelerator] = (
+                loads.get(assignment.sub_accelerator, 0.0)
+                + assignment.report.runtime
+            )
+        bottleneck = max(loads.values()) if loads else 1.0
+        return {name: load / bottleneck for name, load in loads.items()}
+
+    def histogram(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for assignment in self.assignments:
+            counts[assignment.sub_accelerator] = (
+                counts.get(assignment.sub_accelerator, 0) + 1
+            )
+        return counts
+
+
+def analyze_heterogeneous(
+    network: Network,
+    sub_accelerators: Sequence[SubAccelerator],
+    mode: str = "sequential",
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> HeterogeneousAnalysis:
+    """Assign every layer to a sub-accelerator; see the module docstring."""
+    if not sub_accelerators:
+        raise HardwareError("need at least one sub-accelerator")
+    names = [sub.name for sub in sub_accelerators]
+    if len(set(names)) != len(names):
+        raise HardwareError("sub-accelerator names must be unique")
+    if mode not in ("sequential", "pipelined"):
+        raise ValueError(f"unknown mode {mode!r}")
+
+    # Evaluate every layer on every partition it binds to.
+    costs: Dict[str, Dict[str, LayerAnalysis]] = {}
+    for layer in network.layers:
+        options: Dict[str, LayerAnalysis] = {}
+        for sub in sub_accelerators:
+            try:
+                options[sub.name] = analyze_layer(
+                    layer, sub.dataflow, sub.accelerator, energy_model
+                )
+            except (BindingError, DataflowError):
+                continue
+        if not options:
+            raise DataflowError(
+                f"layer {layer.name!r} binds to no sub-accelerator"
+            )
+        costs[layer.name] = options
+
+    if mode == "sequential":
+        assignments = [
+            Assignment(
+                layer_name=layer.name,
+                sub_accelerator=min(
+                    costs[layer.name], key=lambda n: costs[layer.name][n].runtime
+                ),
+                report=min(
+                    costs[layer.name].values(), key=lambda r: r.runtime
+                ),
+            )
+            for layer in network.layers
+        ]
+        return HeterogeneousAnalysis(
+            network_name=network.name, mode=mode, assignments=tuple(assignments)
+        )
+
+    # Pipelined: greedy LPT load balancing with affinity-aware costs —
+    # assign the heaviest layers first to the partition that minimizes
+    # the resulting bottleneck (its current load plus the layer's
+    # runtime *on that partition*).
+    order = sorted(
+        network.layers,
+        key=lambda layer: min(r.runtime for r in costs[layer.name].values()),
+        reverse=True,
+    )
+    loads: Dict[str, float] = {sub.name: 0.0 for sub in sub_accelerators}
+    chosen: Dict[str, Tuple[str, LayerAnalysis]] = {}
+    for layer in order:
+        best_name: Optional[str] = None
+        best_load = float("inf")
+        for name, report in costs[layer.name].items():
+            candidate = loads[name] + report.runtime
+            if candidate < best_load:
+                best_load = candidate
+                best_name = name
+        assert best_name is not None
+        loads[best_name] += costs[layer.name][best_name].runtime
+        chosen[layer.name] = (best_name, costs[layer.name][best_name])
+
+    assignments = [
+        Assignment(
+            layer_name=layer.name,
+            sub_accelerator=chosen[layer.name][0],
+            report=chosen[layer.name][1],
+        )
+        for layer in network.layers
+    ]
+    return HeterogeneousAnalysis(
+        network_name=network.name, mode=mode, assignments=tuple(assignments)
+    )
+
+
+def split_accelerator(
+    accelerator: Accelerator, shares: Mapping[str, Tuple[float, Dataflow]]
+) -> List[SubAccelerator]:
+    """Partition one chip's PEs into named (share, dataflow) slices."""
+    total = sum(share for share, _ in shares.values())
+    if total > 1.0 + 1e-9:
+        raise HardwareError(f"shares sum to {total:.2f} > 1")
+    subs = []
+    for name, (share, flow) in shares.items():
+        pes = max(1, int(accelerator.num_pes * share))
+        subs.append(
+            SubAccelerator(
+                name=name,
+                accelerator=Accelerator(
+                    num_pes=pes,
+                    l1_size=accelerator.l1_size,
+                    l2_size=accelerator.l2_size,
+                    noc=accelerator.noc,
+                    spatial_reduction=accelerator.spatial_reduction,
+                    double_buffered=accelerator.double_buffered,
+                    vector_width=accelerator.vector_width,
+                    element_bytes=accelerator.element_bytes,
+                    clock_ghz=accelerator.clock_ghz,
+                ),
+                dataflow=flow,
+            )
+        )
+    return subs

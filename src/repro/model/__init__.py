@@ -1,0 +1,19 @@
+"""DNN model descriptions: layers, networks, taxonomy, and the model zoo."""
+
+from repro.model.layer import Layer, conv2d, dwconv, elementwise, fc, pool, pwconv, trconv
+from repro.model.network import Network
+from repro.model.taxonomy import OperatorClass, classify_layer
+
+__all__ = [
+    "Layer",
+    "Network",
+    "OperatorClass",
+    "classify_layer",
+    "conv2d",
+    "dwconv",
+    "pwconv",
+    "trconv",
+    "fc",
+    "pool",
+    "elementwise",
+]

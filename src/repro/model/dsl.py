@@ -1,0 +1,150 @@
+"""A textual DNN-model description format.
+
+MAESTRO consumes DNN model files; this module provides the equivalent:
+a line-oriented format with one ``layer`` statement per layer::
+
+    network my-net
+    layer CONV1 conv2d k=64 c=3 y=224 x=224 r=7 s=7 stride=2 padding=3
+    layer POOL1 pool c=64 y=112 x=112 window=3 stride=2
+    layer DW1   dwconv c=64 y=56 x=56 r=3 s=3 padding=1
+    layer UP1   trconv k=32 c=64 y=28 x=28 r=2 s=2 upscale=2
+    layer ADD1  elementwise c=64 y=56 x=56
+    layer FC1   fc k=1000 c=2048
+
+Comments start with ``#``; keys are the keyword arguments of the layer
+constructors in :mod:`repro.model.layer`. ``serialize_network`` writes
+any :class:`~repro.model.network.Network` back out (constructor-level
+round-tripping: derived quantities like padding fold into y/x).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List
+
+from repro.errors import LayerError
+from repro.model.layer import (
+    Layer,
+    conv2d,
+    dwconv,
+    elementwise,
+    fc,
+    pool,
+    pwconv,
+    trconv,
+)
+from repro.model.network import Network
+from repro.tensors import dims as D
+
+_CONSTRUCTORS: Dict[str, Callable[..., Layer]] = {
+    "conv2d": conv2d,
+    "pwconv": pwconv,
+    "dwconv": dwconv,
+    "trconv": trconv,
+    "fc": fc,
+    "pool": pool,
+    "elementwise": elementwise,
+}
+
+_INT_KEY_RE = re.compile(r"^([a-z_]+)=(-?\d+(?:\.\d+)?)$")
+
+
+def parse_network(text: str, default_name: str = "parsed") -> Network:
+    """Parse a network description; see the module docstring."""
+    name = default_name
+    layers: List[Layer] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#")[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0] == "network":
+            if len(tokens) != 2:
+                raise LayerError(f"line {line_number}: 'network <name>' expected")
+            name = tokens[1]
+            continue
+        if tokens[0] != "layer":
+            raise LayerError(
+                f"line {line_number}: expected 'network' or 'layer', got {tokens[0]!r}"
+            )
+        if len(tokens) < 3:
+            raise LayerError(f"line {line_number}: 'layer <name> <type> k=v...'")
+        layer_name, layer_type = tokens[1], tokens[2].lower()
+        constructor = _CONSTRUCTORS.get(layer_type)
+        if constructor is None:
+            raise LayerError(
+                f"line {line_number}: unknown layer type {layer_type!r}; "
+                f"available: {sorted(_CONSTRUCTORS)}"
+            )
+        kwargs: Dict[str, object] = {}
+        densities: Dict[str, float] = {}
+        for token in tokens[3:]:
+            match = _INT_KEY_RE.match(token)
+            if not match:
+                raise LayerError(
+                    f"line {line_number}: cannot parse parameter {token!r}"
+                )
+            key, value = match.group(1), match.group(2)
+            if key.startswith("density_"):
+                densities[key.split("_", 1)[1].upper()] = float(value)
+            elif "." in value:
+                raise LayerError(
+                    f"line {line_number}: parameter {key!r} must be an integer"
+                )
+            else:
+                kwargs[key] = int(value)
+        if densities:
+            kwargs["densities"] = densities
+        try:
+            layers.append(constructor(layer_name, **kwargs))
+        except TypeError as error:
+            raise LayerError(f"line {line_number}: {error}") from None
+    if not layers:
+        raise LayerError("network description has no layers")
+    return Network(name=name, layers=tuple(layers))
+
+
+def serialize_network(network: Network) -> str:
+    """Write a network back out in the DSL (input-centric, pad folded)."""
+    lines = [f"network {network.name}"]
+    for layer in network.layers:
+        lines.append(_serialize_layer(layer))
+    return "\n".join(lines) + "\n"
+
+
+def _serialize_layer(layer: Layer) -> str:
+    op = layer.operator.name
+    dims = layer.dims
+    parts = [f"layer {layer.name}"]
+    if op in ("CONV2D", "PWCONV", "TRCONV"):
+        parts.append("conv2d")
+        parts.append(f"n={dims[D.N]} k={dims[D.K] * layer.groups} c={dims[D.C] * layer.groups}")
+        parts.append(
+            f"y={dims[D.Y]} x={dims[D.X]} r={dims[D.R]} s={dims[D.S]} "
+            f"stride={layer.stride[0]}"
+        )
+        if layer.groups > 1:
+            parts.append(f"groups={layer.groups}")
+    elif op == "DWCONV":
+        parts.append("dwconv")
+        parts.append(
+            f"n={dims[D.N]} c={dims[D.C]} y={dims[D.Y]} x={dims[D.X]} "
+            f"r={dims[D.R]} s={dims[D.S]} stride={layer.stride[0]}"
+        )
+    elif op == "FC":
+        parts.append(f"fc n={dims[D.N]} k={dims[D.K]} c={dims[D.C]}")
+    elif op == "POOL":
+        parts.append(
+            f"pool n={dims[D.N]} c={dims[D.C]} y={dims[D.Y]} x={dims[D.X]} "
+            f"window={dims[D.R]} stride={layer.stride[0]}"
+        )
+    elif op == "ELEMENTWISE":
+        parts.append(
+            f"elementwise n={dims[D.N]} c={dims[D.C]} y={dims[D.Y]} x={dims[D.X]}"
+        )
+    else:  # pragma: no cover - defensive
+        raise LayerError(f"cannot serialize operator {op}")
+    for tensor, density in layer.densities.items():
+        if density < 1.0:
+            parts.append(f"density_{tensor.lower()}={density}")
+    return " ".join(parts)

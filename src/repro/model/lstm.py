@@ -1,0 +1,88 @@
+"""LSTM layers as GEMM bundles.
+
+The paper's abstract and Section 4.4 include LSTMs among the layer
+types MAESTRO models: an LSTM cell step is four gate GEMMs against the
+input (``x_t W_x``) and four against the hidden state (``h_{t-1} W_h``)
+plus cheap elementwise gating. This module expands an LSTM layer into
+exactly those operator instances so every engine (analysis, simulator,
+tuner) applies unchanged.
+
+The four gates share the input activations, so expressing them as one
+fused GEMM with ``4 * hidden`` output neurons (the standard packed
+formulation) preserves both the compute and the reuse structure; the
+``fused`` flag controls whether gates are packed or emitted separately.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.model.layer import Layer, elementwise, fc
+from repro.model.network import Network
+
+
+def lstm_cell_layers(
+    name: str,
+    input_size: int,
+    hidden_size: int,
+    batch: int = 1,
+    fused: bool = True,
+) -> List[Layer]:
+    """The layers of one LSTM cell *time step*.
+
+    Returns the input-projection GEMM(s), the recurrent GEMM(s), and the
+    elementwise gating stage.
+    """
+    layers: List[Layer] = []
+    if fused:
+        layers.append(
+            fc(f"{name}_x", n=batch, k=4 * hidden_size, c=input_size)
+        )
+        layers.append(
+            fc(f"{name}_h", n=batch, k=4 * hidden_size, c=hidden_size)
+        )
+    else:
+        for gate in ("i", "f", "g", "o"):
+            layers.append(
+                fc(f"{name}_x_{gate}", n=batch, k=hidden_size, c=input_size)
+            )
+            layers.append(
+                fc(f"{name}_h_{gate}", n=batch, k=hidden_size, c=hidden_size)
+            )
+    # Gating: sigmoid/tanh products and the cell-state update, modeled
+    # as elementwise traffic over the four gate vectors.
+    layers.append(
+        elementwise(f"{name}_gates", n=batch, c=4, y=1, x=hidden_size)
+    )
+    return layers
+
+
+def lstm_network(
+    name: str = "LSTM-LM",
+    input_size: int = 1024,
+    hidden_size: int = 1024,
+    num_layers: int = 2,
+    seq_len: int = 8,
+    batch: int = 1,
+    fused: bool = True,
+) -> Network:
+    """An unrolled multi-layer LSTM (language-model shaped).
+
+    ``seq_len`` time steps of ``num_layers`` stacked cells; layer ``l``'s
+    input at step ``t`` is layer ``l-1``'s hidden state.
+    """
+    layers: List[Layer] = []
+    for step in range(seq_len):
+        feed = input_size
+        for depth in range(num_layers):
+            layers.extend(
+                lstm_cell_layers(
+                    f"T{step}_L{depth}",
+                    input_size=feed,
+                    hidden_size=hidden_size,
+                    batch=batch,
+                    fused=fused,
+                )
+            )
+            feed = hidden_size
+    return Network(name=name, layers=tuple(layers))

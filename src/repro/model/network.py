@@ -1,0 +1,57 @@
+"""A DNN network: an ordered collection of named layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import LayerError
+from repro.model.layer import Layer
+
+
+@dataclass(frozen=True)
+class Network:
+    """An ordered, name-indexed sequence of layers."""
+
+    name: str
+    layers: Tuple[Layer, ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for layer in self.layers:
+            if layer.name in seen:
+                raise LayerError(f"{self.name}: duplicate layer name {layer.name!r}")
+            seen.add(layer.name)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def layer(self, name: str) -> Layer:
+        """Look a layer up by name."""
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"{self.name} has no layer named {name!r}")
+
+    def select(self, predicate: Callable[[Layer], bool]) -> List[Layer]:
+        """All layers matching ``predicate``, in network order."""
+        return [layer for layer in self.layers if predicate(layer)]
+
+    def conv_layers(self) -> List[Layer]:
+        """Layers with a sliding-window compute domain (conv-like)."""
+        return self.select(
+            lambda layer: layer.operator.name
+            in ("CONV2D", "PWCONV", "DWCONV", "TRCONV")
+        )
+
+    def total_ops(self) -> int:
+        """Dense op count over the whole network."""
+        return sum(layer.total_ops() for layer in self.layers)
+
+    def subset(self, names: List[str], suffix: Optional[str] = None) -> "Network":
+        """A new network with only the named layers (in the given order)."""
+        picked = tuple(self.layer(name) for name in names)
+        return Network(name=suffix or f"{self.name}-subset", layers=picked)

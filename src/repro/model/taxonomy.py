@@ -1,0 +1,51 @@
+"""Operator taxonomy of the paper's Table 4.
+
+Layers are grouped into classes whose dataflow preferences the paper's
+Figure 10(f) averages over: early CONV2D (wide, shallow), late CONV2D
+(narrow, deep), pointwise, depthwise, transposed convolution,
+fully-connected, and residual links. The early/late split follows the
+paper's footnote: a CONV2D layer is *late* when it has more input
+channels than input rows (``C > Y``), *early* otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.model.layer import Layer
+from repro.tensors import dims as D
+
+
+class OperatorClass(enum.Enum):
+    """DNN operator classes of Table 4."""
+
+    EARLY_CONV = "CONV2D early layer"
+    LATE_CONV = "CONV2D late layer"
+    POINTWISE = "Point-wise convolution"
+    DEPTHWISE = "Depth-wise convolution"
+    TRANSPOSED = "Transposed convolution"
+    FULLY_CONNECTED = "Fully-connected"
+    RESIDUAL = "Residual link"
+    POOLING = "Pooling"
+
+
+def classify_layer(layer: Layer) -> OperatorClass:
+    """Assign a layer to its Table 4 operator class."""
+    op_name = layer.operator.name
+    if op_name == "PWCONV":
+        return OperatorClass.POINTWISE
+    if op_name == "DWCONV":
+        return OperatorClass.DEPTHWISE
+    if op_name == "TRCONV":
+        return OperatorClass.TRANSPOSED
+    if op_name == "FC":
+        return OperatorClass.FULLY_CONNECTED
+    if op_name == "ELEMENTWISE":
+        return OperatorClass.RESIDUAL
+    if op_name == "POOL":
+        return OperatorClass.POOLING
+    if op_name == "CONV2D":
+        if layer.dims[D.C] * layer.groups > layer.dims[D.Y]:
+            return OperatorClass.LATE_CONV
+        return OperatorClass.EARLY_CONV
+    raise ValueError(f"cannot classify operator {op_name!r}")

@@ -1,0 +1,54 @@
+"""The paper's model zoo.
+
+Five evaluation models (Figure 10): ResNet50, VGG16, ResNeXt50,
+MobileNetV2, UNet — plus AlexNet (Figure 9 validation) and the DCGAN
+generator (Table 4's transposed-convolution exemplar).
+"""
+
+from typing import Callable, Dict
+
+from repro.model.network import Network
+from repro.model.zoo.alexnet import alexnet
+from repro.model.zoo.dcgan import dcgan_generator
+from repro.model.zoo.mobilenet_v2 import mobilenet_v2
+from repro.model.zoo.resnet import resnet50, resnext50
+from repro.model.zoo.unet import unet
+from repro.model.lstm import lstm_network
+from repro.model.zoo.vgg import vgg16
+
+#: Model constructors by canonical name.
+MODELS: Dict[str, Callable[[], Network]] = {
+    "vgg16": vgg16,
+    "alexnet": alexnet,
+    "resnet50": resnet50,
+    "resnext50": resnext50,
+    "mobilenet_v2": mobilenet_v2,
+    "unet": unet,
+    "dcgan": dcgan_generator,
+    "lstm": lstm_network,
+}
+
+
+def build(name: str) -> Network:
+    """Build a zoo model by name (see :data:`MODELS`)."""
+    try:
+        constructor = MODELS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODELS)}"
+        ) from None
+    return constructor()
+
+
+__all__ = [
+    "MODELS",
+    "build",
+    "vgg16",
+    "alexnet",
+    "resnet50",
+    "resnext50",
+    "mobilenet_v2",
+    "unet",
+    "dcgan_generator",
+    "lstm_network",
+]

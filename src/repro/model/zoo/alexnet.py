@@ -1,0 +1,34 @@
+"""AlexNet (Krizhevsky et al., 2012), the Figure 9 validation workload.
+
+Five convolution layers named ``CONV1`` .. ``CONV5`` (Figure 9 plots
+C1-C5), with the original grouped convolutions on CONV2/4/5.
+"""
+
+from __future__ import annotations
+
+from repro.model.layer import conv2d, fc, pool
+from repro.model.network import Network
+
+
+def alexnet(batch: int = 1) -> Network:
+    """Build AlexNet for 227x227x3 inputs."""
+    layers = (
+        conv2d("CONV1", n=batch, k=96, c=3, y=227, x=227, r=11, s=11, stride=4),
+        pool("POOL1", n=batch, c=96, y=55, x=55, window=3, stride=2),
+        conv2d(
+            "CONV2", n=batch, k=256, c=96, y=27, x=27, r=5, s=5, padding=2, groups=2
+        ),
+        pool("POOL2", n=batch, c=256, y=27, x=27, window=3, stride=2),
+        conv2d("CONV3", n=batch, k=384, c=256, y=13, x=13, r=3, s=3, padding=1),
+        conv2d(
+            "CONV4", n=batch, k=384, c=384, y=13, x=13, r=3, s=3, padding=1, groups=2
+        ),
+        conv2d(
+            "CONV5", n=batch, k=256, c=384, y=13, x=13, r=3, s=3, padding=1, groups=2
+        ),
+        pool("POOL5", n=batch, c=256, y=13, x=13, window=3, stride=2),
+        fc("FC1", n=batch, k=4096, c=256 * 6 * 6),
+        fc("FC2", n=batch, k=4096, c=4096),
+        fc("FC3", n=batch, k=1000, c=4096),
+    )
+    return Network(name="AlexNet", layers=layers)

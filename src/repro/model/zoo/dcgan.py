@@ -1,0 +1,30 @@
+"""DCGAN generator (Radford et al., 2015), Table 4's transposed-conv case.
+
+The generator maps a 100-d latent vector to a 64x64x3 image through a
+projection and four 4x4 stride-2 transposed convolutions.
+"""
+
+from __future__ import annotations
+
+from repro.model.layer import fc, trconv
+from repro.model.network import Network
+
+
+def dcgan_generator(batch: int = 1) -> Network:
+    """Build the DCGAN generator."""
+    layers = (
+        fc("PROJECT", n=batch, k=1024 * 4 * 4, c=100),
+        trconv(
+            "CONV1", n=batch, k=512, c=1024, y=4, x=4, r=4, s=4, upscale=2, padding=1
+        ),
+        trconv(
+            "CONV2", n=batch, k=256, c=512, y=8, x=8, r=4, s=4, upscale=2, padding=1
+        ),
+        trconv(
+            "CONV3", n=batch, k=128, c=256, y=16, x=16, r=4, s=4, upscale=2, padding=1
+        ),
+        trconv(
+            "CONV4", n=batch, k=3, c=128, y=32, x=32, r=4, s=4, upscale=2, padding=1
+        ),
+    )
+    return Network(name="DCGAN-G", layers=layers)

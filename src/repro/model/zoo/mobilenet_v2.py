@@ -1,0 +1,86 @@
+"""MobileNetV2 (Sandler et al., 2018) for 224x224x3 inputs.
+
+Inverted-residual bottlenecks expand with a point-wise convolution,
+filter depthwise, and project back down — the source of the paper's
+point-wise and depth-wise operator classes (Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.model.layer import Layer, conv2d, dwconv, elementwise, fc, pwconv
+from repro.model.network import Network
+
+#: (expansion t, output channels c, repeats n, first stride s) per stage.
+_BOTTLENECK_CFG = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def mobilenet_v2(batch: int = 1) -> Network:
+    """Build MobileNetV2."""
+    layers: List[Layer] = [
+        conv2d("CONV1", n=batch, k=32, c=3, y=224, x=224, r=3, s=3, stride=2, padding=1)
+    ]
+    in_channels = 32
+    extent = 112
+    for stage, (t, out_channels, repeats, first_stride) in enumerate(
+        _BOTTLENECK_CFG, start=1
+    ):
+        for block in range(repeats):
+            stride = first_stride if block == 0 else 1
+            tag = f"BN{stage}_{block + 1}"
+            expanded = in_channels * t
+            if t != 1:
+                layers.append(
+                    pwconv(
+                        f"{tag}_expand",
+                        n=batch,
+                        k=expanded,
+                        c=in_channels,
+                        y=extent,
+                        x=extent,
+                    )
+                )
+            out_extent = extent // stride
+            layers.append(
+                dwconv(
+                    f"{tag}_dw",
+                    n=batch,
+                    c=expanded,
+                    y=extent,
+                    x=extent,
+                    r=3,
+                    s=3,
+                    stride=stride,
+                    padding=1,
+                )
+            )
+            layers.append(
+                pwconv(
+                    f"{tag}_project",
+                    n=batch,
+                    k=out_channels,
+                    c=expanded,
+                    y=out_extent,
+                    x=out_extent,
+                )
+            )
+            if stride == 1 and in_channels == out_channels:
+                layers.append(
+                    elementwise(
+                        f"{tag}_add", n=batch, c=out_channels, y=out_extent, x=out_extent
+                    )
+                )
+            in_channels = out_channels
+            extent = out_extent
+    layers.append(pwconv("CONV_LAST", n=batch, k=1280, c=in_channels, y=7, x=7))
+    layers.append(fc("FC1000", n=batch, k=1000, c=1280))
+    return Network(name="MobileNetV2", layers=tuple(layers))

@@ -1,0 +1,130 @@
+"""ResNet50 and ResNeXt50-32x4d bottleneck networks (224x224x3).
+
+Both networks share the bottleneck skeleton the paper's Table 4 lists
+(point-wise reduce, 3x3 conv, point-wise expand, residual add); ResNeXt
+replaces the 3x3 with a 32-group aggregated convolution over a wider
+bottleneck (Table 4's "aggregated residual blocks").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.model.layer import Layer, conv2d, elementwise, fc, pool
+from repro.model.network import Network
+
+#: (bottleneck width for ResNet, block count, spatial extent) per stage.
+_STAGES = [
+    (64, 3, 56),
+    (128, 4, 28),
+    (256, 6, 14),
+    (512, 3, 7),
+]
+
+
+def _bottleneck_stage(
+    layers: List[Layer],
+    stage_index: int,
+    in_channels: int,
+    width: int,
+    blocks: int,
+    extent: int,
+    groups: int,
+    batch: int,
+) -> int:
+    """Append one bottleneck stage; return its output channel count."""
+    out_channels = width * 4
+    for block in range(blocks):
+        tag = f"CONV{stage_index}_{block + 1}"
+        stride = 2 if (block == 0 and stage_index > 2) else 1
+        in_extent = extent * stride
+        mid = width * (2 if groups > 1 else 1)
+        layers.append(
+            conv2d(
+                f"{tag}a",
+                n=batch,
+                k=mid,
+                c=in_channels,
+                y=in_extent,
+                x=in_extent,
+                r=1,
+                s=1,
+            )
+        )
+        layers.append(
+            conv2d(
+                f"{tag}b",
+                n=batch,
+                k=mid,
+                c=mid,
+                y=in_extent,
+                x=in_extent,
+                r=3,
+                s=3,
+                stride=stride,
+                padding=1,
+                groups=groups,
+            )
+        )
+        layers.append(
+            conv2d(
+                f"{tag}c",
+                n=batch,
+                k=out_channels,
+                c=mid,
+                y=extent,
+                x=extent,
+                r=1,
+                s=1,
+            )
+        )
+        if block == 0:
+            layers.append(
+                conv2d(
+                    f"{tag}_shortcut",
+                    n=batch,
+                    k=out_channels,
+                    c=in_channels,
+                    y=in_extent,
+                    x=in_extent,
+                    r=1,
+                    s=1,
+                    stride=stride,
+                )
+            )
+        layers.append(
+            elementwise(f"{tag}_add", n=batch, c=out_channels, y=extent, x=extent)
+        )
+        in_channels = out_channels
+    return out_channels
+
+
+def _build(name: str, groups: int, batch: int) -> Network:
+    layers: List[Layer] = [
+        conv2d("CONV1", n=batch, k=64, c=3, y=224, x=224, r=7, s=7, stride=2, padding=3),
+        pool("POOL1", n=batch, c=64, y=112, x=112, window=3, stride=2),
+    ]
+    in_channels = 64
+    for stage_offset, (width, blocks, extent) in enumerate(_STAGES):
+        in_channels = _bottleneck_stage(
+            layers,
+            stage_index=stage_offset + 2,
+            in_channels=in_channels,
+            width=width,
+            blocks=blocks,
+            extent=extent,
+            groups=groups,
+            batch=batch,
+        )
+    layers.append(fc("FC1000", n=batch, k=1000, c=in_channels))
+    return Network(name=name, layers=tuple(layers))
+
+
+def resnet50(batch: int = 1) -> Network:
+    """Build ResNet50."""
+    return _build("ResNet50", groups=1, batch=batch)
+
+
+def resnext50(batch: int = 1) -> Network:
+    """Build ResNeXt50-32x4d (32-group 3x3 bottleneck convolutions)."""
+    return _build("ResNeXt50", groups=32, batch=batch)

@@ -1,0 +1,87 @@
+"""UNet (Ronneberger et al., 2015) for 572x572x1 inputs.
+
+The original unpadded architecture: 3x3 valid convolutions, 2x2 max
+pools on the contracting path, and 2x2 transposed up-convolutions on the
+expanding path. UNet's very wide activations and up-scale convolutions
+drive the paper's YX-P runtime win (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.model.layer import Layer, conv2d, pool, trconv
+from repro.model.network import Network
+
+
+def _double_conv(
+    layers: List[Layer],
+    tag: str,
+    in_channels: int,
+    out_channels: int,
+    extent: int,
+    batch: int,
+) -> int:
+    """Two valid 3x3 convolutions; return the resulting spatial extent."""
+    layers.append(
+        conv2d(
+            f"{tag}_1", n=batch, k=out_channels, c=in_channels,
+            y=extent, x=extent, r=3, s=3,
+        )
+    )
+    layers.append(
+        conv2d(
+            f"{tag}_2", n=batch, k=out_channels, c=out_channels,
+            y=extent - 2, x=extent - 2, r=3, s=3,
+        )
+    )
+    return extent - 4
+
+
+def unet(batch: int = 1) -> Network:
+    """Build the original UNet."""
+    layers: List[Layer] = []
+    extent = 572
+    channels = [64, 128, 256, 512, 1024]
+
+    # Contracting path.
+    down_extents = []
+    in_channels = 1
+    for depth, out_channels in enumerate(channels, start=1):
+        extent = _double_conv(
+            layers, f"DOWN{depth}", in_channels, out_channels, extent, batch
+        )
+        in_channels = out_channels
+        if depth < len(channels):
+            down_extents.append(extent)
+            layers.append(
+                pool(f"POOL{depth}", n=batch, c=out_channels, y=extent, x=extent, window=2)
+            )
+            extent //= 2
+
+    # Expanding path: up-convolve, concatenate with the (cropped) skip,
+    # then double-convolve back down in channel count.
+    for depth, out_channels in enumerate(reversed(channels[:-1]), start=1):
+        layers.append(
+            trconv(
+                f"UPCONV{depth}",
+                n=batch,
+                k=out_channels,
+                c=in_channels,
+                y=extent,
+                x=extent,
+                r=2,
+                s=2,
+                upscale=2,
+            )
+        )
+        extent *= 2
+        extent = _double_conv(
+            layers, f"UP{depth}", out_channels * 2, out_channels, extent, batch
+        )
+        in_channels = out_channels
+
+    layers.append(
+        conv2d("FINAL", n=batch, k=2, c=64, y=extent, x=extent, r=1, s=1)
+    )
+    return Network(name="UNet", layers=tuple(layers))

@@ -1,0 +1,62 @@
+"""VGG16 (Simonyan & Zisserman, 2015) for 224x224x3 inputs.
+
+Convolution layers are named ``CONV1`` .. ``CONV13`` to match the paper's
+references (e.g. "VGG16 CONV2" and "VGG16 CONV11" in Figure 13 and the
+DSE case study). All convolutions are 3x3, stride 1, padding 1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.model.layer import Layer, conv2d, fc, pool
+from repro.model.network import Network
+
+#: (output channels, spatial extent) per conv layer, stage by stage.
+_VGG16_CONVS = [
+    (64, 224),
+    (64, 224),
+    (128, 112),
+    (128, 112),
+    (256, 56),
+    (256, 56),
+    (256, 56),
+    (512, 28),
+    (512, 28),
+    (512, 28),
+    (512, 14),
+    (512, 14),
+    (512, 14),
+]
+
+#: Conv indices (1-based) after which a 2x2 max-pool follows.
+_POOL_AFTER = {2, 4, 7, 10, 13}
+
+
+def vgg16(batch: int = 1) -> Network:
+    """Build VGG16."""
+    layers: List[Layer] = []
+    in_channels = 3
+    for index, (out_channels, extent) in enumerate(_VGG16_CONVS, start=1):
+        layers.append(
+            conv2d(
+                f"CONV{index}",
+                n=batch,
+                k=out_channels,
+                c=in_channels,
+                y=extent,
+                x=extent,
+                r=3,
+                s=3,
+                padding=1,
+            )
+        )
+        if index in _POOL_AFTER:
+            layers.append(
+                pool(f"POOL{index}", n=batch, c=out_channels, y=extent, x=extent, window=2)
+            )
+        in_channels = out_channels
+    layers.append(fc("FC1", n=batch, k=4096, c=512 * 7 * 7))
+    layers.append(fc("FC2", n=batch, k=4096, c=4096))
+    layers.append(fc("FC3", n=batch, k=1000, c=4096))
+    return Network(name="VGG16", layers=tuple(layers))

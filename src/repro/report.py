@@ -1,0 +1,144 @@
+"""Human-readable reports for layer and network analyses.
+
+Renders a :class:`~repro.engines.analysis.LayerAnalysis` as the kind of
+multi-section report MAESTRO prints: performance, per-level bottleneck
+information, per-tensor traffic, buffer requirements, reuse factors,
+and an energy breakdown bar chart.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engines.analysis import LayerAnalysis, NetworkAnalysis
+from repro.util.ascii_chart import bar_chart
+from repro.util.text_table import format_table
+
+
+def layer_report(analysis: LayerAnalysis) -> str:
+    """A full text report for one analyzed layer."""
+    sections: List[str] = []
+    sections.append(
+        f"=== {analysis.layer_name} under {analysis.dataflow_name} "
+        f"on {analysis.num_pes} PEs ==="
+    )
+
+    sections.append(
+        "\n".join(
+            [
+                f"runtime          : {analysis.runtime:,.0f} cycles",
+                f"compute          : {analysis.total_ops:,.0f} ops",
+                f"throughput       : {analysis.throughput:.2f} ops/cycle",
+                f"PE utilization   : {analysis.utilization:.1%}",
+                f"NoC bandwidth req: {analysis.noc_bw_req_elems:.1f} elems/cycle "
+                f"({analysis.noc_bw_req_gbps:.1f} GB/s)",
+            ]
+        )
+    )
+
+    level_rows = []
+    for stats in analysis.level_stats:
+        level_rows.append(
+            [
+                stats.index,
+                f"{stats.runtime_sweep:,.0f}",
+                stats.bottleneck,
+                f"{stats.compute_bound_fraction:.0%}",
+                f"{stats.egress_per_sweep:,.0f}",
+            ]
+        )
+    sections.append(
+        format_table(
+            ["level", "sweep cycles", "bottleneck", "compute-bound steps", "egress/sweep"],
+            level_rows,
+            title="per-level performance",
+        )
+    )
+
+    tensor_names = sorted(set(analysis.l2_reads) | set(analysis.l1_writes))
+    traffic_rows = []
+    for name in tensor_names:
+        traffic_rows.append(
+            [
+                name,
+                f"{analysis.l2_reads.get(name, 0):,.0f}",
+                f"{analysis.l2_writes.get(name, 0):,.0f}",
+                f"{analysis.l1_reads.get(name, 0):,.0f}",
+                f"{analysis.l1_writes.get(name, 0):,.0f}",
+                f"{analysis.dram_reads.get(name, 0):,.0f}",
+                f"{analysis.dram_writes.get(name, 0):,.0f}",
+            ]
+        )
+    sections.append(
+        format_table(
+            ["tensor", "L2 rd", "L2 wr", "L1 rd", "L1 wr", "DRAM rd", "DRAM wr"],
+            traffic_rows,
+            title="traffic (element accesses)",
+        )
+    )
+
+    reuse_rows = [
+        [name, f"{factor:,.1f}", f"{analysis.max_reuse_factors[name]:,.1f}"]
+        for name, factor in sorted(analysis.reuse_factors.items())
+    ]
+    sections.append(
+        format_table(
+            ["tensor", "reuse factor", "algorithmic max"],
+            reuse_rows,
+            title="reuse (uses per L2 fetch)",
+        )
+    )
+
+    buffers = [
+        f"L1 per PE        : {analysis.l1_buffer_req:,} B",
+        f"L2 shared        : {analysis.l2_buffer_req:,} B",
+    ]
+    for depth, requirement in enumerate(analysis.intermediate_buffer_reqs):
+        buffers.append(f"cluster buffer L{depth}: {requirement:,} B")
+    sections.append("buffer requirements (double-buffered)\n" + "\n".join(buffers))
+
+    sections.append(
+        bar_chart(
+            sorted(analysis.energy_breakdown.items(), key=lambda kv: -kv[1]),
+            width=40,
+            title=f"energy breakdown (total {analysis.energy_total:,.0f} x MAC)",
+        )
+    )
+    return "\n\n".join(sections)
+
+
+def network_report(analysis: NetworkAnalysis, top: int = 10) -> str:
+    """A summary report for a whole network: totals plus hottest layers."""
+    sections = [
+        f"=== {analysis.network_name} under {analysis.dataflow_name} ===",
+        f"total runtime : {analysis.runtime:,.0f} cycles",
+        f"total compute : {analysis.total_ops:,.0f} ops",
+        f"total energy  : {analysis.energy_total:,.0f} x MAC",
+    ]
+    hottest = sorted(
+        analysis.layer_reports, key=lambda report: report.runtime, reverse=True
+    )[:top]
+    rows = [
+        [
+            report.layer_name,
+            f"{report.runtime:,.0f}",
+            f"{report.runtime / analysis.runtime:.1%}",
+            f"{report.utilization:.2f}",
+        ]
+        for report in hottest
+    ]
+    sections.append(
+        format_table(
+            ["layer", "cycles", "share", "utilization"],
+            rows,
+            title=f"top {len(rows)} layers by runtime",
+        )
+    )
+    sections.append(
+        bar_chart(
+            sorted(analysis.energy_breakdown().items(), key=lambda kv: -kv[1]),
+            width=40,
+            title="energy breakdown",
+        )
+    )
+    return "\n\n".join(sections)

@@ -1,0 +1,124 @@
+"""Index-region arithmetic for the reference simulator.
+
+The simulator tracks, per dimension, the half-open index interval the
+current step maps, and derives each tensor's touched data region as an
+axis-aligned box. This is an independent re-derivation of the data
+footprint (interval arithmetic on actual chunk positions) rather than a
+reuse of the analytical model's extent/delta formulas, which is what
+makes simulator-vs-model agreement a meaningful validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Tuple
+
+from repro.tensors import dims as D
+from repro.tensors.axes import Axis, ConvOutputAxis, PlainAxis, SlidingInputAxis
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open integer interval ``[start, stop)``."""
+
+    start: int
+    stop: int
+
+    @property
+    def length(self) -> int:
+        return max(0, self.stop - self.start)
+
+    def intersect(self, other: "Interval") -> "Interval":
+        return Interval(max(self.start, other.start), min(self.stop, other.stop))
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned box: one interval per tensor axis."""
+
+    intervals: Tuple[Interval, ...]
+
+    def volume(self) -> int:
+        result = 1
+        for interval in self.intervals:
+            result *= interval.length
+            if result == 0:
+                return 0
+        return result
+
+    def intersection_volume(self, other: "Box") -> int:
+        result = 1
+        for mine, theirs in zip(self.intervals, other.intervals):
+            result *= mine.intersect(theirs).length
+            if result == 0:
+                return 0
+        return result
+
+    def new_volume_vs(self, previous: "Box | None") -> int:
+        """Elements in this box not present in ``previous``."""
+        if previous is None:
+            return self.volume()
+        return self.volume() - self.intersection_volume(previous)
+
+
+def axis_interval(axis: Axis, starts: Mapping[str, int], sizes: Mapping[str, int]) -> Interval:
+    """The data interval an axis touches for the given chunk positions."""
+    if isinstance(axis, PlainAxis):
+        start = starts[axis.dim]
+        return Interval(start, start + sizes[axis.dim])
+    if isinstance(axis, SlidingInputAxis):
+        out0 = starts[axis.out_dim]
+        out1 = out0 + sizes[axis.out_dim] - 1
+        k0 = starts[axis.kernel_dim]
+        k1 = k0 + sizes[axis.kernel_dim] - 1
+        lo = out0 * axis.stride + k0 * axis.dilation
+        hi = out1 * axis.stride + k1 * axis.dilation
+        return Interval(lo, hi + 1)
+    if isinstance(axis, ConvOutputAxis):
+        in0 = starts[axis.in_dim]
+        in1 = in0 + sizes[axis.in_dim] - 1
+        k0 = starts[axis.kernel_dim]
+        k1 = k0 + sizes[axis.kernel_dim] - 1
+        # Complete output windows only: y' such that y' * stride + k lies
+        # inside [in0, in1] for EVERY mapped k, i.e.
+        # y' in [ceil((in0 - k0*dil)/stride), (in1 - k1*dil)//stride].
+        lo = -(-(in0 - k0 * axis.dilation) // axis.stride)
+        hi = (in1 - k1 * axis.dilation) // axis.stride
+        lo = max(lo, 0)
+        return Interval(lo, hi + 1)
+    raise TypeError(f"unknown axis type {type(axis).__name__}")
+
+
+def tensor_box(
+    axes: Tuple[Axis, ...], starts: Mapping[str, int], sizes: Mapping[str, int]
+) -> Box:
+    """The box a tensor chunk occupies for the given chunk positions."""
+    return Box(tuple(axis_interval(axis, starts, sizes) for axis in axes))
+
+
+def array_union_box(
+    axes: Tuple[Axis, ...],
+    starts: Mapping[str, int],
+    sizes: Mapping[str, int],
+    shift_sets: List[Tuple[Mapping[str, int], int]],
+) -> Box:
+    """Approximate union box across all sub-units of all levels.
+
+    ``shift_sets`` holds one ``(spatial_offsets, active_units)`` pair per
+    cluster level; the union along each axis spans from the base interval
+    to the interval shifted by the accumulated maximum per-unit shift.
+    For contiguous or overlapping chunk distributions (offset <= size,
+    the modeled space) the span is exact.
+    """
+    intervals = []
+    for axis in axes:
+        base = axis_interval(axis, starts, sizes)
+        lo, hi = base.start, base.stop
+        for spatial_offsets, active in shift_sets:
+            shift = axis.shift(spatial_offsets) * max(0, active - 1)
+            if shift >= 0:
+                hi += int(round(shift))
+            else:
+                lo += int(round(shift))
+        intervals.append(Interval(lo, hi))
+    return Box(tuple(intervals))

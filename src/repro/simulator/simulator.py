@@ -1,0 +1,269 @@
+"""Event-driven double-buffered pipeline simulator.
+
+``simulate_layer`` executes the bound schedule explicitly:
+
+1. build the joint odometer over every cluster level's iterators;
+2. walk it step by step (with run-length compression of the innermost
+   iterator — consecutive steady steps have identical footprints);
+3. at every step, derive each tensor's touched data region by interval
+   arithmetic (:mod:`repro.simulator.regions`) and diff it against the
+   previous step's region to get the actual ingress/egress volumes;
+4. time a three-stage fetch / compute / writeback pipeline with double
+   buffering: fetch ``k`` may start once slot ``k-2`` is free, compute
+   ``k`` once fetch ``k`` is done, writeback follows compute.
+
+The volumes come from region diffs, not from the analytical model's
+closed-form transition classes, so agreement between the two is a real
+consistency check (the paper's Figure 9 methodology with the RTL
+replaced by this executor — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.dataflow.dataflow import Dataflow
+from repro.engines.binding import bind_dataflow
+from repro.engines.reuse import build_odometer
+from repro.engines.tensor_analysis import analyze_tensors
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import Layer
+from repro.util.intmath import prod
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated layer execution."""
+
+    layer_name: str
+    dataflow_name: str
+    runtime: float
+    steps_simulated: int
+    steps_total: int
+    extrapolated: bool
+    l2_ingress: float
+    l2_egress: float
+
+    @property
+    def cycles(self) -> float:
+        return self.runtime
+
+
+@dataclass
+class _JointEntry:
+    level: int
+    steps: int
+    offsets: Mapping[str, int]  # dim -> start shift per advance
+
+
+class _Pipeline:
+    """Double-buffered fetch/compute/writeback clock bookkeeping."""
+
+    def __init__(self) -> None:
+        self.fetch_done = 0.0
+        self.prev_fetch_done = 0.0
+        self.compute_done = 0.0
+        self.prev_compute_done = 0.0
+        self.writeback_done = 0.0
+
+    def step(self, fetch_time: float, compute_time: float, writeback_time: float) -> None:
+        fetch_start = max(self.fetch_done, self.prev_compute_done)
+        fetch_done = fetch_start + fetch_time
+        compute_done = max(self.compute_done, fetch_done) + compute_time
+        writeback_done = max(self.writeback_done, compute_done) + writeback_time
+        self.prev_compute_done = self.compute_done
+        self.prev_fetch_done = self.fetch_done
+        self.fetch_done = fetch_done
+        self.compute_done = compute_done
+        self.writeback_done = writeback_done
+
+    def run(self, count: int, fetch: float, compute: float, writeback: float) -> None:
+        """Advance ``count`` identical steps (fast-forward after warmup)."""
+        exact = min(count, 3)
+        for _ in range(exact):
+            self.step(fetch, compute, writeback)
+        remaining = count - exact
+        if remaining > 0:
+            increment = max(fetch, compute, writeback)
+            self.fetch_done += increment * remaining
+            self.prev_fetch_done += increment * remaining
+            self.compute_done += increment * remaining
+            self.prev_compute_done += increment * remaining
+            self.writeback_done += increment * remaining
+
+    @property
+    def elapsed(self) -> float:
+        return self.writeback_done
+
+
+def simulate_layer(
+    layer: Layer,
+    dataflow: Dataflow,
+    accelerator: Accelerator,
+    max_outer_states: int = 200_000,
+) -> SimulationResult:
+    """Simulate one layer; see the module docstring.
+
+    ``max_outer_states`` caps the number of explicitly simulated outer
+    odometer states; beyond it the runtime is extrapolated linearly and
+    the result is flagged ``extrapolated``.
+    """
+    bound = bind_dataflow(dataflow, layer, accelerator)
+    tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
+    from repro.simulator.regions import array_union_box, tensor_box
+
+    # Joint odometer: every level's iterators, outer levels first.
+    joint: List[_JointEntry] = []
+    for level in bound.levels:
+        for entry in build_odometer(level):
+            if entry.steps <= 1:
+                continue
+            offsets = dict(entry.advancing_offsets)
+            if entry.is_fold:
+                # advancing_offsets already include the width factor.
+                pass
+            joint.append(
+                _JointEntry(level=level.index, steps=entry.steps, offsets=offsets)
+            )
+
+    innermost_sizes = bound.innermost().chunk_sizes()
+    shift_sets = [
+        (level.spatial_offsets, int(round(level.avg_active)))
+        for level in bound.levels
+        if level.width > 1
+    ]
+
+    input_density = 1.0
+    for info in tensors.inputs:
+        input_density *= info.density
+    ops_per_step = tensors.ops_per_chunk(innermost_sizes) * input_density
+    compute_time = max(1.0, ops_per_step / accelerator.vector_width)
+
+    noc = accelerator.noc
+    out_name = tensors.output.name
+
+    # Split the joint odometer into outer entries and the innermost run.
+    if joint:
+        inner = joint[-1]
+        outer_entries = joint[:-1]
+    else:
+        inner = _JointEntry(level=0, steps=1, offsets={})
+        outer_entries = []
+    outer_states_total = prod(entry.steps for entry in outer_entries)
+    total_steps = outer_states_total * inner.steps
+
+    starts: Dict[str, int] = {}
+
+    def boxes_at(offsets_acc: Mapping[str, int]):
+        return {
+            info.name: array_union_box(
+                info.axes, offsets_acc, innermost_sizes, shift_sets
+            )
+            for info in tensors.tensors
+        }
+
+    pipeline = _Pipeline()
+    prev_boxes: Dict[str, object] = {}
+    seen_outputs: set = set()
+    l2_ingress = 0.0
+    l2_egress = 0.0
+
+    counters = [0] * len(outer_entries)
+    simulated_states = 0
+    extrapolated = False
+
+    def current_starts() -> Dict[str, int]:
+        acc: Dict[str, int] = {dim: 0 for dim in innermost_sizes}
+        for entry, counter in zip(outer_entries, counters):
+            for dim, offset in entry.offsets.items():
+                acc[dim] = acc.get(dim, 0) + counter * offset
+        return acc
+
+    def process_step(step_starts: Mapping[str, int], repeat: int) -> None:
+        nonlocal prev_boxes, l2_ingress, l2_egress
+        boxes = boxes_at(step_starts)
+        out_key = tuple(
+            (iv.start, iv.stop) for iv in boxes[out_name].intervals
+        )
+        revisited = out_key in seen_outputs
+        seen_outputs.add(out_key)
+        fetch_volume = 0.0
+        for info in tensors.inputs:
+            new = boxes[info.name].new_volume_vs(prev_boxes.get(info.name))
+            fetch_volume += new * info.density
+        out_new = boxes[out_name].new_volume_vs(prev_boxes.get(out_name))
+        writeback_volume = out_new * tensors.output.density
+        if revisited:
+            # Previously written partial sums must be read back before
+            # this step can accumulate into them.
+            fetch_volume += writeback_volume
+        fetch_time = noc.delay(int(math.ceil(fetch_volume)))
+        writeback_time = noc.delay(int(math.ceil(writeback_volume)))
+        pipeline.run(1, fetch_time, compute_time, writeback_time)
+        l2_ingress += fetch_volume
+        l2_egress += writeback_volume
+        prev_boxes = boxes
+        if repeat > 0:
+            # Steady inner steps: diff one representative advance.
+            next_starts = dict(step_starts)
+            for dim, offset in inner.offsets.items():
+                next_starts[dim] = next_starts.get(dim, 0) + offset
+            steady_boxes = boxes_at(next_starts)
+            steady_fetch = 0.0
+            for info in tensors.inputs:
+                new = steady_boxes[info.name].new_volume_vs(boxes[info.name])
+                steady_fetch += new * info.density
+            steady_out = steady_boxes[out_name].new_volume_vs(boxes[out_name])
+            steady_wb = steady_out * tensors.output.density
+            if revisited:
+                steady_fetch += steady_wb
+            pipeline.run(
+                repeat,
+                noc.delay(int(math.ceil(steady_fetch))),
+                compute_time,
+                noc.delay(int(math.ceil(steady_wb))),
+            )
+            l2_ingress += steady_fetch * repeat
+            l2_egress += steady_wb * repeat
+            # Advance prev to the final inner position of the run.
+            final_starts = dict(step_starts)
+            for dim, offset in inner.offsets.items():
+                final_starts[dim] = final_starts.get(dim, 0) + offset * repeat
+            prev_boxes = boxes_at(final_starts)
+
+    while True:
+        process_step(current_starts(), inner.steps - 1)
+        simulated_states += 1
+        if simulated_states >= outer_states_total:
+            break
+        if simulated_states >= max_outer_states:
+            extrapolated = True
+            break
+        # Advance the outer odometer (innermost outer entry fastest).
+        for index in range(len(outer_entries) - 1, -1, -1):
+            counters[index] += 1
+            if counters[index] < outer_entries[index].steps:
+                break
+            counters[index] = 0
+        else:
+            break
+
+    runtime = pipeline.elapsed
+    if extrapolated and simulated_states:
+        scale = outer_states_total / simulated_states
+        runtime *= scale
+        l2_ingress *= scale
+        l2_egress *= scale
+
+    return SimulationResult(
+        layer_name=layer.name,
+        dataflow_name=dataflow.name,
+        runtime=runtime * layer.groups,
+        steps_simulated=simulated_states * inner.steps,
+        steps_total=total_steps,
+        extrapolated=extrapolated,
+        l2_ingress=l2_ingress * layer.groups,
+        l2_egress=l2_egress * layer.groups,
+    )

@@ -1,0 +1,186 @@
+"""Statistical sparsity models (extending the paper's Section 4.4).
+
+The paper models *uniformly distributed* sparsity — a density scalar
+per tensor that scales compute and traffic — and leaves "more complex
+statistical sparsity distributions" as future work. This module
+implements that extension with three models:
+
+- :class:`UniformSparsity` — the paper's baseline: every element is
+  non-zero with probability ``density``, independently. Under random
+  sparsity PEs receive different amounts of work, so a *load-imbalance*
+  factor (expected maximum over mean of per-PE Binomial work, by normal
+  approximation) inflates runtime relative to the dense schedule.
+- :class:`ChannelPruning` — structured sparsity: a fraction of input
+  channels is entirely zero. Perfectly compactable: it shrinks the
+  effective channel count with no imbalance.
+- :class:`BlockSparsity` — fixed-size all-or-nothing blocks: the
+  density acts like uniform sparsity but with ``block`` times fewer
+  independent draws, hence worse imbalance.
+
+``sparse_report`` wraps :func:`repro.engines.analyze_layer` and applies
+the imbalance factor, reproducing the qualitative behavior SCNN-class
+accelerators report: random sparsity buys less speedup than its density
+suggests, structured sparsity buys all of it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional
+
+from repro.dataflow.dataflow import Dataflow
+from repro.engines.analysis import LayerAnalysis, analyze_layer
+from repro.errors import LayerError
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.model.layer import Layer
+from repro.tensors import dims as D
+
+
+class SparsityModel:
+    """Abstract sparsity model for one tensor."""
+
+    def density(self) -> float:
+        raise NotImplementedError
+
+    def independent_draws(self, elements: float) -> float:
+        """Number of independent Bernoulli draws behind ``elements``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformSparsity(SparsityModel):
+    """IID Bernoulli sparsity at the given density (the paper's model)."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.value <= 1.0:
+            raise LayerError(f"density must be in (0, 1], got {self.value}")
+
+    def density(self) -> float:
+        return self.value
+
+    def independent_draws(self, elements: float) -> float:
+        return elements
+
+
+@dataclass(frozen=True)
+class ChannelPruning(SparsityModel):
+    """Structured channel sparsity: ``kept`` fraction of channels remain."""
+
+    kept: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.kept <= 1.0:
+            raise LayerError(f"kept fraction must be in (0, 1], got {self.kept}")
+
+    def density(self) -> float:
+        return self.kept
+
+    def independent_draws(self, elements: float) -> float:
+        # Structured pruning is compile-time knowledge: no randomness.
+        return float("inf")
+
+
+@dataclass(frozen=True)
+class BlockSparsity(SparsityModel):
+    """All-or-nothing blocks of ``block`` elements at the given density."""
+
+    value: float
+    block: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.value <= 1.0:
+            raise LayerError(f"density must be in (0, 1], got {self.value}")
+        if self.block < 1:
+            raise LayerError(f"block must be >= 1, got {self.block}")
+
+    def density(self) -> float:
+        return self.value
+
+    def independent_draws(self, elements: float) -> float:
+        return max(1.0, elements / self.block)
+
+
+def load_imbalance_factor(
+    model: SparsityModel, work_per_pe: float, num_pes: int
+) -> float:
+    """Expected max-over-mean PE work under random sparsity.
+
+    Per PE the non-zero work is ~ Binomial(n, d) with ``n`` independent
+    draws; the expected maximum over ``P`` PEs exceeds the mean by about
+    ``sqrt(2 ln P)`` standard deviations (Gumbel tail of the normal
+    approximation). Structured models have infinite ``n`` and factor 1.
+    """
+    if num_pes <= 1:
+        return 1.0
+    density = model.density()
+    draws = model.independent_draws(work_per_pe)
+    if not math.isfinite(draws) or draws <= 0 or density >= 1.0:
+        return 1.0
+    mean = draws * density
+    if mean <= 0:
+        return 1.0
+    std = math.sqrt(draws * density * (1.0 - density))
+    extreme = math.sqrt(2.0 * math.log(num_pes))
+    return 1.0 + extreme * std / mean
+
+
+def sparse_layer(layer: Layer, models: Mapping[str, SparsityModel]) -> Layer:
+    """A copy of ``layer`` with the models' densities applied.
+
+    Channel pruning shrinks the effective ``C`` extent instead of the
+    density (structured sparsity is compactable).
+    """
+    densities: Dict[str, float] = dict(layer.densities)
+    dims = dict(layer.dims)
+    for tensor_name, model in models.items():
+        layer.operator.tensor(tensor_name)  # validate name
+        if isinstance(model, ChannelPruning):
+            dims[D.C] = max(1, round(dims[D.C] * model.kept))
+        else:
+            densities[tensor_name] = (
+                densities.get(tensor_name, 1.0) * model.density()
+            )
+    return replace(layer, dims=dims, densities=densities)
+
+
+@dataclass(frozen=True)
+class SparseReport:
+    """A dense-schedule analysis corrected for sparsity load imbalance."""
+
+    base: LayerAnalysis
+    imbalance: float
+
+    @property
+    def runtime(self) -> float:
+        return self.base.runtime * self.imbalance
+
+    @property
+    def energy_total(self) -> float:
+        return self.base.energy_total
+
+    @property
+    def speedup_vs_dense(self) -> Optional[float]:
+        return None  # computed by callers that hold the dense report
+
+
+def sparse_report(
+    layer: Layer,
+    models: Mapping[str, SparsityModel],
+    dataflow: Dataflow,
+    accelerator: Accelerator,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> SparseReport:
+    """Analyze ``layer`` under the sparsity models; see module docstring."""
+    adjusted = sparse_layer(layer, models)
+    report = analyze_layer(adjusted, dataflow, accelerator, energy_model)
+    work_per_pe = adjusted.total_ops() / max(1, accelerator.num_pes)
+    imbalance = 1.0
+    for model in models.values():
+        imbalance = max(
+            imbalance, load_imbalance_factor(model, work_per_pe, accelerator.num_pes)
+        )
+    return SparseReport(base=report, imbalance=imbalance)

@@ -1,0 +1,72 @@
+"""Tensor dimensions, axes, and DNN operator definitions.
+
+This subpackage defines the vocabulary the rest of the package speaks:
+
+- :mod:`repro.tensors.dims` — the canonical dimension names (``N, K, C,
+  Y, X, R, S`` plus the output-coordinate aliases ``Y', X'``);
+- :mod:`repro.tensors.axes` — per-tensor *axes*, the machinery that turns
+  per-dimension mapping chunks into data extents, per-step deltas
+  (temporal reuse) and per-PE shifts (spatial reuse);
+- :mod:`repro.tensors.operators` — operator templates (CONV2D, depthwise,
+  pointwise, FC/GEMM, transposed conv, pooling, elementwise) with their
+  tensor/dimension coupling, the basis of the paper's Table 1.
+"""
+
+from repro.tensors.dims import (
+    ALL_DIRECTIVE_DIMS,
+    CANONICAL_DIMS,
+    C,
+    INPUT_DIM_OF,
+    K,
+    N,
+    OUTPUT_DIM_OF,
+    R,
+    S,
+    X,
+    XP,
+    Y,
+    YP,
+)
+from repro.tensors.axes import Axis, ConvOutputAxis, PlainAxis, SlidingInputAxis
+from repro.tensors.operators import (
+    CONV2D,
+    DWCONV,
+    ELEMENTWISE,
+    FC,
+    POOL,
+    PWCONV,
+    TRCONV,
+    Operator,
+    TensorRole,
+    TensorTemplate,
+)
+
+__all__ = [
+    "ALL_DIRECTIVE_DIMS",
+    "CANONICAL_DIMS",
+    "N",
+    "K",
+    "C",
+    "Y",
+    "X",
+    "R",
+    "S",
+    "YP",
+    "XP",
+    "INPUT_DIM_OF",
+    "OUTPUT_DIM_OF",
+    "Axis",
+    "PlainAxis",
+    "SlidingInputAxis",
+    "ConvOutputAxis",
+    "Operator",
+    "TensorRole",
+    "TensorTemplate",
+    "CONV2D",
+    "DWCONV",
+    "PWCONV",
+    "FC",
+    "TRCONV",
+    "POOL",
+    "ELEMENTWISE",
+]

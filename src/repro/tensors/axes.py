@@ -1,0 +1,177 @@
+"""Per-tensor data axes: extents, temporal deltas, and spatial shifts.
+
+An *axis* is one addressable direction of a tensor (e.g. the row axis of
+the input activation). Given the chunk sizes that a dataflow level maps
+for each dimension, an axis answers three questions that together drive
+the whole reuse analysis:
+
+``extent(sizes)``
+    How many elements along this axis does one mapped chunk touch?
+
+``delta(dim, offset, sizes)``
+    When directive ``dim`` advances by ``offset`` (all other dims held),
+    how many *new* elements appear along this axis? ``extent - delta`` is
+    the temporally reused overlap (the paper's convolutional reuse when
+    ``offset < size``).
+
+``shift(offsets)``
+    When the spatially mapped dims shift by ``offsets`` between adjacent
+    sub-clusters, by how much does this axis' interval shift per
+    sub-cluster? A shift of zero means every sub-cluster sees identical
+    data (spatial multicast for inputs, spatial reduction for outputs); a
+    small non-zero shift is a halo (partial spatial reuse).
+
+Three axis kinds cover every tensor in the modeled operator space:
+
+- :class:`PlainAxis` — the axis follows a single dimension directly.
+- :class:`SlidingInputAxis` — input rows/cols when the dataflow maps the
+  *output* coordinate: ``extent = (s_out - 1) * stride + (s_k - 1) *
+  dilation + 1``.
+- :class:`ConvOutputAxis` — output rows/cols when the dataflow maps the
+  *input* coordinate: ``extent = floor((s_in - k_ext) / stride) + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.util.intmath import ceil_div
+
+
+class Axis:
+    """Abstract axis interface; see the module docstring."""
+
+    dims: Tuple[str, ...]
+
+    def extent(self, sizes: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def delta(self, dim: str, offset: int, sizes: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def shift(self, offsets: Mapping[str, int]) -> float:
+        raise NotImplementedError
+
+    def unique_across(self, sizes: Mapping[str, int], offsets: Mapping[str, int], count: int) -> int:
+        """Unique elements along this axis across ``count`` shifted chunks.
+
+        With per-sub-cluster shift ``sigma`` and extent ``e``, consecutive
+        chunks overlap by ``e - |sigma|`` elements, so the union covers
+        ``e + (count - 1) * min(|sigma|, e)`` elements. ``sigma == 0``
+        collapses to a single chunk (full overlap / multicast).
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        e = self.extent(sizes)
+        sigma = abs(self.shift(offsets))
+        unique = e + (count - 1) * min(sigma, float(e))
+        return int(round(unique))
+
+
+@dataclass(frozen=True)
+class PlainAxis(Axis):
+    """An axis that follows one dimension one-to-one (e.g. W along K)."""
+
+    dim: str
+
+    @property
+    def dims(self) -> Tuple[str, ...]:  # type: ignore[override]
+        return (self.dim,)
+
+    def extent(self, sizes: Mapping[str, int]) -> int:
+        return sizes[self.dim]
+
+    def delta(self, dim: str, offset: int, sizes: Mapping[str, int]) -> int:
+        if dim != self.dim:
+            return 0
+        return min(offset, sizes[self.dim])
+
+    def shift(self, offsets: Mapping[str, int]) -> float:
+        return float(offsets.get(self.dim, 0))
+
+
+@dataclass(frozen=True)
+class SlidingInputAxis(Axis):
+    """Input-plane axis when the dataflow maps the output coordinate.
+
+    ``out_dim`` is the mapped output dimension (``Y'`` or ``X'``) and
+    ``kernel_dim`` the filter dimension sliding along the same axis
+    (``R`` or ``S``). The input window relation is
+    ``in = out * stride + k * dilation``.
+    """
+
+    out_dim: str
+    kernel_dim: str
+    stride: int
+    dilation: int = 1
+
+    @property
+    def dims(self) -> Tuple[str, ...]:  # type: ignore[override]
+        return (self.out_dim, self.kernel_dim)
+
+    def extent(self, sizes: Mapping[str, int]) -> int:
+        s_out = sizes[self.out_dim]
+        s_k = sizes[self.kernel_dim]
+        return (s_out - 1) * self.stride + (s_k - 1) * self.dilation + 1
+
+    def delta(self, dim: str, offset: int, sizes: Mapping[str, int]) -> int:
+        e = self.extent(sizes)
+        if dim == self.out_dim:
+            return min(offset * self.stride, e)
+        if dim == self.kernel_dim:
+            return min(offset * self.dilation, e)
+        return 0
+
+    def shift(self, offsets: Mapping[str, int]) -> float:
+        return float(
+            offsets.get(self.out_dim, 0) * self.stride
+            + offsets.get(self.kernel_dim, 0) * self.dilation
+        )
+
+
+@dataclass(frozen=True)
+class ConvOutputAxis(Axis):
+    """Output-plane axis when the dataflow maps the input coordinate.
+
+    ``in_dim`` is the mapped input dimension (``Y`` or ``X``) and
+    ``kernel_dim`` the filter dimension (``R`` or ``S``). A chunk of
+    ``s_in`` input positions with a ``s_k``-wide kernel chunk produces
+    ``floor((s_in - k_ext) / stride) + 1`` outputs, where
+    ``k_ext = (s_k - 1) * dilation + 1``.
+    """
+
+    in_dim: str
+    kernel_dim: str
+    stride: int
+    dilation: int = 1
+
+    @property
+    def dims(self) -> Tuple[str, ...]:  # type: ignore[override]
+        return (self.in_dim, self.kernel_dim)
+
+    def extent(self, sizes: Mapping[str, int]) -> int:
+        s_in = sizes[self.in_dim]
+        k_ext = (sizes[self.kernel_dim] - 1) * self.dilation + 1
+        if s_in < k_ext:
+            return 0
+        return (s_in - k_ext) // self.stride + 1
+
+    def delta(self, dim: str, offset: int, sizes: Mapping[str, int]) -> int:
+        e = self.extent(sizes)
+        if e == 0:
+            return 0
+        if dim == self.in_dim:
+            return min(ceil_div(offset, self.stride), e)
+        if dim == self.kernel_dim:
+            # Advancing the kernel chunk slides the valid output window;
+            # the newly touched outputs at the window edge.
+            return min(ceil_div(offset * self.dilation, self.stride), e)
+        return 0
+
+    def shift(self, offsets: Mapping[str, int]) -> float:
+        numerator = (
+            offsets.get(self.in_dim, 0)
+            - offsets.get(self.kernel_dim, 0) * self.dilation
+        )
+        return numerator / self.stride

@@ -1,0 +1,73 @@
+"""Canonical tensor-dimension names (Figure 1 of the paper).
+
+The seven canonical dimensions address the three CONV2D tensors:
+
+========  ==============================  =========================
+Name      Meaning                         Appears in
+========  ==============================  =========================
+``N``     input batch                     inputs, outputs
+``K``     output channel                  weights, outputs
+``C``     input channel                   weights, inputs
+``Y``     input activation row            inputs
+``X``     input activation column         inputs
+``R``     filter row                      weights
+``S``     filter column                   weights
+========  ==============================  =========================
+
+Dataflow directives may address the activation plane either through the
+*input* coordinates ``Y``/``X`` (as Table 3 of the paper does) or through
+the *output* coordinates ``Y'``/``X'`` (as Figure 4/5 do). The two
+representations are interchangeable through the convolution window
+relation ``y = y' * stride + r * dilation``; a dataflow must pick one
+representation per axis and stick with it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+N = "N"
+K = "K"
+C = "C"
+Y = "Y"
+X = "X"
+R = "R"
+S = "S"
+YP = "Y'"
+XP = "X'"
+
+#: The seven canonical (input-centric) dimensions, in conventional order.
+CANONICAL_DIMS: Tuple[str, ...] = (N, K, C, Y, X, R, S)
+
+#: Every name a dataflow directive may legally address.
+ALL_DIRECTIVE_DIMS: FrozenSet[str] = frozenset(CANONICAL_DIMS) | {YP, XP}
+
+#: Output-coordinate alias for each activation-plane input dimension.
+OUTPUT_DIM_OF: Dict[str, str] = {Y: YP, X: XP}
+
+#: Input-coordinate dimension behind each output-coordinate alias.
+INPUT_DIM_OF: Dict[str, str] = {YP: Y, XP: X}
+
+#: The kernel dimension sliding along each activation-plane axis.
+KERNEL_DIM_OF_ROW = R
+KERNEL_DIM_OF_COL = S
+
+
+def is_output_coordinate(dim: str) -> bool:
+    """True for the output-plane aliases ``Y'`` and ``X'``."""
+    return dim in INPUT_DIM_OF
+
+
+def base_dim(dim: str) -> str:
+    """Map ``Y'``/``X'`` to ``Y``/``X``; other dims map to themselves."""
+    return INPUT_DIM_OF.get(dim, dim)
+
+
+def validate_dim(dim: str) -> str:
+    """Return ``dim`` if it is a legal directive dimension, else raise."""
+    if dim not in ALL_DIRECTIVE_DIMS:
+        raise ValueError(
+            f"unknown dimension {dim!r}; legal dimensions are "
+            f"{sorted(ALL_DIRECTIVE_DIMS)}"
+        )
+    return dim

@@ -1,0 +1,367 @@
+"""DNN operator templates: tensors, dimension coupling, compute domain.
+
+An :class:`Operator` describes the *structure* of a layer type — which
+tensors it reads and writes, which dimensions each tensor is coupled to
+(the basis of the paper's Table 1), which dimensions are reductions
+(accumulated away into the output), and what the compute iteration domain
+is. Sizes, strides, and sparsity live on :class:`repro.model.Layer`.
+
+Axis templates use symbolic markers for the activation plane because the
+concrete axis depends on (a) the layer's stride/dilation and (b) whether
+the dataflow addresses the plane through input (``Y``/``X``) or output
+(``Y'``/``X'``) coordinates:
+
+- ``ROW_IN`` / ``COL_IN`` — the input tensor's row/column axis;
+- ``ROW_OUT`` / ``COL_OUT`` — the output tensor's row/column axis.
+
+:meth:`Operator.resolve_axes` turns the markers into concrete
+:class:`~repro.tensors.axes.Axis` objects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+from repro.tensors import dims as D
+from repro.tensors.axes import Axis, ConvOutputAxis, PlainAxis, SlidingInputAxis
+from repro.util.intmath import prod
+
+ROW_IN = "@row_in"
+COL_IN = "@col_in"
+ROW_OUT = "@row_out"
+COL_OUT = "@col_out"
+
+_MARKERS = frozenset({ROW_IN, COL_IN, ROW_OUT, COL_OUT})
+
+
+class TensorRole(enum.Enum):
+    """Whether a tensor is read (INPUT) or produced (OUTPUT) by the op."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class TensorTemplate:
+    """One tensor of an operator: a name, a role, and axis templates."""
+
+    name: str
+    role: TensorRole
+    axis_templates: Tuple[str, ...]
+
+    @property
+    def is_output(self) -> bool:
+        return self.role is TensorRole.OUTPUT
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A layer-type template; see the module docstring.
+
+    Attributes
+    ----------
+    name:
+        Operator type name (``CONV2D``, ``DWCONV``, ...).
+    tensors:
+        The tensors the operator touches, in (inputs..., output) order.
+    reduction_dims:
+        Dimensions accumulated away into the output (``C, R, S`` for a
+        standard convolution). Iterating a reduction dim leaves outputs
+        in place as partial sums.
+    compute_templates:
+        Axis templates whose extents multiply to the number of
+        multiply-accumulates (or elementwise ops) in one mapped chunk.
+    used_dims:
+        Canonical dims that are meaningful for this operator; all others
+        must be 1 in a layer of this type.
+    """
+
+    name: str
+    tensors: Tuple[TensorTemplate, ...]
+    reduction_dims: FrozenSet[str]
+    compute_templates: Tuple[str, ...]
+    used_dims: FrozenSet[str]
+
+    def tensor(self, name: str) -> TensorTemplate:
+        for template in self.tensors:
+            if template.name == name:
+                return template
+        raise KeyError(f"operator {self.name} has no tensor {name!r}")
+
+    @property
+    def input_tensors(self) -> Tuple[TensorTemplate, ...]:
+        return tuple(t for t in self.tensors if not t.is_output)
+
+    @property
+    def output_tensor(self) -> TensorTemplate:
+        outputs = [t for t in self.tensors if t.is_output]
+        if len(outputs) != 1:
+            raise ValueError(f"operator {self.name} must have exactly one output")
+        return outputs[0]
+
+    def resolve_axes(
+        self,
+        templates: Tuple[str, ...],
+        row_rep: str,
+        col_rep: str,
+        stride: Tuple[int, int],
+        dilation: Tuple[int, int] = (1, 1),
+    ) -> Tuple[Axis, ...]:
+        """Materialize axis templates into concrete axes.
+
+        ``row_rep`` / ``col_rep`` are ``"input"`` or ``"output"``: the
+        coordinate system the dataflow uses on that activation axis.
+        """
+        resolved = []
+        for template in templates:
+            resolved.append(
+                _resolve_one(template, row_rep, col_rep, stride, dilation)
+            )
+        return tuple(resolved)
+
+    def coupled_dims(self, tensor_name: str) -> FrozenSet[str]:
+        """Canonical dims the tensor is coupled to (paper Table 1 basis).
+
+        The activation plane is reported through its input-centric dims
+        (``Y``/``X``), with kernel dims included for tensors whose plane
+        position depends on them (inputs and, in the input-centric view,
+        outputs do not list ``R``/``S``).
+        """
+        template = self.tensor(tensor_name)
+        coupled = set()
+        for axis_template in template.axis_templates:
+            if axis_template in (ROW_IN, ROW_OUT):
+                coupled.add(D.Y)
+            elif axis_template in (COL_IN, COL_OUT):
+                coupled.add(D.X)
+            else:
+                coupled.add(axis_template)
+        return frozenset(coupled)
+
+    def ops_per_element(self) -> int:
+        """Ops per compute-domain point (1 MAC / comparison / add)."""
+        return 1
+
+    def total_ops(self, dim_sizes: Mapping[str, int]) -> int:
+        """Exact compute-domain size for full layer dims.
+
+        ``dim_sizes`` must contain the canonical dims plus the derived
+        output extents under ``Y'`` and ``X'``.
+        """
+        total = 1
+        for template in self.compute_templates:
+            if template == ROW_OUT:
+                total *= dim_sizes[D.YP]
+            elif template == COL_OUT:
+                total *= dim_sizes[D.XP]
+            elif template == ROW_IN:
+                total *= dim_sizes[D.Y]
+            elif template == COL_IN:
+                total *= dim_sizes[D.X]
+            else:
+                total *= dim_sizes[template]
+        return total
+
+    def touched_tensor_volume(
+        self,
+        tensor_name: str,
+        dim_sizes: Mapping[str, int],
+        stride: Tuple[int, int],
+        dilation: Tuple[int, int] = (1, 1),
+    ) -> int:
+        """Elements of a tensor the computation actually reads/writes.
+
+        Differs from :meth:`tensor_volume` only on the input activation
+        plane when the stride exceeds the kernel extent: the windows
+        then skip input positions, so along each axis only
+        ``out * min(stride, k_ext) + max(0, k_ext - stride)`` positions
+        are touched.
+        """
+        template = self.tensor(tensor_name)
+        sizes = []
+        for axis_template in template.axis_templates:
+            if axis_template == ROW_IN:
+                sizes.append(
+                    _touched_extent(
+                        dim_sizes[D.Y], dim_sizes[D.YP], dim_sizes[D.R],
+                        stride[0], dilation[0],
+                    )
+                )
+            elif axis_template == COL_IN:
+                sizes.append(
+                    _touched_extent(
+                        dim_sizes[D.X], dim_sizes[D.XP], dim_sizes[D.S],
+                        stride[1], dilation[1],
+                    )
+                )
+            elif axis_template == ROW_OUT:
+                sizes.append(dim_sizes[D.YP])
+            elif axis_template == COL_OUT:
+                sizes.append(dim_sizes[D.XP])
+            else:
+                sizes.append(dim_sizes[axis_template])
+        return prod(sizes)
+
+    def tensor_volume(self, tensor_name: str, dim_sizes: Mapping[str, int]) -> int:
+        """Total element count of a tensor for full layer dims."""
+        template = self.tensor(tensor_name)
+        sizes = []
+        for axis_template in template.axis_templates:
+            if axis_template == ROW_IN:
+                sizes.append(dim_sizes[D.Y])
+            elif axis_template == COL_IN:
+                sizes.append(dim_sizes[D.X])
+            elif axis_template == ROW_OUT:
+                sizes.append(dim_sizes[D.YP])
+            elif axis_template == COL_OUT:
+                sizes.append(dim_sizes[D.XP])
+            else:
+                sizes.append(dim_sizes[axis_template])
+        return prod(sizes)
+
+
+def _touched_extent(
+    in_extent: int, out_extent: int, kernel: int, stride: int, dilation: int
+) -> int:
+    """Input positions touched along one activation axis."""
+    k_ext = (kernel - 1) * dilation + 1
+    touched = out_extent * min(stride, k_ext) + max(0, k_ext - stride)
+    return min(in_extent, touched)
+
+
+def _resolve_one(
+    template: str,
+    row_rep: str,
+    col_rep: str,
+    stride: Tuple[int, int],
+    dilation: Tuple[int, int],
+) -> Axis:
+    if template not in _MARKERS:
+        return PlainAxis(template)
+    if template == ROW_IN:
+        if row_rep == "input":
+            return PlainAxis(D.Y)
+        return SlidingInputAxis(D.YP, D.R, stride[0], dilation[0])
+    if template == COL_IN:
+        if col_rep == "input":
+            return PlainAxis(D.X)
+        return SlidingInputAxis(D.XP, D.S, stride[1], dilation[1])
+    if template == ROW_OUT:
+        if row_rep == "input":
+            return ConvOutputAxis(D.Y, D.R, stride[0], dilation[0])
+        return PlainAxis(D.YP)
+    # COL_OUT
+    if col_rep == "input":
+        return ConvOutputAxis(D.X, D.S, stride[1], dilation[1])
+    return PlainAxis(D.XP)
+
+
+def _conv_like(
+    name: str,
+    weight_dims: Tuple[str, ...],
+    output_channel_dim: str,
+    reduction: Tuple[str, ...],
+    compute_channel_dims: Tuple[str, ...],
+) -> Operator:
+    return Operator(
+        name=name,
+        tensors=(
+            TensorTemplate("W", TensorRole.INPUT, weight_dims),
+            TensorTemplate("I", TensorRole.INPUT, (D.N, D.C, ROW_IN, COL_IN)),
+            TensorTemplate(
+                "O", TensorRole.OUTPUT, (D.N, output_channel_dim, ROW_OUT, COL_OUT)
+            ),
+        ),
+        reduction_dims=frozenset(reduction),
+        compute_templates=(D.N,) + compute_channel_dims + (ROW_OUT, COL_OUT, D.R, D.S),
+        used_dims=frozenset({D.N, D.C, D.Y, D.X, D.R, D.S})
+        | frozenset(compute_channel_dims),
+    )
+
+
+#: Standard multi-channel 2D convolution (Figure 1 of the paper).
+CONV2D = _conv_like(
+    "CONV2D",
+    weight_dims=(D.K, D.C, D.R, D.S),
+    output_channel_dim=D.K,
+    reduction=(D.C, D.R, D.S),
+    compute_channel_dims=(D.K, D.C),
+)
+
+#: Pointwise (1x1) convolution — structurally CONV2D with R = S = 1; kept
+#: as a distinct name for the operator taxonomy of Table 4.
+PWCONV = _conv_like(
+    "PWCONV",
+    weight_dims=(D.K, D.C, D.R, D.S),
+    output_channel_dim=D.K,
+    reduction=(D.C, D.R, D.S),
+    compute_channel_dims=(D.K, D.C),
+)
+
+#: Depthwise convolution: the output couples to the *input* channel and
+#: there is no cross-channel reduction (Section 4.1 of the paper).
+DWCONV = _conv_like(
+    "DWCONV",
+    weight_dims=(D.C, D.R, D.S),
+    output_channel_dim=D.C,
+    reduction=(D.R, D.S),
+    compute_channel_dims=(D.C,),
+)
+
+#: Transposed convolution, modeled as CONV2D over the zero-upscaled input
+#: (the structured output sparsity of Table 4 becomes structured *input*
+#: sparsity, captured by the layer's input density).
+TRCONV = _conv_like(
+    "TRCONV",
+    weight_dims=(D.K, D.C, D.R, D.S),
+    output_channel_dim=D.K,
+    reduction=(D.C, D.R, D.S),
+    compute_channel_dims=(D.K, D.C),
+)
+
+#: Fully-connected layer / GEMM: a convolution collapsed to N, K, C.
+FC = Operator(
+    name="FC",
+    tensors=(
+        TensorTemplate("W", TensorRole.INPUT, (D.K, D.C)),
+        TensorTemplate("I", TensorRole.INPUT, (D.N, D.C)),
+        TensorTemplate("O", TensorRole.OUTPUT, (D.N, D.K)),
+    ),
+    reduction_dims=frozenset({D.C}),
+    compute_templates=(D.N, D.K, D.C),
+    used_dims=frozenset({D.N, D.K, D.C}),
+)
+
+#: Pooling: a weight-less sliding-window reduction over R x S.
+POOL = Operator(
+    name="POOL",
+    tensors=(
+        TensorTemplate("I", TensorRole.INPUT, (D.N, D.C, ROW_IN, COL_IN)),
+        TensorTemplate("O", TensorRole.OUTPUT, (D.N, D.C, ROW_OUT, COL_OUT)),
+    ),
+    reduction_dims=frozenset({D.R, D.S}),
+    compute_templates=(D.N, D.C, ROW_OUT, COL_OUT, D.R, D.S),
+    used_dims=frozenset({D.N, D.C, D.Y, D.X, D.R, D.S}),
+)
+
+#: Elementwise residual addition (skip connection): two activation reads,
+#: one write, no reuse structure beyond staging (Table 4's residual row).
+ELEMENTWISE = Operator(
+    name="ELEMENTWISE",
+    tensors=(
+        TensorTemplate("A", TensorRole.INPUT, (D.N, D.C, ROW_IN, COL_IN)),
+        TensorTemplate("B", TensorRole.INPUT, (D.N, D.C, ROW_IN, COL_IN)),
+        TensorTemplate("O", TensorRole.OUTPUT, (D.N, D.C, ROW_OUT, COL_OUT)),
+    ),
+    reduction_dims=frozenset(),
+    compute_templates=(D.N, D.C, ROW_OUT, COL_OUT),
+    used_dims=frozenset({D.N, D.C, D.Y, D.X}),
+)
+
+#: Registry of operators by name (used by the CLI and the model DSL).
+OPERATORS: Dict[str, Operator] = {
+    op.name: op
+    for op in (CONV2D, PWCONV, DWCONV, TRCONV, FC, POOL, ELEMENTWISE)
+}

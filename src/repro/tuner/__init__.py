@@ -1,0 +1,21 @@
+"""Dataflow auto-tuning (the paper's Section 7 future work).
+
+The paper closes by planning "a dataflow auto-tuner to find an optimal
+dataflow on the specified DNN model and hardware configuration". This
+package implements that tool on top of the cost model: a candidate
+generator over parameterized dataflow templates (parallel dims, tile
+sizes, orderings, cluster sizes) and search strategies (exhaustive grid
+and random sampling) that rank candidates by runtime, energy, or EDP
+under buffer constraints.
+"""
+
+from repro.tuner.templates import CandidateSpec, enumerate_candidates
+from repro.tuner.search import TunerResult, tune_layer, tune_network
+
+__all__ = [
+    "CandidateSpec",
+    "enumerate_candidates",
+    "tune_layer",
+    "tune_network",
+    "TunerResult",
+]

@@ -1,0 +1,134 @@
+"""Search strategies for the dataflow auto-tuner."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.dataflow.dataflow import Dataflow
+from repro.engines.analysis import LayerAnalysis, analyze_layer
+from repro.errors import BindingError, DataflowError
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.model.layer import Layer
+from repro.model.network import Network
+from repro.tuner.templates import CandidateSpec, enumerate_candidates
+
+#: Objectives: report -> score to minimize.
+OBJECTIVES: Dict[str, Callable[[LayerAnalysis], float]] = {
+    "runtime": lambda report: report.runtime,
+    "energy": lambda report: report.energy_total,
+    "edp": lambda report: report.edp,
+}
+
+
+@dataclass(frozen=True)
+class ScoredCandidate:
+    """One evaluated candidate."""
+
+    spec: CandidateSpec
+    dataflow: Dataflow
+    report: LayerAnalysis
+    score: float
+
+
+@dataclass(frozen=True)
+class TunerResult:
+    """Outcome of tuning one layer."""
+
+    layer_name: str
+    objective: str
+    best: ScoredCandidate
+    top: Tuple[ScoredCandidate, ...]
+    evaluated: int
+    rejected: int
+
+    @property
+    def best_dataflow(self) -> Dataflow:
+        return self.best.dataflow
+
+    @property
+    def best_report(self) -> LayerAnalysis:
+        return self.best.report
+
+
+def tune_layer(
+    layer: Layer,
+    accelerator: Accelerator,
+    objective: str = "runtime",
+    candidates: Optional[Iterable[CandidateSpec]] = None,
+    strategy: str = "exhaustive",
+    budget: int = 200,
+    max_l1_bytes: Optional[int] = None,
+    max_l2_bytes: Optional[int] = None,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    top_k: int = 5,
+    seed: int = 0,
+) -> TunerResult:
+    """Find the best dataflow for ``layer`` on ``accelerator``.
+
+    ``strategy`` is ``"exhaustive"`` (walk the whole candidate grid) or
+    ``"random"`` (sample ``budget`` candidates uniformly). Candidates
+    whose buffer requirements exceed ``max_l1_bytes``/``max_l2_bytes``
+    or that fail to bind are rejected.
+    """
+    try:
+        score_fn = OBJECTIVES[objective]
+    except KeyError:
+        raise KeyError(f"unknown objective {objective!r}; available: {sorted(OBJECTIVES)}")
+
+    specs = list(candidates) if candidates is not None else list(enumerate_candidates())
+    if strategy == "random":
+        rng = random.Random(seed)
+        if len(specs) > budget:
+            specs = rng.sample(specs, budget)
+    elif strategy != "exhaustive":
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    scored: List[ScoredCandidate] = []
+    rejected = 0
+    for spec in specs:
+        try:
+            dataflow = spec.build()
+            report = analyze_layer(layer, dataflow, accelerator, energy_model)
+        except (BindingError, DataflowError):
+            rejected += 1
+            continue
+        if max_l1_bytes is not None and report.l1_buffer_req > max_l1_bytes:
+            rejected += 1
+            continue
+        if max_l2_bytes is not None and report.l2_buffer_req > max_l2_bytes:
+            rejected += 1
+            continue
+        scored.append(
+            ScoredCandidate(
+                spec=spec, dataflow=dataflow, report=report, score=score_fn(report)
+            )
+        )
+    if not scored:
+        raise DataflowError(
+            f"no tuner candidate is feasible for layer {layer.name!r}"
+        )
+    scored.sort(key=lambda candidate: candidate.score)
+    return TunerResult(
+        layer_name=layer.name,
+        objective=objective,
+        best=scored[0],
+        top=tuple(scored[:top_k]),
+        evaluated=len(scored),
+        rejected=rejected,
+    )
+
+
+def tune_network(
+    network: Network,
+    accelerator: Accelerator,
+    objective: str = "runtime",
+    **kwargs,
+) -> Dict[str, TunerResult]:
+    """Tune every layer of a network independently."""
+    return {
+        layer.name: tune_layer(layer, accelerator, objective, **kwargs)
+        for layer in network.layers
+    }

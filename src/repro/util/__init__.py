@@ -1,0 +1,14 @@
+"""Small shared utilities: integer math, Pareto filtering, text tables."""
+
+from repro.util.intmath import ceil_div, clamp, num_chunks, prod
+from repro.util.pareto import pareto_front
+from repro.util.text_table import format_table
+
+__all__ = [
+    "ceil_div",
+    "clamp",
+    "num_chunks",
+    "prod",
+    "pareto_front",
+    "format_table",
+]

@@ -1,0 +1,43 @@
+"""Tiny ASCII bar charts for rendering the paper's figures as text.
+
+The benchmark harness regenerates figures; these helpers render the
+series as horizontal bars (optionally on a log scale, which is how the
+paper plots reuse factors in Figure 11).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def bar_chart(
+    series: Sequence[Tuple[str, float]],
+    width: int = 50,
+    log: bool = False,
+    title: str = "",
+) -> str:
+    """Render labeled values as horizontal bars.
+
+    ``log=True`` scales bar lengths by log10 (all values must be > 0).
+    """
+    if not series:
+        raise ValueError("bar_chart needs at least one value")
+    values = [value for _, value in series]
+    if log:
+        if any(value <= 0 for value in values):
+            raise ValueError("log-scale bars need positive values")
+        scaled = [math.log10(value) for value in values]
+        floor = min(0.0, min(scaled))
+        scaled = [value - floor for value in scaled]
+    else:
+        if any(value < 0 for value in values):
+            raise ValueError("bars need non-negative values")
+        scaled = list(values)
+    peak = max(scaled) or 1.0
+    label_width = max(len(label) for label, _ in series)
+    lines: List[str] = [title] if title else []
+    for (label, value), magnitude in zip(series, scaled):
+        bar = "#" * max(1 if value > 0 else 0, round(magnitude / peak * width))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:,.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Integer helpers used throughout the analytical model.
+
+The cost model works almost exclusively on integer element counts and
+cycle counts, so these helpers stay in integer arithmetic (no float
+round-off) wherever possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires a positive divisor, got {b}")
+    if a < 0:
+        raise ValueError(f"ceil_div requires a non-negative dividend, got {a}")
+    return -(-a // b)
+
+
+def clamp(value: int, low: int, high: int) -> int:
+    """Clamp ``value`` into the inclusive range ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"clamp range is empty: [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def num_chunks(total: int, size: int, offset: int) -> int:
+    """Number of chunks a mapping directive produces along one dimension.
+
+    A directive ``Map(size, offset)`` over a dimension of extent ``total``
+    places chunks starting at ``0, offset, 2*offset, ...`` until the whole
+    dimension is covered: ``ceil((total - size) / offset) + 1`` chunks, or a
+    single chunk when ``size >= total``.
+    """
+    if total <= 0:
+        raise ValueError(f"dimension extent must be positive, got {total}")
+    if size <= 0 or offset <= 0:
+        raise ValueError(
+            f"mapping size and offset must be positive, got size={size} offset={offset}"
+        )
+    if size >= total:
+        return 1
+    return ceil_div(total - size, offset) + 1
+
+
+def prod(values: Iterable[int]) -> int:
+    """Product of an iterable of integers (1 for an empty iterable)."""
+    result = 1
+    for value in values:
+        result *= value
+    return result

@@ -1,0 +1,57 @@
+"""Pareto-front extraction for design-space exploration results."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Sequence[T],
+    objectives: Sequence[Callable[[T], float]],
+) -> List[T]:
+    """Return the Pareto-optimal subset of ``items``.
+
+    Every objective is *minimized*; to maximize a metric pass a key that
+    negates it. An item is kept when no other item is at least as good on
+    every objective and strictly better on at least one.
+
+    The implementation sorts by the first objective and then does a sweep,
+    which is ``O(n log n + n * k)`` for two objectives and degrades to the
+    quadratic filter for three or more.
+    """
+    if not items:
+        return []
+    if not objectives:
+        raise ValueError("pareto_front needs at least one objective")
+
+    scored: List[Tuple[Tuple[float, ...], T]] = [
+        (tuple(obj(item) for item in (candidate,) for obj in objectives), candidate)
+        for candidate in items
+    ]
+
+    if len(objectives) == 2:
+        scored.sort(key=lambda pair: (pair[0][0], pair[0][1]))
+        front: List[T] = []
+        best_second = float("inf")
+        for score, item in scored:
+            if score[1] < best_second:
+                front.append(item)
+                best_second = score[1]
+        return front
+
+    front = []
+    for score, item in scored:
+        dominated = False
+        for other_score, _ in scored:
+            if other_score is score:
+                continue
+            if all(o <= s for o, s in zip(other_score, score)) and any(
+                o < s for o, s in zip(other_score, score)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(item)
+    return front

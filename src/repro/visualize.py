@@ -1,0 +1,138 @@
+"""Per-PE data-mapping enumeration (the paper's Figures 5/6 views).
+
+Figure 6(d) tabulates, per PE and per time step, exactly which tensor
+index ranges the row-stationary dataflow maps. This module generates
+those tables for any (layer, dataflow, accelerator) triple:
+
+- :func:`enumerate_mappings` walks the bound schedule's first time
+  steps and, for every PE (one sub-unit pick per cluster level),
+  derives each tensor's index box from the chunk positions;
+- :func:`mapping_table` renders the result like the figure, one row per
+  PE per step.
+
+Replicated boxes across PEs (or across steps) are the reuse
+opportunities the paper reads off this table: identical weight boxes
+in both clusters -> spatial multicast; identical output boxes within a
+cluster -> spatial reduction; identical boxes across steps -> temporal
+reuse.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.dataflow.dataflow import Dataflow
+from repro.engines.binding import bind_dataflow
+from repro.engines.reuse import build_odometer
+from repro.engines.tensor_analysis import analyze_tensors
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import Layer
+from repro.simulator.regions import tensor_box
+from repro.util.text_table import format_table
+
+
+@dataclass(frozen=True)
+class PEMapping:
+    """The index boxes one PE holds at one time step."""
+
+    step: int
+    pe_coordinates: Tuple[int, ...]  # sub-unit index per cluster level
+    boxes: Mapping[str, Tuple[Tuple[int, int], ...]]  # tensor -> axis ranges
+
+    @property
+    def pe_label(self) -> str:
+        return "/".join(str(index) for index in self.pe_coordinates)
+
+
+def enumerate_mappings(
+    layer: Layer,
+    dataflow: Dataflow,
+    accelerator: Accelerator,
+    steps: int = 2,
+) -> List[PEMapping]:
+    """The first ``steps`` time steps' per-PE mappings."""
+    bound = bind_dataflow(dataflow, layer, accelerator)
+    tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
+    sizes = bound.innermost().chunk_sizes()
+
+    entries = []
+    for level in bound.levels:
+        for entry in build_odometer(level):
+            if entry.steps > 1:
+                entries.append((level.index, entry))
+
+    # Spatial structure: per level, the per-sub-unit chunk shifts.
+    level_info = [
+        (level.index, level.width, dict(level.spatial_offsets))
+        for level in bound.levels
+    ]
+
+    mappings: List[PEMapping] = []
+    counters = [0] * len(entries)
+    for step in range(steps):
+        # Temporal starts from the odometer counters.
+        base: Dict[str, int] = {dim: 0 for dim in sizes}
+        for (level_index, entry), counter in zip(entries, counters):
+            # Fold-entry offsets already include the width factor.
+            for dim, offset in entry.advancing_offsets.items():
+                base[dim] += counter * offset
+
+        # Every PE = one sub-unit pick per level.
+        for picks in itertools.product(
+            *[range(width) for _, width, _ in level_info]
+        ):
+            starts = dict(base)
+            for (level_index, width, offsets), pick in zip(level_info, picks):
+                for dim, offset in offsets.items():
+                    if offset:
+                        starts[dim] = starts.get(dim, 0) + pick * offset
+            boxes = {}
+            for info in tensors.tensors:
+                box = tensor_box(info.axes, starts, sizes)
+                boxes[info.name] = tuple(
+                    (interval.start, interval.stop) for interval in box.intervals
+                )
+            mappings.append(
+                PEMapping(step=step, pe_coordinates=picks, boxes=boxes)
+            )
+
+        # Advance the odometer by one innermost tick.
+        for index in range(len(entries) - 1, -1, -1):
+            counters[index] += 1
+            if counters[index] < entries[index][1].steps:
+                break
+            counters[index] = 0
+    return mappings
+
+
+def mapping_table(
+    layer: Layer,
+    dataflow: Dataflow,
+    accelerator: Accelerator,
+    tensor: str,
+    steps: int = 2,
+) -> str:
+    """Render one tensor's Figure 6(d)-style mapping table."""
+    mappings = enumerate_mappings(layer, dataflow, accelerator, steps)
+    bound = bind_dataflow(dataflow, layer, accelerator)
+    tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
+    info = tensors.tensor(tensor)
+    axis_names = ["x".join(axis.dims) for axis in info.axes]
+
+    rows = []
+    for mapping in mappings:
+        ranges = mapping.boxes[tensor]
+        rows.append(
+            [mapping.step, mapping.pe_label]
+            + [
+                f"{start}-{stop - 1}" if stop - start > 1 else str(start)
+                for start, stop in ranges
+            ]
+        )
+    return format_table(
+        ["step", "PE"] + axis_names,
+        rows,
+        title=f"{tensor} mapping under {dataflow.name} on {layer.name}",
+    )

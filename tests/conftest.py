@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.accelerator import Accelerator, NoC
+from repro.model.layer import conv2d
+from repro.model.zoo import build
+
+
+@pytest.fixture(scope="session")
+def vgg16():
+    return build("vgg16")
+
+
+@pytest.fixture(scope="session")
+def alexnet():
+    return build("alexnet")
+
+
+@pytest.fixture(scope="session")
+def mobilenet_v2():
+    return build("mobilenet_v2")
+
+
+@pytest.fixture
+def small_conv():
+    """A small convolution layer that analyzes and simulates quickly."""
+    return conv2d("small", k=8, c=4, y=12, x=12, r=3, s=3)
+
+
+@pytest.fixture
+def conv1d_layer():
+    """The Figure 4 1-D convolution: X' = 12 outputs, S = 6 taps."""
+    return conv2d("conv1d", k=1, c=1, y=1, x=17, r=1, s=6)
+
+
+@pytest.fixture
+def accelerator():
+    return Accelerator(num_pes=64, noc=NoC(bandwidth=32, avg_latency=2))
+
+
+@pytest.fixture
+def accelerator_256():
+    return Accelerator(num_pes=256, noc=NoC(bandwidth=32, avg_latency=2))

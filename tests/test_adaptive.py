@@ -1,0 +1,72 @@
+"""Tests for adaptive (per-layer best) dataflow selection."""
+
+import pytest
+
+from repro.adaptive import METRICS, adaptive_analysis
+from repro.dataflow.library import table3_dataflows
+from repro.engines.analysis import analyze_network
+from repro.hardware.accelerator import Accelerator
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return Accelerator(num_pes=256)
+
+
+@pytest.fixture(scope="module")
+def network(request):
+    from repro.model.zoo import build
+
+    return build("mobilenet_v2")
+
+
+@pytest.fixture(scope="module")
+def adaptive(network, accelerator):
+    return adaptive_analysis(network, table3_dataflows(), accelerator, metric="runtime")
+
+
+class TestAdaptive:
+    def test_covers_every_layer(self, adaptive, network):
+        assert len(adaptive.choices) == len(network.layers)
+
+    def test_beats_or_matches_every_single_dataflow(self, adaptive, network, accelerator):
+        for name, flow in table3_dataflows().items():
+            single = analyze_network(network, flow, accelerator)
+            assert adaptive.runtime <= single.runtime * 1.0001
+
+    def test_choice_is_layerwise_optimal(self, adaptive, network, accelerator):
+        """Spot-check: no other dataflow beats the winner on its layer."""
+        from repro.engines.analysis import analyze_layer
+
+        choice = adaptive.choices[0]
+        layer = network.layer(choice.layer_name)
+        for name, flow in table3_dataflows().items():
+            report = analyze_layer(layer, flow, accelerator)
+            assert choice.report.runtime <= report.runtime * 1.0001
+
+    def test_histogram_sums_to_layer_count(self, adaptive, network):
+        assert sum(adaptive.dataflow_histogram().values()) == len(network.layers)
+
+    def test_meaningful_runtime_reduction(self, adaptive, network, accelerator):
+        """The paper's Figure 10(f): adaptive cuts runtime noticeably."""
+        best_single = min(
+            analyze_network(network, flow, accelerator).runtime
+            for flow in table3_dataflows().values()
+        )
+        assert adaptive.runtime < best_single * 0.9
+
+    def test_energy_metric(self, network, accelerator):
+        by_energy = adaptive_analysis(
+            network, table3_dataflows(), accelerator, metric="energy"
+        )
+        by_runtime = adaptive_analysis(
+            network, table3_dataflows(), accelerator, metric="runtime"
+        )
+        assert by_energy.energy_total <= by_runtime.energy_total * 1.0001
+
+    def test_unknown_metric_rejected(self, network, accelerator):
+        with pytest.raises(KeyError):
+            adaptive_analysis(network, table3_dataflows(), accelerator, metric="area")
+
+    def test_metrics_registry(self):
+        assert set(METRICS) == {"runtime", "energy", "edp"}

@@ -1,0 +1,140 @@
+"""Tests for the axis machinery (extent / delta / shift / unique)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tensors import dims as D
+from repro.tensors.axes import ConvOutputAxis, PlainAxis, SlidingInputAxis
+
+
+class TestPlainAxis:
+    def test_extent(self):
+        axis = PlainAxis(D.K)
+        assert axis.extent({D.K: 7}) == 7
+
+    def test_delta_on_own_dim(self):
+        axis = PlainAxis(D.K)
+        assert axis.delta(D.K, 3, {D.K: 7}) == 3
+
+    def test_delta_capped_at_extent(self):
+        axis = PlainAxis(D.K)
+        assert axis.delta(D.K, 100, {D.K: 7}) == 7
+
+    def test_delta_other_dim_zero(self):
+        axis = PlainAxis(D.K)
+        assert axis.delta(D.C, 3, {D.K: 7}) == 0
+
+    def test_shift(self):
+        axis = PlainAxis(D.C)
+        assert axis.shift({D.C: 2}) == 2.0
+        assert axis.shift({D.K: 2}) == 0.0
+
+
+class TestSlidingInputAxis:
+    def test_extent_stride1(self):
+        # 4 output positions, 3-wide kernel, stride 1: 6 input positions.
+        axis = SlidingInputAxis(D.YP, D.R, stride=1)
+        assert axis.extent({D.YP: 4, D.R: 3}) == 6
+
+    def test_extent_stride2(self):
+        # 4 outputs at stride 2 span (4-1)*2 + 3 = 9 inputs.
+        axis = SlidingInputAxis(D.YP, D.R, stride=2)
+        assert axis.extent({D.YP: 4, D.R: 3}) == 9
+
+    def test_extent_dilation(self):
+        axis = SlidingInputAxis(D.YP, D.R, stride=1, dilation=2)
+        assert axis.extent({D.YP: 1, D.R: 3}) == 5
+
+    def test_delta_output_advance(self):
+        axis = SlidingInputAxis(D.YP, D.R, stride=2)
+        # Advancing output by 1 slides the window by the stride.
+        assert axis.delta(D.YP, 1, {D.YP: 4, D.R: 3}) == 2
+
+    def test_delta_kernel_advance(self):
+        axis = SlidingInputAxis(D.YP, D.R, stride=1)
+        assert axis.delta(D.R, 1, {D.YP: 4, D.R: 3}) == 1
+
+    def test_shift_combines_both_dims(self):
+        axis = SlidingInputAxis(D.YP, D.R, stride=2, dilation=1)
+        assert axis.shift({D.YP: 1, D.R: 1}) == 3.0
+
+    @given(
+        st.integers(1, 32), st.integers(1, 7), st.integers(1, 4), st.integers(1, 3)
+    )
+    def test_delta_never_exceeds_extent(self, out, kernel, stride, offset):
+        axis = SlidingInputAxis(D.YP, D.R, stride=stride)
+        sizes = {D.YP: out, D.R: kernel}
+        assert axis.delta(D.YP, offset, sizes) <= axis.extent(sizes)
+
+
+class TestConvOutputAxis:
+    def test_extent_full_kernel(self):
+        # 5 input rows, 3-wide kernel chunk, stride 1 -> 3 complete windows.
+        axis = ConvOutputAxis(D.Y, D.R, stride=1)
+        assert axis.extent({D.Y: 5, D.R: 3}) == 3
+
+    def test_extent_stride(self):
+        axis = ConvOutputAxis(D.Y, D.R, stride=2)
+        assert axis.extent({D.Y: 7, D.R: 3}) == 3
+
+    def test_extent_zero_when_window_does_not_fit(self):
+        axis = ConvOutputAxis(D.Y, D.R, stride=1)
+        assert axis.extent({D.Y: 2, D.R: 3}) == 0
+
+    def test_delta_input_advance(self):
+        axis = ConvOutputAxis(D.Y, D.R, stride=1)
+        assert axis.delta(D.Y, 1, {D.Y: 5, D.R: 3}) == 1
+
+    def test_delta_input_advance_stride2_rounds_up(self):
+        axis = ConvOutputAxis(D.Y, D.R, stride=2)
+        assert axis.delta(D.Y, 1, {D.Y: 7, D.R: 3}) == 1
+        assert axis.delta(D.Y, 4, {D.Y: 7, D.R: 3}) == 2
+
+    def test_diagonal_shift_cancels(self):
+        """The Eyeriss diagonal: Y and R both shift by 1 -> outputs fixed."""
+        axis = ConvOutputAxis(D.Y, D.R, stride=1)
+        assert axis.shift({D.Y: 1, D.R: 1}) == 0.0
+
+    def test_shift_sign(self):
+        axis = ConvOutputAxis(D.Y, D.R, stride=1)
+        assert axis.shift({D.R: 1}) == -1.0
+
+    @given(st.integers(1, 64), st.integers(1, 7), st.integers(1, 4))
+    def test_inverse_of_sliding(self, out, kernel, stride):
+        """Sliding then conv-out recovers the output count."""
+        sliding = SlidingInputAxis(D.YP, D.R, stride=stride)
+        conv = ConvOutputAxis(D.Y, D.R, stride=stride)
+        in_extent = sliding.extent({D.YP: out, D.R: kernel})
+        assert conv.extent({D.Y: in_extent, D.R: kernel}) == out
+
+
+class TestUniqueAcross:
+    def test_zero_shift_is_multicast(self):
+        axis = PlainAxis(D.K)
+        assert axis.unique_across({D.K: 4}, {D.C: 1}, count=10) == 4
+
+    def test_halo_overlap(self):
+        # 3-wide chunks shifted by 1 across 4 units: 3 + 3 = 6 unique.
+        axis = PlainAxis(D.Y)
+        assert axis.unique_across({D.Y: 3}, {D.Y: 1}, count=4) == 6
+
+    def test_disjoint_chunks(self):
+        axis = PlainAxis(D.Y)
+        assert axis.unique_across({D.Y: 3}, {D.Y: 3}, count=4) == 12
+
+    def test_shift_beyond_extent_caps_at_extent(self):
+        axis = PlainAxis(D.Y)
+        # Shift 10 > extent 3: disjoint, still 3 per unit.
+        assert axis.unique_across({D.Y: 3}, {D.Y: 10}, count=4) == 12
+
+    def test_count_must_be_positive(self):
+        axis = PlainAxis(D.Y)
+        with pytest.raises(ValueError):
+            axis.unique_across({D.Y: 3}, {D.Y: 1}, count=0)
+
+    @given(st.integers(1, 20), st.integers(0, 25), st.integers(1, 16))
+    def test_bounds(self, extent, shift, count):
+        axis = PlainAxis(D.Y)
+        unique = axis.unique_across({D.Y: extent}, {D.Y: shift}, count=count)
+        assert extent <= unique <= extent * count

@@ -1,0 +1,94 @@
+"""Tests for the CACTI-lite SRAM scaling model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.hardware.cacti_lite import DEFAULT_CACTI_LITE, CactiLite, SramConfig
+from repro.hardware.energy import DEFAULT_ENERGY_MODEL
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            SramConfig(capacity_bytes=0)
+        with pytest.raises(HardwareError):
+            SramConfig(capacity_bytes=64, ports=0)
+        with pytest.raises(HardwareError):
+            SramConfig(capacity_bytes=4, banks=8)
+
+
+class TestEnergy:
+    def test_calibration_anchors(self):
+        model = DEFAULT_CACTI_LITE
+        assert model.read_energy(SramConfig(2048)) == pytest.approx(1.2, rel=0.05)
+        assert model.read_energy(SramConfig(1 << 20)) == pytest.approx(18.0, rel=0.05)
+
+    def test_matches_default_energy_model(self):
+        """The embedded EnergyModel is this curve at one port."""
+        model = DEFAULT_CACTI_LITE
+        for capacity in (256, 2048, 1 << 16, 1 << 20):
+            assert model.read_energy(SramConfig(capacity)) == pytest.approx(
+                DEFAULT_ENERGY_MODEL.sram_access(capacity)
+            )
+
+    def test_ports_cost_energy(self):
+        model = DEFAULT_CACTI_LITE
+        one = model.read_energy(SramConfig(4096, ports=1))
+        two = model.read_energy(SramConfig(4096, ports=2))
+        assert two > one
+
+    def test_banking_saves_energy(self):
+        model = DEFAULT_CACTI_LITE
+        flat = model.read_energy(SramConfig(1 << 20, banks=1))
+        banked = model.read_energy(SramConfig(1 << 20, banks=16))
+        assert banked < flat
+
+    @given(st.integers(1, 1 << 22))
+    def test_energy_monotone_in_capacity(self, capacity):
+        model = DEFAULT_CACTI_LITE
+        assert model.read_energy(SramConfig(capacity + 1)) >= model.read_energy(
+            SramConfig(capacity)
+        )
+
+
+class TestAreaAndTime:
+    def test_area_roughly_linear_in_capacity(self):
+        model = DEFAULT_CACTI_LITE
+        small = model.area(SramConfig(64 << 10))
+        large = model.area(SramConfig(128 << 10))
+        assert 1.8 < large / small < 2.2
+
+    def test_ports_cost_area(self):
+        model = DEFAULT_CACTI_LITE
+        assert model.area(SramConfig(4096, ports=2)) > 1.5 * model.area(
+            SramConfig(4096)
+        )
+
+    def test_access_time_grows(self):
+        model = DEFAULT_CACTI_LITE
+        assert model.access_time_ns(SramConfig(1 << 20)) > model.access_time_ns(
+            SramConfig(2048)
+        )
+
+    def test_access_cycles(self):
+        model = DEFAULT_CACTI_LITE
+        assert model.access_cycles(SramConfig(2048), clock_ghz=1.0) == 1
+        assert model.access_cycles(SramConfig(1 << 20), clock_ghz=4.0) >= 2
+
+
+class TestEnergyModelFactory:
+    def test_generates_usable_model(self):
+        from repro.engines.analysis import analyze_layer
+        from repro.dataflow.library import yx_partitioned
+        from repro.hardware.accelerator import Accelerator
+        from repro.model.layer import conv2d
+
+        custom = CactiLite(energy_per_sqrt_byte=0.03).energy_model(dram=100.0)
+        layer = conv2d("c", k=8, c=8, y=12, x=12, r=3, s=3)
+        report = analyze_layer(
+            layer, yx_partitioned(), Accelerator(num_pes=16), custom
+        )
+        baseline = analyze_layer(layer, yx_partitioned(), Accelerator(num_pes=16))
+        assert report.energy_total != baseline.energy_total

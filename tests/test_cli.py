@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_single_layer(self, capsys):
+        assert main(["analyze", "--model", "vgg16", "--layer", "CONV2",
+                     "--dataflow", "KC-P", "--pes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "CONV2" in out
+        assert "KC-P" in out
+
+    def test_whole_model(self, capsys):
+        assert main(["analyze", "--model", "alexnet", "--dataflow", "YX-P"]) == 0
+        out = capsys.readouterr().out
+        assert "CONV5" in out and "FC3" in out
+
+    def test_dataflow_file(self, tmp_path, capsys):
+        path = tmp_path / "flow.df"
+        path.write_text("SpatialMap(1,1) K\nTemporalMap(1,1) C\n")
+        assert main(["analyze", "--model", "vgg16", "--layer", "CONV1",
+                     "--dataflow", str(path)]) == 0
+
+    def test_unknown_dataflow_exits(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--model", "vgg16", "--dataflow", "nope"])
+
+    def test_detail_report(self, capsys):
+        assert main(["analyze", "--model", "vgg16", "--layer", "CONV13",
+                     "--dataflow", "YR-P", "--pes", "64", "--detail"]) == 0
+        out = capsys.readouterr().out
+        assert "per-level performance" in out
+        assert "energy breakdown" in out
+
+
+class TestOtherCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg16" in out and "unet" in out
+
+    def test_dataflows(self, capsys):
+        assert main(["dataflows"]) == 0
+        out = capsys.readouterr().out
+        assert "KC-P" in out and "Cluster(64)" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--model", "alexnet", "--layer", "CONV5",
+                     "--dataflow", "YX-P", "--pes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "error" in out
+
+    def test_adaptive(self, capsys):
+        assert main(["adaptive", "--model", "alexnet", "--pes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "total runtime" in out
+
+    def test_dse_small(self, capsys):
+        assert main(["dse", "--model", "vgg16", "--layer", "CONV13",
+                     "--dataflow", "KC-P", "--max-pes", "64", "--pe-step", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "explored" in out

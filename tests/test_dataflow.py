@@ -1,0 +1,85 @@
+"""Tests for the Dataflow container: levels, validation, helpers."""
+
+import pytest
+
+from repro.dataflow.dataflow import Dataflow, dataflow
+from repro.dataflow.directives import ClusterDirective, spatial_map, temporal_map
+from repro.dataflow.library import (
+    fig5_playground,
+    kc_partitioned,
+    row_stationary_fig6,
+    table3_dataflows,
+    yr_partitioned,
+)
+from repro.errors import DataflowError
+from repro.tensors import dims as D
+
+
+class TestLevels:
+    def test_single_level(self):
+        flow = dataflow("f", temporal_map(1, 1, D.K), spatial_map(1, 1, D.C))
+        levels = flow.levels()
+        assert len(levels) == 1
+        assert levels[0].cluster_size is None
+        assert len(levels[0].maps) == 2
+
+    def test_two_levels(self):
+        flow = kc_partitioned()
+        levels = flow.levels()
+        assert len(levels) == 2
+        assert levels[0].cluster_size == 64
+        assert levels[1].cluster_size is None
+        assert levels[1].maps[0].dim == D.C
+
+    def test_fig6_row_stationary_two_levels(self):
+        levels = row_stationary_fig6().levels()
+        assert len(levels) == 2
+        inner_spatial = [m.dim for m in levels[1].maps if m.spatial]
+        assert inner_spatial == [D.Y, D.R]
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(DataflowError):
+            Dataflow(name="bad", directives=())
+
+    def test_trailing_cluster_rejected(self):
+        with pytest.raises(DataflowError):
+            dataflow("bad", temporal_map(1, 1, D.K), ClusterDirective(4))
+
+    def test_mixed_row_coordinates_rejected(self):
+        with pytest.raises(DataflowError):
+            dataflow("bad", temporal_map(1, 1, D.Y), temporal_map(1, 1, D.YP))
+
+    def test_mixed_col_coordinates_rejected(self):
+        with pytest.raises(DataflowError):
+            dataflow("bad", spatial_map(1, 1, D.X), temporal_map(1, 1, D.XP))
+
+    def test_same_axis_same_coordinate_ok(self):
+        flow = dataflow(
+            "ok", spatial_map(3, 1, D.Y), temporal_map(3, 1, D.X)
+        )
+        assert not flow.uses_output_coordinates("row")
+
+
+class TestHelpers:
+    def test_uses_output_coordinates(self):
+        playground = fig5_playground()
+        assert playground["A"].uses_output_coordinates("col")
+        assert not kc_partitioned().uses_output_coordinates("col")
+
+    def test_map_directives_excludes_clusters(self):
+        flow = yr_partitioned()
+        assert all(not isinstance(d, ClusterDirective) for d in flow.map_directives())
+
+    def test_describe_mentions_every_directive(self):
+        flow = kc_partitioned()
+        text = flow.describe()
+        assert "SpatialMap(1,1) K" in text
+        assert "Cluster(64)" in text
+
+    def test_table3_names(self):
+        assert set(table3_dataflows()) == {"C-P", "X-P", "YX-P", "YR-P", "KC-P"}
+
+    def test_playground_has_six(self):
+        assert set(fig5_playground()) == set("ABCDEF")

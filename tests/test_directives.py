@@ -1,0 +1,90 @@
+"""Tests for directives and the symbolic size-expression language."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dataflow.directives import (
+    ClusterDirective,
+    SizeExpr,
+    Sz,
+    evaluate_size,
+    spatial_map,
+    temporal_map,
+)
+from repro.errors import DataflowError, DataflowParseError
+
+SIZES = {"R": 3, "S": 5, "K": 64, "C": 32, "Y": 14, "X": 14, "Y'": 12, "X'": 10}
+
+
+class TestSizeExpr:
+    def test_plain_int(self):
+        assert evaluate_size(7, SIZES) == 7
+
+    def test_sz(self):
+        assert Sz("R").evaluate(SIZES) == 3
+
+    def test_sz_output_alias(self):
+        assert Sz("X'").evaluate(SIZES) == 10
+
+    def test_string_expression(self):
+        assert evaluate_size("8+Sz(S)-1", SIZES) == 12
+
+    def test_multiplication_precedence(self):
+        assert evaluate_size("2+3*Sz(R)", SIZES) == 11
+
+    def test_parentheses(self):
+        assert evaluate_size("(2+3)*Sz(R)", SIZES) == 15
+
+    def test_nested_sz_products(self):
+        assert evaluate_size("Sz(R)*Sz(S)", SIZES) == 15
+
+    def test_subtraction_chain(self):
+        assert evaluate_size("10-2-3", SIZES) == 5  # left associative
+
+    def test_unknown_dim_rejected(self):
+        with pytest.raises((DataflowParseError, ValueError)):
+            evaluate_size("Sz(Q)", SIZES)
+
+    def test_unbound_dim_rejected(self):
+        with pytest.raises(DataflowParseError):
+            evaluate_size("Sz(R)", {})
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DataflowParseError):
+            evaluate_size("Sz(R", SIZES)
+        with pytest.raises(DataflowParseError):
+            evaluate_size("3 +", SIZES)
+        with pytest.raises(DataflowParseError):
+            evaluate_size("hello", SIZES)
+
+    def test_bool_rejected(self):
+        with pytest.raises(DataflowError):
+            evaluate_size(True, SIZES)
+
+    @given(st.integers(0, 999), st.integers(0, 999))
+    def test_addition_property(self, a, b):
+        assert evaluate_size(f"{a}+{b}", SIZES) == a + b
+
+    @given(st.integers(0, 99), st.integers(0, 99), st.integers(0, 99))
+    def test_precedence_property(self, a, b, c):
+        assert evaluate_size(f"{a}+{b}*{c}", SIZES) == a + b * c
+
+
+class TestDirectives:
+    def test_temporal_map_str(self):
+        directive = temporal_map(3, 1, "Y")
+        assert "TemporalMap(3,1) Y" == str(directive)
+        assert not directive.spatial
+
+    def test_spatial_map(self):
+        directive = spatial_map(Sz("R"), 1, "Y")
+        assert directive.spatial
+        assert directive.kind == "SpatialMap"
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            temporal_map(1, 1, "Z")
+
+    def test_cluster_str(self):
+        assert str(ClusterDirective(8)) == "Cluster(8)"

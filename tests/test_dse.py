@@ -1,0 +1,148 @@
+"""Tests for the design-space exploration tool."""
+
+import pytest
+
+from repro.dse import explore
+from repro.dse.objectives import edp_objective, energy_objective, get_objective, throughput_objective
+from repro.dse.space import (
+    DesignPoint,
+    DesignSpace,
+    default_bandwidths,
+    default_pe_counts,
+    kc_partitioned_variants,
+    yr_partitioned_variants,
+)
+from repro.errors import DSEError
+from repro.hardware.area import AreaModel
+from repro.model.layer import conv2d
+
+
+@pytest.fixture(scope="module")
+def layer():
+    return conv2d("dse", k=64, c=64, y=16, x=16, r=3, s=3, padding=1)
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return DesignSpace(
+        pe_counts=[16, 32, 64, 128],
+        noc_bandwidths=[4, 16, 64],
+        dataflow_variants=kc_partitioned_variants(c_tiles=(8, 16), spatial_tiles=((1, 1), (4, 4))),
+    )
+
+
+@pytest.fixture(scope="module")
+def result(layer, small_space):
+    return explore(layer, small_space, area_budget=16.0, power_budget=450.0)
+
+
+class TestSpace:
+    def test_size(self, small_space):
+        assert small_space.size == 4 * 3 * 4
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(DSEError):
+            DesignSpace(pe_counts=[], noc_bandwidths=[1], dataflow_variants=kc_partitioned_variants())
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(DSEError):
+            DesignSpace(pe_counts=[0], noc_bandwidths=[1], dataflow_variants=kc_partitioned_variants())
+
+    def test_default_grids(self):
+        assert default_pe_counts(64, 8) == [8, 16, 24, 32, 40, 48, 56, 64]
+        assert default_bandwidths(16) == [1, 2, 4, 8, 16]
+
+    def test_variant_labels_unique(self):
+        labels = [label for label, _ in kc_partitioned_variants()]
+        assert len(labels) == len(set(labels))
+        labels = [label for label, _ in yr_partitioned_variants()]
+        assert len(labels) == len(set(labels))
+
+
+class TestExplore:
+    def test_every_point_within_budget(self, result):
+        for point in result.points:
+            assert point.area <= 16.0
+            assert point.power <= 450.0
+
+    def test_statistics_consistent(self, result, small_space):
+        stats = result.statistics
+        assert stats.explored == small_space.size
+        assert stats.valid == len(result.points)
+        assert stats.valid <= stats.evaluated <= stats.explored
+        assert stats.effective_rate > 0
+
+    def test_optima_are_actual_optima(self, result):
+        throughputs = [p.throughput for p in result.points]
+        energies = [p.energy for p in result.points]
+        edps = [p.edp for p in result.points]
+        assert result.throughput_optimal.throughput == max(throughputs)
+        assert result.energy_optimal.energy == min(energies)
+        assert result.edp_optimal.edp == min(edps)
+
+    def test_buffers_sized_from_requirements(self, result):
+        for point in result.points:
+            assert point.l1_size >= 1
+            assert point.l2_size >= 1
+
+    def test_pareto_front_subset_and_optimal(self, result):
+        front = result.pareto()
+        assert set(id(p) for p in front) <= set(id(p) for p in result.points)
+        best_thpt = result.throughput_optimal
+        assert any(p.throughput >= best_thpt.throughput for p in front)
+
+
+class TestPruningSoundness:
+    def test_pruned_subspaces_truly_invalid(self, layer):
+        """Pruning must never discard a design the full sweep would keep."""
+        space = DesignSpace(
+            pe_counts=[64, 2048],  # 2048 PEs cannot fit in 16 mm^2
+            noc_bandwidths=[4],
+            dataflow_variants=kc_partitioned_variants(c_tiles=(8,), spatial_tiles=((1, 1),)),
+        )
+        tight = explore(layer, space, area_budget=16.0, power_budget=450.0)
+        assert tight.statistics.pruned >= 1
+        # The generous sweep finds points only at 64 PEs anyway.
+        loose = explore(layer, space, area_budget=1e9, power_budget=1e9)
+        valid_pes = {p.num_pes for p in tight.points}
+        assert 2048 not in valid_pes
+        area_model = AreaModel()
+        for point in loose.points:
+            if point.num_pes == 2048:
+                assert point.area > 16.0
+
+    def test_prune_only_when_lower_bound_exceeds(self, layer):
+        area_model = AreaModel()
+        assert area_model.min_area(2048, 4) > 16.0
+        assert area_model.min_area(64, 4) < 16.0
+
+
+class TestObjectives:
+    def test_get_objective(self):
+        assert get_objective("throughput") is throughput_objective
+        assert get_objective("energy") is energy_objective
+        assert get_objective("edp") is edp_objective
+        with pytest.raises(KeyError):
+            get_objective("latency")
+
+    def test_throughput_negated(self):
+        point = DesignPoint(
+            num_pes=1, noc_bandwidth=1, dataflow_name="x", tile_label="x",
+            l1_size=1, l2_size=1, area=1.0, power=1.0,
+            throughput=10.0, runtime=5.0, energy=2.0,
+        )
+        assert throughput_objective(point) == -10.0
+        assert edp_objective(point) == 10.0
+
+
+class TestYRPSpace:
+    def test_yr_p_explores(self, layer):
+        space = DesignSpace(
+            pe_counts=[24, 48],
+            noc_bandwidths=[16],
+            dataflow_variants=yr_partitioned_variants(ck_tiles=((1, 1), (2, 2)), x_tiles=(1,)),
+        )
+        result = explore(layer, space, area_budget=16.0, power_budget=450.0)
+        assert result.points
+        # YR-P's inner cluster is Sz(R)=3 wide; widths bind fine at 24/48.
+        assert {p.num_pes for p in result.points} <= {24, 48}

@@ -1,0 +1,107 @@
+"""Error-path coverage: every failure mode raises the right exception."""
+
+import pytest
+
+from repro.dataflow.dataflow import Dataflow, dataflow
+from repro.dataflow.directives import spatial_map, temporal_map
+from repro.dataflow.library import kc_partitioned
+from repro.engines.binding import bind_dataflow
+from repro.errors import (
+    BindingError,
+    DataflowError,
+    DataflowParseError,
+    HardwareError,
+    LayerError,
+    ReproError,
+)
+from repro.hardware.accelerator import Accelerator, NoC
+from repro.model.layer import conv2d
+from repro.tensors import dims as D
+
+
+class TestHierarchy:
+    """Everything the package raises derives from ReproError."""
+
+    @pytest.mark.parametrize(
+        "exc",
+        [BindingError, DataflowError, DataflowParseError, HardwareError, LayerError],
+    )
+    def test_subclasses(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_binding_error_is_dataflow_error(self):
+        assert issubclass(BindingError, DataflowError)
+
+
+class TestBindingErrors:
+    def test_cluster_exceeds_pes(self):
+        layer = conv2d("l", k=8, c=8, y=10, x=10, r=3, s=3)
+        with pytest.raises(BindingError) as excinfo:
+            bind_dataflow(kc_partitioned(c_tile=64), layer, Accelerator(num_pes=8))
+        assert "64 PEs" in str(excinfo.value)
+
+    def test_messages_name_the_layer_and_dataflow(self):
+        layer = conv2d("my_layer", k=8, c=8, y=10, x=10, r=3, s=3)
+        flow = dataflow(
+            "my_flow", temporal_map(1, 1, D.K), temporal_map(2, 2, D.K)
+        )
+        with pytest.raises(BindingError) as excinfo:
+            bind_dataflow(flow, layer, Accelerator(num_pes=4))
+        message = str(excinfo.value)
+        assert "my_flow" in message and "my_layer" in message
+
+    def test_output_coordinate_dataflow_on_mismatched_axis(self):
+        """Mapping X' while also mapping X must fail at construction."""
+        with pytest.raises(DataflowError):
+            dataflow("bad", spatial_map(1, 1, D.XP), temporal_map(1, 1, D.X))
+
+
+class TestCaughtByCallers:
+    """Search tools must skip, not crash on, unbindable candidates."""
+
+    def test_dse_skips_unbindable(self):
+        from repro.dse import explore
+        from repro.dse.space import DesignSpace, kc_partitioned_variants
+
+        layer = conv2d("l", k=8, c=8, y=10, x=10, r=3, s=3)
+        space = DesignSpace(
+            pe_counts=[8],  # KC-P/c64 cannot bind on 8 PEs
+            noc_bandwidths=[8],
+            dataflow_variants=kc_partitioned_variants(
+                c_tiles=(64,), spatial_tiles=((1, 1),)
+            ),
+        )
+        result = explore(layer, space, area_budget=1e9, power_budget=1e9)
+        assert result.statistics.evaluated == 0
+        assert result.throughput_optimal is None
+
+    def test_adaptive_raises_when_nothing_binds(self):
+        from repro.adaptive import adaptive_analysis
+        from repro.model.network import Network
+
+        layer = conv2d("l", k=8, c=8, y=10, x=10, r=3, s=3)
+        network = Network(name="n", layers=(layer,))
+        with pytest.raises(DataflowError):
+            adaptive_analysis(
+                network, {"KC-P": kc_partitioned(c_tile=64)},
+                Accelerator(num_pes=8),
+            )
+
+
+class TestHardwareErrors:
+    def test_messages_are_actionable(self):
+        with pytest.raises(HardwareError) as excinfo:
+            NoC(bandwidth=-3)
+        assert "-3" in str(excinfo.value)
+
+    def test_frozen_configs(self):
+        accelerator = Accelerator()
+        with pytest.raises(Exception):
+            accelerator.num_pes = 128  # type: ignore[misc]
+
+
+class TestLayerErrors:
+    def test_kernel_message_names_dimension(self):
+        with pytest.raises(LayerError) as excinfo:
+            conv2d("bad", k=1, c=1, y=2, x=9, r=3, s=3)
+        assert "Y" in str(excinfo.value)

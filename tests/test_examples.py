@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "dataflow_playground.py",
+    "custom_dataflow_dsl.py",
+    "operators_and_sparsity.py",
+    "autotune.py",
+    "network_scheduling.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_slow_examples_exist():
+    """The heavier examples are exercised by the benchmark harness."""
+    for script in ("dataflow_comparison.py", "design_space_exploration.py",
+                   "adaptive_dataflow.py"):
+        assert (EXAMPLES_DIR / script).exists()

@@ -1,0 +1,134 @@
+"""Reproduction of Figure 5: the six 1-D convolution dataflows.
+
+Each sub-figure's "Temporal Reuse" and "Spatial Reuse" annotations are
+asserted against the reuse classifier.
+"""
+
+import pytest
+
+from repro.dataflow.library import fig5_playground
+from repro.engines.analysis import analyze_layer
+from repro.engines.insight import summarize_reuse
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import conv2d
+
+
+@pytest.fixture(scope="module")
+def layer():
+    # Figure 4's 1-D convolution: X' = 12 outputs, S = 6 taps.
+    return conv2d("conv1d", k=1, c=1, y=1, x=17, r=1, s=6)
+
+
+@pytest.fixture(scope="module")
+def flows():
+    return fig5_playground()
+
+
+def summary(layer, flow, pes):
+    return summarize_reuse(layer, flow, Accelerator(num_pes=pes)).innermost
+
+
+class TestFig5A:
+    """A: SpatialMap X', TemporalMap S — output-stationary."""
+
+    def test_output_stationary(self, layer, flows):
+        level = summary(layer, flows["A"], 3)
+        assert "O" in level.temporally_stationary
+        assert "output-stationary" in level.informal_style
+
+    def test_weights_spatially_multicast(self, layer, flows):
+        level = summary(layer, flows["A"], 3)
+        assert "W" in level.spatial_multicast
+
+    def test_no_spatial_reduction(self, layer, flows):
+        assert not summary(layer, flows["A"], 3).spatial_reduction
+
+
+class TestFig5B:
+    """B: order interchanged — weight-stationary."""
+
+    def test_weight_stationary(self, layer, flows):
+        level = summary(layer, flows["B"], 3)
+        assert "W" in level.temporally_stationary
+        assert "weight-stationary" in level.informal_style
+
+    def test_order_change_flips_stationarity(self, layer, flows):
+        a = summary(layer, flows["A"], 3)
+        b = summary(layer, flows["B"], 3)
+        assert "O" in a.temporally_stationary and "O" not in b.temporally_stationary
+        assert "W" in b.temporally_stationary and "W" not in a.temporally_stationary
+
+
+class TestFig5C:
+    """C: SpatialMap S, TemporalMap X' — collaborative (reduction)."""
+
+    def test_spatial_reduction(self, layer, flows):
+        assert summary(layer, flows["C"], 3).spatial_reduction
+
+    def test_weight_stationary_per_pe(self, layer, flows):
+        assert "W" in summary(layer, flows["C"], 3).temporally_stationary
+
+
+class TestFig5D:
+    """D: TemporalMap X', SpatialMap S — collaborative output-stationary."""
+
+    def test_spatial_reduction(self, layer, flows):
+        assert summary(layer, flows["D"], 3).spatial_reduction
+
+    def test_output_stationary(self, layer, flows):
+        assert "O" in summary(layer, flows["D"], 3).temporally_stationary
+
+
+class TestFig5E:
+    """E: SpatialMap(2,2) S — partial temporal reuse of inputs."""
+
+    def test_partial_input_reuse(self, layer, flows):
+        level = summary(layer, flows["E"], 3)
+        assert "I" in level.partial_temporal_reuse
+
+    def test_fewer_input_fetches_than_D(self, layer, flows):
+        acc = Accelerator(num_pes=3)
+        d_reads = analyze_layer(layer, flows["D"], acc).l2_reads["I"]
+        e_reads = analyze_layer(layer, flows["E"], acc).l2_reads["I"]
+        assert e_reads < d_reads
+
+
+class TestFig5F:
+    """F: two cluster levels, spatial reduction inside each cluster."""
+
+    def test_two_levels(self, layer, flows):
+        result = summarize_reuse(layer, flows["F"], Accelerator(num_pes=6))
+        assert len(result.levels) == 2
+
+    def test_inner_cluster_reduces(self, layer, flows):
+        result = summarize_reuse(layer, flows["F"], Accelerator(num_pes=6))
+        assert result.levels[1].spatial_reduction
+
+    def test_outer_weight_stationary(self, layer, flows):
+        result = summarize_reuse(layer, flows["F"], Accelerator(num_pes=6))
+        assert "W" in result.levels[0].temporally_stationary
+
+
+class TestQuantitative:
+    def test_weight_stationary_minimizes_weight_traffic(self, layer, flows):
+        """B/C (weight-stationary) fetch each weight exactly once."""
+        acc = Accelerator(num_pes=3)
+        for key in ("B", "C"):
+            report = analyze_layer(layer, flows[key], acc)
+            assert report.l2_reads["W"] == pytest.approx(
+                layer.tensor_volume("W"), rel=0.01
+            )
+
+    def test_output_stationary_minimizes_output_traffic(self, layer, flows):
+        acc = Accelerator(num_pes=3)
+        for key in ("A", "D"):
+            report = analyze_layer(layer, flows[key], acc)
+            assert report.l2_writes["O"] == pytest.approx(
+                layer.tensor_volume("O"), rel=0.01
+            )
+
+    def test_all_six_compute_the_same_macs(self, layer, flows):
+        for key, flow in flows.items():
+            acc = Accelerator(num_pes=6 if key == "F" else 3)
+            report = analyze_layer(layer, flow, acc)
+            assert report.total_ops == 12 * 6

@@ -1,0 +1,126 @@
+"""Tests for the hardware models: NoC, accelerator, energy, area."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.hardware.accelerator import Accelerator, NoC
+from repro.hardware.area import AreaModel
+from repro.hardware.energy import EnergyModel
+
+
+class TestNoC:
+    def test_delay_pipe_model(self):
+        noc = NoC(bandwidth=32, avg_latency=2)
+        assert noc.delay(64) == 4
+        assert noc.delay(65) == 5
+
+    def test_zero_volume_free(self):
+        assert NoC(bandwidth=32, avg_latency=5).delay(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            NoC(bandwidth=0)
+        with pytest.raises(HardwareError):
+            NoC(avg_latency=-1)
+
+    @given(st.integers(1, 10**6), st.integers(1, 256), st.integers(0, 16))
+    def test_delay_monotone_in_volume(self, volume, bandwidth, latency):
+        noc = NoC(bandwidth=bandwidth, avg_latency=latency)
+        assert noc.delay(volume) >= noc.delay(max(0, volume - 1))
+
+
+class TestAccelerator:
+    def test_defaults(self):
+        acc = Accelerator()
+        assert acc.num_pes == 256
+        assert acc.l1_size is None
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            Accelerator(num_pes=0)
+        with pytest.raises(HardwareError):
+            Accelerator(vector_width=0)
+        with pytest.raises(HardwareError):
+            Accelerator(l1_size=-1)
+        with pytest.raises(HardwareError):
+            Accelerator(clock_ghz=0)
+
+    def test_with_noc(self):
+        acc = Accelerator().with_noc(multicast=False, bandwidth=8)
+        assert not acc.noc.multicast
+        assert acc.noc.bandwidth == 8
+        assert acc.num_pes == 256
+
+    def test_gbps_conversion(self):
+        acc = Accelerator(noc=NoC(bandwidth=16), element_bytes=2, clock_ghz=1.0)
+        assert acc.noc_gbps() == 32.0
+
+
+class TestEnergyModel:
+    def test_sram_energy_grows_with_capacity(self):
+        model = EnergyModel()
+        assert model.sram_access(2048) < model.sram_access(1 << 20)
+
+    def test_calibration_anchors(self):
+        model = EnergyModel()
+        assert model.sram_access(2048) == pytest.approx(1.2, rel=0.05)
+        assert model.sram_access(1 << 20) == pytest.approx(18.0, rel=0.05)
+
+    def test_dram_dominates(self):
+        model = EnergyModel()
+        assert model.dram > model.sram_access(1 << 20)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EnergyModel().sram_access(0)
+
+    def test_write_factor(self):
+        model = EnergyModel(sram_write_factor=1.5)
+        assert model.sram_write(2048) == pytest.approx(model.sram_access(2048) * 1.5)
+
+
+class TestAreaModel:
+    def make(self, pes=64, l1=2048, l2=1 << 20, bw=32):
+        return Accelerator(num_pes=pes, l1_size=l1, l2_size=l2, noc=NoC(bandwidth=bw))
+
+    def test_area_monotone_in_everything(self):
+        model = AreaModel()
+        base = model.area(self.make())
+        assert model.area(self.make(pes=128)) > base
+        assert model.area(self.make(l1=4096)) > base
+        assert model.area(self.make(l2=2 << 20)) > base
+        assert model.area(self.make(bw=64)) > base
+
+    def test_power_monotone(self):
+        model = AreaModel()
+        base = model.power(self.make())
+        assert model.power(self.make(pes=128)) > base
+        assert model.power(self.make(bw=64)) > base
+
+    def test_requires_concrete_buffers(self):
+        model = AreaModel()
+        with pytest.raises(ValueError):
+            model.area(Accelerator(num_pes=4))
+
+    def test_min_bounds_are_lower_bounds(self):
+        model = AreaModel()
+        acc = self.make()
+        assert model.min_area(64, 32) <= model.area(acc)
+        assert model.min_power(64, 32) <= model.power(acc)
+
+    def test_eyeriss_class_design_fits_paper_budget(self):
+        """168 PEs + ~200KB SRAM should land near 16 mm^2 / 450 mW."""
+        model = AreaModel()
+        acc = Accelerator(
+            num_pes=168, l1_size=512, l2_size=128 << 10, noc=NoC(bandwidth=16)
+        )
+        assert model.area(acc) < 20.0
+        assert model.power(acc) < 550.0
+
+    @given(st.integers(1, 2048), st.integers(1, 256))
+    def test_min_area_quadratic_in_pes(self, pes, bw):
+        model = AreaModel()
+        assert model.min_area(pes, bw) > 0
+        assert model.min_area(2 * pes, bw) > 2 * model.min_area(pes, bw) * 0.99

@@ -1,0 +1,118 @@
+"""Tests for heterogeneous multi-sub-accelerator analysis."""
+
+import pytest
+
+from repro.dataflow.library import kc_partitioned, yr_partitioned, yx_partitioned
+from repro.engines.analysis import analyze_network
+from repro.errors import DataflowError, HardwareError
+from repro.hardware.accelerator import Accelerator
+from repro.hetero import (
+    SubAccelerator,
+    analyze_heterogeneous,
+    split_accelerator,
+)
+from repro.model.zoo import build
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build("mobilenet_v2")
+
+
+@pytest.fixture(scope="module")
+def subs():
+    return [
+        SubAccelerator("dla", Accelerator(num_pes=128), kc_partitioned(c_tile=16)),
+        SubAccelerator("shi", Accelerator(num_pes=128), yx_partitioned()),
+    ]
+
+
+class TestSequential:
+    def test_covers_every_layer(self, network, subs):
+        result = analyze_heterogeneous(network, subs)
+        assert len(result.assignments) == len(network.layers)
+        assert sum(result.histogram().values()) == len(network.layers)
+
+    def test_uses_both_partitions(self, network, subs):
+        result = analyze_heterogeneous(network, subs)
+        assert set(result.histogram()) == {"dla", "shi"}
+
+    def test_beats_either_homogeneous_half(self, network, subs):
+        result = analyze_heterogeneous(network, subs)
+        for sub in subs:
+            single = analyze_network(network, sub.dataflow, sub.accelerator)
+            assert result.runtime <= single.runtime * 1.0001
+
+    def test_layerwise_optimal(self, network, subs):
+        from repro.engines.analysis import analyze_layer
+
+        result = analyze_heterogeneous(network, subs)
+        first = result.assignments[0]
+        layer = network.layer(first.layer_name)
+        for sub in subs:
+            report = analyze_layer(layer, sub.dataflow, sub.accelerator)
+            assert first.report.runtime <= report.runtime * 1.0001
+
+
+class TestPipelined:
+    def test_bottleneck_is_max_load(self, network, subs):
+        result = analyze_heterogeneous(network, subs, mode="pipelined")
+        loads = {}
+        for assignment in result.assignments:
+            loads[assignment.sub_accelerator] = (
+                loads.get(assignment.sub_accelerator, 0.0)
+                + assignment.report.runtime
+            )
+        assert result.runtime == max(loads.values())
+
+    def test_pipelining_beats_sequential_interval(self, network, subs):
+        sequential = analyze_heterogeneous(network, subs, mode="sequential")
+        pipelined = analyze_heterogeneous(network, subs, mode="pipelined")
+        assert pipelined.runtime < sequential.runtime
+
+    def test_utilization_normalized(self, network, subs):
+        result = analyze_heterogeneous(network, subs, mode="pipelined")
+        utilization = result.utilization_by_partition()
+        assert max(utilization.values()) == pytest.approx(1.0)
+        assert all(0 < value <= 1.0 for value in utilization.values())
+
+
+class TestValidation:
+    def test_requires_sub_accelerators(self, network):
+        with pytest.raises(HardwareError):
+            analyze_heterogeneous(network, [])
+
+    def test_unique_names(self, network, subs):
+        with pytest.raises(HardwareError):
+            analyze_heterogeneous(network, [subs[0], subs[0]])
+
+    def test_unknown_mode(self, network, subs):
+        with pytest.raises(ValueError):
+            analyze_heterogeneous(network, subs, mode="batch")
+
+    def test_unbindable_everywhere_raises(self, network):
+        subs = [
+            SubAccelerator(
+                "tiny", Accelerator(num_pes=8), kc_partitioned(c_tile=64)
+            )
+        ]
+        with pytest.raises(DataflowError):
+            analyze_heterogeneous(network, subs)
+
+
+class TestSplit:
+    def test_shares_partition_pes(self):
+        chip = Accelerator(num_pes=256)
+        subs = split_accelerator(
+            chip,
+            {"a": (0.5, kc_partitioned(c_tile=16)), "b": (0.5, yr_partitioned())},
+        )
+        assert [sub.accelerator.num_pes for sub in subs] == [128, 128]
+
+    def test_over_allocation_rejected(self):
+        chip = Accelerator(num_pes=256)
+        with pytest.raises(HardwareError):
+            split_accelerator(
+                chip,
+                {"a": (0.7, kc_partitioned()), "b": (0.5, yr_partitioned())},
+            )

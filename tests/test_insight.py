@@ -1,0 +1,46 @@
+"""Tests for the qualitative reuse classifier."""
+
+import pytest
+
+from repro.dataflow.library import (
+    kc_partitioned,
+    output_stationary_1level,
+    table3_dataflows,
+    weight_stationary_1level,
+)
+from repro.engines.insight import summarize_reuse
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import conv2d
+
+
+@pytest.fixture
+def layer():
+    return conv2d("l", k=16, c=8, y=18, x=18, r=3, s=3)
+
+
+class TestInformalStyles:
+    def test_weight_stationary_library_flow(self, layer):
+        summary = summarize_reuse(layer, weight_stationary_1level(), Accelerator(num_pes=16))
+        assert "weight-stationary" in summary.innermost.informal_style
+
+    def test_output_stationary_library_flow(self, layer):
+        summary = summarize_reuse(layer, output_stationary_1level(), Accelerator(num_pes=16))
+        assert "output-stationary" in summary.innermost.informal_style
+
+    def test_kc_p_inner_reduces(self, layer):
+        summary = summarize_reuse(layer, kc_partitioned(c_tile=8), Accelerator(num_pes=64))
+        assert summary.levels[1].spatial_reduction
+
+
+class TestDescribe:
+    def test_mentions_levels_and_tensors(self, layer):
+        summary = summarize_reuse(layer, kc_partitioned(c_tile=8), Accelerator(num_pes=64))
+        text = summary.describe()
+        assert "level 0" in text
+        assert "level 1" in text
+
+    @pytest.mark.parametrize("name,flow", list(table3_dataflows().items()))
+    def test_all_table3_flows_summarize(self, layer, name, flow):
+        summary = summarize_reuse(layer, flow, Accelerator(num_pes=64))
+        assert summary.dataflow_name == name
+        assert summary.describe()

@@ -1,0 +1,103 @@
+"""Additional cross-module integration tests."""
+
+import pytest
+
+from repro.dataflow.library import (
+    kc_partitioned,
+    table3_dataflows,
+    x_partitioned,
+    yr_partitioned,
+    yx_partitioned,
+)
+from repro.engines.analysis import analyze_layer
+from repro.hardware.accelerator import Accelerator, NoC
+from repro.model.layer import conv2d, pwconv
+from repro.simulator import simulate_layer
+
+
+class TestPointwiseBinding:
+    """Pointwise layers degenerate kernel dims; every flow must cope."""
+
+    @pytest.fixture
+    def layer(self):
+        return pwconv("pw", k=32, c=64, y=14, x=14)
+
+    @pytest.mark.parametrize("name,flow", list(table3_dataflows().items()))
+    def test_all_table3_bind(self, layer, name, flow):
+        report = analyze_layer(layer, flow, Accelerator(num_pes=64))
+        assert report.total_ops == layer.total_ops()
+
+    def test_yr_p_cluster_collapses_to_one(self, layer):
+        """YR-P's Cluster(Sz(R)) is Cluster(1) on a 1x1 kernel."""
+        from repro.engines.binding import bind_dataflow
+
+        bound = bind_dataflow(yr_partitioned(), layer, Accelerator(num_pes=64))
+        assert bound.levels[1].width == 1
+        assert bound.levels[0].width == 64
+
+
+class TestConfiguredCapacities:
+    def test_bigger_configured_l2_costs_more_energy(self):
+        layer = conv2d("c", k=16, c=16, y=14, x=14, r=3, s=3)
+        flow = yx_partitioned()
+        small = analyze_layer(
+            layer, flow, Accelerator(num_pes=16, l1_size=512, l2_size=32 << 10)
+        )
+        large = analyze_layer(
+            layer, flow, Accelerator(num_pes=16, l1_size=512, l2_size=4 << 20)
+        )
+        assert large.energy_total > small.energy_total
+        assert large.runtime == small.runtime
+
+    def test_undersized_l2_triggers_dram_streaming(self):
+        layer = conv2d("c", k=64, c=64, y=30, x=30, r=3, s=3)
+        flow = x_partitioned()
+        fits = analyze_layer(layer, flow, Accelerator(num_pes=64))
+        tiny = analyze_layer(
+            layer, flow, Accelerator(num_pes=64, l1_size=512, l2_size=16)
+        )
+        assert sum(tiny.dram_reads.values()) >= sum(fits.dram_reads.values())
+
+
+class TestSimulatorPsumReadback:
+    def test_revisited_outputs_slow_the_pipeline(self):
+        """X-P revisits outputs per input channel; the simulator's
+        readback tracking must charge the extra fetch traffic."""
+        layer = conv2d("c", k=4, c=4, y=12, x=12, r=3, s=3)
+        acc = Accelerator(num_pes=16, noc=NoC(bandwidth=2))
+        sim = simulate_layer(layer, x_partitioned(), acc)
+        ana = analyze_layer(layer, x_partitioned(), acc)
+        assert ana.runtime == pytest.approx(sim.runtime, rel=0.25)
+
+
+class TestZooRelations:
+    def test_resnext_matches_resnet_budget(self):
+        """ResNeXt50-32x4d is designed to match ResNet50's FLOPs ~1:1."""
+        from repro.model.zoo import build
+
+        resnet = build("resnet50").total_ops()
+        resnext = build("resnext50").total_ops()
+        assert 0.8 < resnext / resnet < 1.3
+
+    def test_mobilenet_cheaper_than_vgg(self):
+        from repro.model.zoo import build
+
+        assert build("mobilenet_v2").total_ops() < build("vgg16").total_ops() / 20
+
+
+class TestKcTileVariants:
+    @pytest.mark.parametrize("c_tile", [8, 16, 32, 64])
+    def test_all_cluster_sizes_bind_on_256(self, c_tile):
+        layer = conv2d("c", k=64, c=64, y=16, x=16, r=3, s=3)
+        report = analyze_layer(
+            layer, kc_partitioned(c_tile=c_tile), Accelerator(num_pes=256)
+        )
+        assert report.total_ops == layer.total_ops()
+
+    def test_bigger_tiles_trade_l1_for_l2_traffic(self):
+        layer = conv2d("c", k=64, c=64, y=16, x=16, r=3, s=3)
+        acc = Accelerator(num_pes=256)
+        small = analyze_layer(layer, kc_partitioned(c_tile=16, y_tile=1), acc)
+        large = analyze_layer(layer, kc_partitioned(c_tile=16, y_tile=8), acc)
+        assert large.l1_buffer_req > small.l1_buffer_req
+        assert large.l2_reads["I"] < small.l2_reads["I"]

@@ -1,0 +1,113 @@
+"""Unit and property tests for repro.util.intmath."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intmath import ceil_div, clamp, num_chunks, prod
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 100) == 1
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_rejects_negative_dividend(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == -(-a // b)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_bound_property(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a or a == 0
+        assert q * b >= a
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_below(self):
+        assert clamp(-3, 0, 10) == 0
+
+    def test_above(self):
+        assert clamp(42, 0, 10) == 10
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            clamp(1, 5, 4)
+
+    @given(st.integers(), st.integers(), st.integers())
+    def test_result_in_range(self, value, a, b):
+        low, high = min(a, b), max(a, b)
+        assert low <= clamp(value, low, high) <= high
+
+
+class TestNumChunks:
+    def test_single_chunk_when_size_covers(self):
+        assert num_chunks(10, 10, 1) == 1
+        assert num_chunks(10, 12, 3) == 1
+
+    def test_non_overlapping(self):
+        assert num_chunks(12, 3, 3) == 4
+
+    def test_overlapping_sliding_window(self):
+        # A 3-wide window sliding by 1 over 12: 10 chunks.
+        assert num_chunks(12, 3, 1) == 10
+
+    def test_partial_tail_chunk(self):
+        # size 4 offset 3 over 10: starts 0,3,6 -> 3 chunks.
+        assert num_chunks(10, 4, 3) == 3
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            num_chunks(0, 1, 1)
+        with pytest.raises(ValueError):
+            num_chunks(10, 0, 1)
+        with pytest.raises(ValueError):
+            num_chunks(10, 1, 0)
+
+    @given(
+        st.integers(1, 10_000), st.integers(1, 10_000), st.integers(1, 10_000)
+    )
+    def test_coverage_property(self, total, size, offset):
+        """Chunks tile the dimension: last chunk start covers the end."""
+        chunks = num_chunks(total, size, offset)
+        assert chunks >= 1
+        if size >= total:
+            assert chunks == 1
+        else:
+            last_start = (chunks - 1) * offset
+            assert last_start + size >= total  # covered
+            assert (chunks - 2) * offset + size < total  # minimal
+
+
+class TestProd:
+    def test_empty(self):
+        assert prod([]) == 1
+
+    def test_values(self):
+        assert prod([2, 3, 4]) == 24
+
+    @given(st.lists(st.integers(-50, 50), max_size=8))
+    def test_matches_manual(self, values):
+        expected = 1
+        for v in values:
+            expected *= v
+        assert prod(values) == expected

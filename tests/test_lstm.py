@@ -1,0 +1,77 @@
+"""Tests for LSTM layers (abstract: "convolutions, LSTMs, FC layers")."""
+
+import pytest
+
+from repro.dataflow.library import kc_partitioned, table3_dataflows
+from repro.engines.analysis import analyze_layer, analyze_network
+from repro.hardware.accelerator import Accelerator
+from repro.model.lstm import lstm_cell_layers, lstm_network
+
+
+class TestCell:
+    def test_fused_cell_structure(self):
+        layers = lstm_cell_layers("cell", input_size=256, hidden_size=512)
+        names = [layer.name for layer in layers]
+        assert names == ["cell_x", "cell_h", "cell_gates"]
+        assert layers[0].dims["K"] == 4 * 512
+        assert layers[0].dims["C"] == 256
+        assert layers[1].dims["C"] == 512
+
+    def test_unfused_cell_has_eight_gemms(self):
+        layers = lstm_cell_layers("cell", 256, 512, fused=False)
+        gemms = [l for l in layers if l.operator.name == "FC"]
+        assert len(gemms) == 8
+
+    def test_fused_equals_unfused_total_macs(self):
+        fused = lstm_cell_layers("a", 256, 512, fused=True)
+        unfused = lstm_cell_layers("b", 256, 512, fused=False)
+        fused_macs = sum(l.total_ops() for l in fused if l.operator.name == "FC")
+        unfused_macs = sum(l.total_ops() for l in unfused if l.operator.name == "FC")
+        assert fused_macs == unfused_macs
+
+    def test_cell_mac_count(self):
+        layers = lstm_cell_layers("cell", 128, 128, batch=2)
+        gemm_macs = sum(l.total_ops() for l in layers if l.operator.name == "FC")
+        assert gemm_macs == 2 * (4 * 128 * 128 + 4 * 128 * 128)
+
+
+class TestNetwork:
+    def test_unrolled_structure(self):
+        network = lstm_network(num_layers=2, seq_len=3, hidden_size=64, input_size=32)
+        assert len(network.layers) == 3 * 2 * 3  # steps x layers x (x,h,gates)
+        # Layer 1 at every step consumes the hidden size, not the input.
+        assert network.layer("T0_L1_x").dims["C"] == 64
+        assert network.layer("T0_L0_x").dims["C"] == 32
+
+    def test_analyzes_under_every_table3_dataflow(self):
+        network = lstm_network(num_layers=1, seq_len=1, hidden_size=128, input_size=128)
+        accelerator = Accelerator(num_pes=64)
+        for name, flow in table3_dataflows().items():
+            result = analyze_network(network, flow, accelerator)
+            assert result.runtime > 0, name
+
+    def test_gemm_heavy_profile(self):
+        """An LSTM is >99% GEMM compute (the hidden-layer GEMMs)."""
+        network = lstm_network()
+        gemm = sum(
+            l.total_ops() for l in network.layers if l.operator.name == "FC"
+        )
+        assert gemm / network.total_ops() > 0.99
+
+    def test_gemms_are_weight_bandwidth_bound(self):
+        """Batch-1 GEMMs reuse no weights: throughput tracks the NoC.
+
+        Every MAC consumes a fresh weight, so sustained MACs/cycle is
+        capped near the NoC bandwidth in elements/cycle — and doubling
+        the bandwidth roughly doubles the throughput.
+        """
+        from repro.hardware.accelerator import NoC
+
+        layer = lstm_network(seq_len=1, num_layers=1).layer("T0_L0_h")
+        narrow = Accelerator(num_pes=256, noc=NoC(bandwidth=16))
+        wide = Accelerator(num_pes=256, noc=NoC(bandwidth=64))
+        flow = kc_partitioned(c_tile=64)
+        narrow_report = analyze_layer(layer, flow, narrow)
+        wide_report = analyze_layer(layer, flow, wide)
+        assert narrow_report.throughput <= 2.5 * narrow.noc.bandwidth
+        assert wide_report.throughput > 1.5 * narrow_report.throughput

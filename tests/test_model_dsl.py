@@ -1,0 +1,80 @@
+"""Tests for the network description DSL."""
+
+import pytest
+
+from repro.errors import LayerError
+from repro.model.dsl import parse_network, serialize_network
+from repro.model.zoo import build
+from repro.tensors import dims as D
+
+SAMPLE = """
+# a tiny network
+network sample
+layer CONV1 conv2d k=64 c=3 y=224 x=224 r=7 s=7 stride=2 padding=3
+layer POOL1 pool c=64 y=112 x=112 window=3 stride=2
+layer DW1 dwconv c=64 y=56 x=56 r=3 s=3 padding=1
+layer PW1 pwconv k=128 c=64 y=56 x=56
+layer UP1 trconv k=32 c=128 y=28 x=28 r=2 s=2 upscale=2
+layer ADD1 elementwise c=32 y=56 x=56
+layer FC1 fc k=1000 c=2048
+layer SPARSE conv2d k=8 c=8 y=10 x=10 r=3 s=3 density_w=0.5
+"""
+
+
+class TestParse:
+    def test_parses_all_layer_types(self):
+        network = parse_network(SAMPLE)
+        assert network.name == "sample"
+        assert len(network.layers) == 8
+        assert network.layer("DW1").operator.name == "DWCONV"
+        assert network.layer("UP1").operator.name == "TRCONV"
+        assert network.layer("ADD1").operator.name == "ELEMENTWISE"
+
+    def test_padding_applied(self):
+        network = parse_network(SAMPLE)
+        assert network.layer("CONV1").dims[D.Y] == 230
+
+    def test_density_parameter(self):
+        network = parse_network(SAMPLE)
+        assert network.layer("SPARSE").density("W") == 0.5
+
+    def test_trconv_upscales(self):
+        network = parse_network(SAMPLE)
+        assert network.layer("UP1").out_y == 56
+
+    def test_errors(self):
+        with pytest.raises(LayerError):
+            parse_network("layer X bogus k=1")
+        with pytest.raises(LayerError):
+            parse_network("layer X conv2d k=1 c=1 y=8 x=8 r=3 s=3 what?!")
+        with pytest.raises(LayerError):
+            parse_network("frobnicate")
+        with pytest.raises(LayerError):
+            parse_network("# nothing\n")
+        with pytest.raises(LayerError):
+            parse_network("layer X conv2d k=1.5 c=1 y=8 x=8 r=3 s=3")
+
+    def test_unknown_kwarg_reported_with_line(self):
+        with pytest.raises(LayerError) as excinfo:
+            parse_network("layer X fc k=10 c=10 window=2")
+        assert "line 1" in str(excinfo.value)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("model", ["alexnet", "mobilenet_v2", "unet"])
+    def test_zoo_models_round_trip(self, model):
+        original = build(model)
+        text = serialize_network(original)
+        parsed = parse_network(text)
+        assert len(parsed.layers) == len(original.layers)
+        for a, b in zip(original.layers, parsed.layers):
+            assert a.name == b.name
+            assert a.total_ops() == b.total_ops(), a.name
+            assert a.out_y == b.out_y
+
+    def test_sample_round_trip(self):
+        network = parse_network(SAMPLE)
+        reparsed = parse_network(serialize_network(network))
+        for a, b in zip(network.layers, reparsed.layers):
+            assert a.total_ops() == b.total_ops()
+            assert abs(a.density("I") - b.density("I")) < 1e-9

@@ -1,0 +1,112 @@
+"""Tests for Network helpers, the text table, and the Table 4 taxonomy."""
+
+import pytest
+
+from repro.errors import LayerError
+from repro.model.layer import conv2d, dwconv, elementwise, fc, pool, pwconv, trconv
+from repro.model.network import Network
+from repro.model.taxonomy import OperatorClass, classify_layer
+from repro.util.text_table import format_table
+
+
+def small_net():
+    return Network(
+        name="net",
+        layers=(
+            conv2d("a", k=4, c=4, y=8, x=8, r=3, s=3),
+            pool("p", c=4, y=6, x=6, window=2),
+            fc("f", k=10, c=36),
+        ),
+    )
+
+
+class TestNetwork:
+    def test_iteration_and_len(self):
+        net = small_net()
+        assert len(net) == 3
+        assert [l.name for l in net] == ["a", "p", "f"]
+
+    def test_lookup(self):
+        assert small_net().layer("p").operator.name == "POOL"
+        with pytest.raises(KeyError):
+            small_net().layer("zzz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(LayerError):
+            Network(
+                name="bad",
+                layers=(fc("x", k=2, c=2), fc("x", k=3, c=3)),
+            )
+
+    def test_conv_layers_filter(self):
+        assert [l.name for l in small_net().conv_layers()] == ["a"]
+
+    def test_subset_preserves_order(self):
+        subset = small_net().subset(["f", "a"])
+        assert [l.name for l in subset] == ["f", "a"]
+
+    def test_total_ops(self):
+        net = small_net()
+        assert net.total_ops() == sum(l.total_ops() for l in net)
+
+
+class TestTaxonomy:
+    """Table 4's operator classes."""
+
+    def test_early_conv(self):
+        layer = conv2d("e", k=64, c=3, y=224, x=224, r=3, s=3)
+        assert classify_layer(layer) is OperatorClass.EARLY_CONV
+
+    def test_late_conv_c_exceeds_y(self):
+        layer = conv2d("l", k=512, c=512, y=14, x=14, r=3, s=3)
+        assert classify_layer(layer) is OperatorClass.LATE_CONV
+
+    def test_boundary_uses_strict_inequality(self):
+        layer = conv2d("b", k=8, c=14, y=14, x=14, r=3, s=3)
+        assert classify_layer(layer) is OperatorClass.EARLY_CONV
+
+    def test_grouped_conv_counts_total_channels(self):
+        layer = conv2d("g", k=64, c=64, y=14, x=14, r=3, s=3, groups=32)
+        assert classify_layer(layer) is OperatorClass.LATE_CONV
+
+    def test_pointwise(self):
+        assert classify_layer(pwconv("p", k=8, c=8, y=7, x=7)) is OperatorClass.POINTWISE
+
+    def test_depthwise(self):
+        layer = dwconv("d", c=8, y=7, x=7, r=3, s=3, padding=1)
+        assert classify_layer(layer) is OperatorClass.DEPTHWISE
+
+    def test_transposed(self):
+        layer = trconv("t", k=4, c=4, y=8, x=8, r=2, s=2, upscale=2)
+        assert classify_layer(layer) is OperatorClass.TRANSPOSED
+
+    def test_fully_connected(self):
+        assert classify_layer(fc("f", k=10, c=20)) is OperatorClass.FULLY_CONNECTED
+
+    def test_residual(self):
+        assert classify_layer(elementwise("r", c=8, y=7, x=7)) is OperatorClass.RESIDUAL
+
+    def test_pooling(self):
+        assert classify_layer(pool("p", c=8, y=8, x=8, window=2)) is OperatorClass.POOLING
+
+
+class TestTextTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1234567.0], [0.0000001], [0.0]])
+        assert "e+" in text or "e-" in text
+        assert "0" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

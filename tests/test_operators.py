@@ -1,0 +1,153 @@
+"""Tests for operator templates: coupling, compute domain, volumes."""
+
+import pytest
+
+from repro.tensors import dims as D
+from repro.tensors.operators import (
+    CONV2D,
+    DWCONV,
+    ELEMENTWISE,
+    FC,
+    OPERATORS,
+    POOL,
+    PWCONV,
+    TRCONV,
+    TensorRole,
+)
+
+DIMS = {
+    D.N: 2, D.K: 4, D.C: 6, D.Y: 8, D.X: 8, D.R: 3, D.S: 3,
+    D.YP: 6, D.XP: 6,
+}
+
+
+class TestCoupling:
+    """The paper's Figure 1(b) tensor/index coupling table."""
+
+    def test_conv2d_weight_coupling(self):
+        assert CONV2D.coupled_dims("W") == {D.K, D.C, D.R, D.S}
+
+    def test_conv2d_input_coupling(self):
+        assert CONV2D.coupled_dims("I") == {D.N, D.C, D.Y, D.X}
+
+    def test_conv2d_output_coupling(self):
+        assert CONV2D.coupled_dims("O") == {D.N, D.K, D.Y, D.X}
+
+    def test_depthwise_output_couples_input_channel(self):
+        """Section 4.1: depthwise output couples to C, not K."""
+        assert D.C in DWCONV.coupled_dims("O")
+        assert D.K not in DWCONV.coupled_dims("O")
+
+    def test_depthwise_weight_has_no_k(self):
+        assert DWCONV.coupled_dims("W") == {D.C, D.R, D.S}
+
+    def test_fc_coupling(self):
+        assert FC.coupled_dims("W") == {D.K, D.C}
+        assert FC.coupled_dims("I") == {D.N, D.C}
+        assert FC.coupled_dims("O") == {D.N, D.K}
+
+    def test_elementwise_two_inputs(self):
+        names = [t.name for t in ELEMENTWISE.input_tensors]
+        assert names == ["A", "B"]
+
+
+class TestReductionDims:
+    def test_conv2d(self):
+        assert CONV2D.reduction_dims == {D.C, D.R, D.S}
+
+    def test_depthwise_no_channel_reduction(self):
+        assert DWCONV.reduction_dims == {D.R, D.S}
+
+    def test_fc(self):
+        assert FC.reduction_dims == {D.C}
+
+    def test_pool(self):
+        assert POOL.reduction_dims == {D.R, D.S}
+
+    def test_elementwise_none(self):
+        assert ELEMENTWISE.reduction_dims == frozenset()
+
+
+class TestTotalOps:
+    def test_conv2d_is_figure1_example(self):
+        """Figure 1: N=2, K=4, C=6, 8x8 input, 3x3 filter -> 6x6 output."""
+        assert CONV2D.total_ops(DIMS) == 2 * 4 * 6 * 6 * 6 * 3 * 3
+
+    def test_fc(self):
+        assert FC.total_ops(DIMS) == 2 * 4 * 6
+
+    def test_depthwise_drops_k(self):
+        assert DWCONV.total_ops(DIMS) == 2 * 6 * 6 * 6 * 3 * 3
+
+    def test_pool(self):
+        assert POOL.total_ops(DIMS) == 2 * 6 * 6 * 6 * 3 * 3
+
+    def test_elementwise(self):
+        assert ELEMENTWISE.total_ops(DIMS) == 2 * 6 * 6 * 6
+
+
+class TestTensorVolume:
+    def test_weight(self):
+        assert CONV2D.tensor_volume("W", DIMS) == 4 * 6 * 3 * 3
+
+    def test_input(self):
+        assert CONV2D.tensor_volume("I", DIMS) == 2 * 6 * 8 * 8
+
+    def test_output(self):
+        assert CONV2D.tensor_volume("O", DIMS) == 2 * 4 * 6 * 6
+
+    def test_unknown_tensor_raises(self):
+        with pytest.raises(KeyError):
+            CONV2D.tensor_volume("Z", DIMS)
+
+
+class TestStructure:
+    def test_registry_contains_all(self):
+        assert set(OPERATORS) == {
+            "CONV2D", "PWCONV", "DWCONV", "TRCONV", "FC", "POOL", "ELEMENTWISE"
+        }
+
+    def test_exactly_one_output_each(self):
+        for operator in OPERATORS.values():
+            outputs = [t for t in operator.tensors if t.is_output]
+            assert len(outputs) == 1
+
+    def test_output_role(self):
+        assert CONV2D.output_tensor.role is TensorRole.OUTPUT
+
+    def test_pwconv_mirrors_conv2d_structure(self):
+        assert PWCONV.reduction_dims == CONV2D.reduction_dims
+        assert PWCONV.coupled_dims("W") == CONV2D.coupled_dims("W")
+
+    def test_trconv_mirrors_conv2d_structure(self):
+        assert TRCONV.reduction_dims == CONV2D.reduction_dims
+
+
+class TestResolveAxes:
+    def test_input_rep_plain_input_axis(self):
+        axes = CONV2D.resolve_axes(
+            CONV2D.tensor("I").axis_templates, "input", "input", (1, 1)
+        )
+        names = [type(a).__name__ for a in axes]
+        assert names == ["PlainAxis", "PlainAxis", "PlainAxis", "PlainAxis"]
+
+    def test_output_rep_sliding_input_axis(self):
+        axes = CONV2D.resolve_axes(
+            CONV2D.tensor("I").axis_templates, "output", "output", (2, 2)
+        )
+        names = [type(a).__name__ for a in axes]
+        assert names[2:] == ["SlidingInputAxis", "SlidingInputAxis"]
+        assert axes[2].stride == 2
+
+    def test_input_rep_conv_output_axis(self):
+        axes = CONV2D.resolve_axes(
+            CONV2D.tensor("O").axis_templates, "input", "input", (1, 1)
+        )
+        assert type(axes[2]).__name__ == "ConvOutputAxis"
+
+    def test_mixed_representation(self):
+        axes = CONV2D.resolve_axes(
+            CONV2D.tensor("O").axis_templates, "input", "output", (1, 1)
+        )
+        assert type(axes[2]).__name__ == "ConvOutputAxis"
+        assert type(axes[3]).__name__ == "PlainAxis"

@@ -1,0 +1,75 @@
+"""Tests for Pareto-front extraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.pareto import pareto_front
+
+
+def test_empty():
+    assert pareto_front([], [lambda x: x]) == []
+
+
+def test_requires_objectives():
+    with pytest.raises(ValueError):
+        pareto_front([1, 2], [])
+
+
+def test_single_item():
+    assert pareto_front([7], [lambda x: x]) == [7]
+
+
+def test_two_objectives_front():
+    # (cost, delay) points; front: (1, 9), (3, 4), (6, 1).
+    points = [(1, 9), (3, 4), (6, 1), (4, 5), (7, 7), (6, 4)]
+    front = pareto_front(points, [lambda p: p[0], lambda p: p[1]])
+    assert sorted(front) == [(1, 9), (3, 4), (6, 1)]
+
+
+def test_duplicates_kept_once_each(event=None):
+    points = [(1, 1), (1, 1), (2, 2)]
+    front = pareto_front(points, [lambda p: p[0], lambda p: p[1]])
+    # The sweep keeps the first (1,1); (2,2) is dominated.
+    assert (2, 2) not in front
+    assert (1, 1) in front
+
+
+def test_three_objectives():
+    points = [(1, 2, 3), (2, 1, 3), (3, 3, 1), (3, 3, 3)]
+    front = pareto_front(
+        points, [lambda p: p[0], lambda p: p[1], lambda p: p[2]]
+    )
+    assert (3, 3, 3) not in front
+    assert len(front) == 3
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=40
+    )
+)
+def test_front_members_not_dominated(points):
+    front = pareto_front(points, [lambda p: p[0], lambda p: p[1]])
+    assert front
+    for member in front:
+        for other in points:
+            strictly_better = (
+                other[0] <= member[0]
+                and other[1] <= member[1]
+                and (other[0] < member[0] or other[1] < member[1])
+            )
+            assert not strictly_better
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=40
+    )
+)
+def test_every_point_dominated_by_front(points):
+    front = pareto_front(points, [lambda p: p[0], lambda p: p[1]])
+    for point in points:
+        assert any(
+            member[0] <= point[0] and member[1] <= point[1] for member in front
+        )

@@ -1,0 +1,106 @@
+"""Tests for the textual dataflow DSL parser."""
+
+import pytest
+
+from repro.dataflow.directives import ClusterDirective, MapDirective
+from repro.dataflow.parser import parse_dataflow
+from repro.errors import DataflowParseError
+
+KC_P_TEXT = """
+// KC-Partitioned (NVDLA-like), Table 3
+SpatialMap(1,1) K
+TemporalMap(64,64) C
+TemporalMap(Sz(R),Sz(R)) R
+TemporalMap(Sz(S),Sz(S)) S
+TemporalMap(Sz(R),1) Y
+TemporalMap(Sz(S),1) X
+Cluster(64)
+SpatialMap(1,1) C
+"""
+
+
+class TestParsing:
+    def test_table3_kc_p(self):
+        dataflow = parse_dataflow(KC_P_TEXT, name="KC-P")
+        maps = dataflow.map_directives()
+        assert len(maps) == 7
+        assert maps[0].spatial and maps[0].dim == "K"
+        clusters = [d for d in dataflow.directives if isinstance(d, ClusterDirective)]
+        assert len(clusters) == 1
+
+    def test_symbolic_offset_with_parens(self):
+        dataflow = parse_dataflow("TemporalMap(Sz(R),Sz(R)) R")
+        directive = dataflow.map_directives()[0]
+        assert str(directive.size) == "Sz(R)"
+        assert str(directive.offset) == "Sz(R)"
+
+    def test_arithmetic_size(self):
+        dataflow = parse_dataflow("TemporalMap(8+Sz(S)-1,8) X")
+        directive = dataflow.map_directives()[0]
+        assert directive.size.evaluate({"S": 3}) == 10
+
+    def test_output_coordinate_dim(self):
+        dataflow = parse_dataflow("SpatialMap(1,1) X'\nTemporalMap(1,1) S")
+        assert dataflow.map_directives()[0].dim == "X'"
+
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # hash comment
+        // slash comment
+        TemporalMap(1,1) K  // trailing comment
+
+        SpatialMap(1,1) C
+        """
+        dataflow = parse_dataflow(text)
+        assert len(dataflow.map_directives()) == 2
+
+    def test_whitespace_tolerance(self):
+        dataflow = parse_dataflow("  TemporalMap( 4 , 2 )  K ")
+        directive = dataflow.map_directives()[0]
+        assert directive.size == 4
+        assert directive.offset == 2
+
+    def test_integer_sizes_parse_as_int(self):
+        dataflow = parse_dataflow("TemporalMap(64,64) C")
+        assert dataflow.map_directives()[0].size == 64
+
+    def test_stride_expression(self):
+        dataflow = parse_dataflow("TemporalMap((4-1)*St(Y)+Sz(R),4) Y")
+        directive = dataflow.map_directives()[0]
+        assert directive.size.evaluate({"R": 3}, strides={"Y": 2}) == 9
+        assert directive.size.evaluate({"R": 3}) == 6  # stride defaults to 1
+
+
+class TestErrors:
+    def test_unknown_dimension(self):
+        with pytest.raises(DataflowParseError):
+            parse_dataflow("TemporalMap(1,1) Q")
+
+    def test_missing_offset(self):
+        with pytest.raises(DataflowParseError):
+            parse_dataflow("TemporalMap(1) K")
+
+    def test_garbage_line(self):
+        with pytest.raises(DataflowParseError) as excinfo:
+            parse_dataflow("TemporalMap(1,1) K\nfor x in range(3):")
+        assert "line 2" in str(excinfo.value)
+
+    def test_empty_input(self):
+        with pytest.raises(DataflowParseError):
+            parse_dataflow("// only a comment\n")
+
+
+class TestRoundTrip:
+    def test_library_dataflows_reparse(self):
+        """describe() output of library dataflows parses back (modulo indentation)."""
+        from repro.dataflow.library import table3_dataflows
+
+        for name, dataflow in table3_dataflows().items():
+            lines = [str(d) for d in dataflow.directives]
+            reparsed = parse_dataflow("\n".join(lines), name=name)
+            assert len(reparsed.directives) == len(dataflow.directives)
+            for original, parsed in zip(
+                dataflow.map_directives(), reparsed.map_directives()
+            ):
+                assert original.dim == parsed.dim
+                assert original.spatial == parsed.spatial

@@ -1,0 +1,109 @@
+"""Property-based end-to-end tests over random layers and dataflows.
+
+Hypothesis generates small random convolution layers and tuner-template
+dataflows; every combination must satisfy the cost model's global
+invariants, and the analytical runtime must track the independent
+reference simulator.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines.analysis import analyze_layer
+from repro.hardware.accelerator import Accelerator, NoC
+from repro.model.layer import conv2d
+from repro.simulator import simulate_layer
+from repro.tensors import dims as D
+from repro.tuner.templates import SCHEDULES, SPATIAL_DIMS, CandidateSpec
+
+layers = st.builds(
+    lambda k, c, yx, rs, stride: conv2d(
+        "prop", k=k, c=c, y=max(yx, rs + stride), x=max(yx, rs + stride),
+        r=rs, s=rs, stride=stride,
+    ),
+    k=st.integers(1, 32),
+    c=st.integers(1, 32),
+    yx=st.integers(4, 20),
+    rs=st.integers(1, 5),
+    stride=st.integers(1, 2),
+)
+
+specs = st.builds(
+    CandidateSpec,
+    outer_spatial=st.sampled_from(SPATIAL_DIMS),
+    schedule=st.sampled_from(SCHEDULES),
+    c_tile=st.sampled_from([1, 2, 4]),
+    k_tile=st.sampled_from([1, 2, 4]),
+    y_tile=st.sampled_from([1, 2]),
+    x_tile=st.sampled_from([1, 2]),
+)
+
+accelerators = st.builds(
+    lambda pes, bw: Accelerator(num_pes=pes, noc=NoC(bandwidth=bw)),
+    pes=st.sampled_from([4, 16, 64]),
+    bw=st.sampled_from([4, 32]),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(layer=layers, spec=specs, accelerator=accelerators)
+def test_global_invariants(layer, spec, accelerator):
+    report = analyze_layer(layer, spec.build(), accelerator)
+
+    # Exact compute count and a physical runtime lower bound.
+    assert report.total_ops == layer.total_ops()
+    ideal = layer.total_ops() / (accelerator.num_pes * accelerator.vector_width)
+    assert report.runtime >= ideal * 0.999
+    assert 0 < report.utilization <= 1.0
+
+    # Traffic lower bounds: every *algorithmically touched* element
+    # crosses each boundary at least once. At stride > kernel parts of
+    # the input are legitimately skipped, so gate the input bound.
+    assert report.l2_reads["W"] >= layer.tensor_volume("W") * 0.999
+    assert report.l1_writes["W"] >= layer.tensor_volume("W") * 0.999
+    if layer.stride == (1, 1):
+        assert report.l2_reads["I"] >= layer.tensor_volume("I") * 0.999
+        assert report.l1_writes["I"] >= layer.tensor_volume("I") * 0.999
+    assert report.l2_writes["O"] >= layer.tensor_volume("O") * 0.999
+
+    # Reuse factors bounded by the algorithmic maximum.
+    for tensor, factor in report.reuse_factors.items():
+        assert factor <= report.max_reuse_factors[tensor] * 1.001
+
+    # Energy accounting is positive and MAC-consistent.
+    assert report.energy_breakdown["MAC"] == pytest.approx(report.total_ops)
+    assert report.energy_total > report.total_ops
+
+    # Buffer requirements are positive and L2 holds at least one PE's L1.
+    assert report.l1_buffer_req > 0
+    assert report.l2_buffer_req > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    layer=st.builds(
+        lambda k, c, yx: conv2d("prop", k=k, c=c, y=yx, x=yx, r=3, s=3),
+        k=st.sampled_from([4, 8]),
+        c=st.sampled_from([4, 8]),
+        yx=st.sampled_from([8, 12]),
+    ),
+    spec=specs,
+)
+def test_model_tracks_simulator(layer, spec):
+    """The Figure 9 property, fuzzed over the template space."""
+    accelerator = Accelerator(num_pes=16, noc=NoC(bandwidth=8))
+    flow = spec.build()
+    report = analyze_layer(layer, flow, accelerator)
+    sim = simulate_layer(layer, flow, accelerator)
+    assert report.runtime == pytest.approx(sim.runtime, rel=0.30)
+
+
+@settings(max_examples=40, deadline=None)
+@given(layer=layers, spec=specs)
+def test_bandwidth_monotonicity(layer, spec):
+    """More NoC bandwidth never slows a dataflow down."""
+    flow = spec.build()
+    slow = analyze_layer(layer, flow, Accelerator(num_pes=16, noc=NoC(bandwidth=2)))
+    fast = analyze_layer(layer, flow, Accelerator(num_pes=16, noc=NoC(bandwidth=64)))
+    assert fast.runtime <= slow.runtime * 1.0001

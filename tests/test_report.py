@@ -1,0 +1,116 @@
+"""Tests for the report renderer and edge-case engine inputs."""
+
+import pytest
+
+from repro.dataflow.library import kc_partitioned, yr_partitioned, yx_partitioned
+from repro.engines.analysis import analyze_layer, analyze_network
+from repro.hardware.accelerator import Accelerator, NoC
+from repro.model.layer import Layer, conv2d
+from repro.model.zoo import build
+from repro.report import layer_report, network_report
+from repro.tensors import dims as D
+from repro.tensors.operators import CONV2D
+
+
+class TestLayerReport:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        layer = build("vgg16").layer("CONV2")
+        return analyze_layer(layer, yr_partitioned(), Accelerator(num_pes=256))
+
+    def test_contains_all_sections(self, analysis):
+        text = layer_report(analysis)
+        for marker in (
+            "runtime", "per-level performance", "traffic",
+            "reuse (uses per L2 fetch)", "buffer requirements",
+            "energy breakdown",
+        ):
+            assert marker in text, marker
+
+    def test_mentions_every_tensor(self, analysis):
+        text = layer_report(analysis)
+        for tensor in ("W", "I", "O"):
+            assert tensor in text
+
+    def test_intermediate_buffers_listed_for_two_levels(self, analysis):
+        assert "cluster buffer L0" in layer_report(analysis)
+
+
+class TestNetworkReport:
+    def test_summary(self):
+        network = build("alexnet")
+        result = analyze_network(
+            network, yx_partitioned(), Accelerator(num_pes=64)
+        )
+        text = network_report(result, top=3)
+        assert "total runtime" in text
+        assert "top 3 layers" in text
+        assert "energy breakdown" in text
+
+
+class TestDramBandwidth:
+    def test_dram_roofline_binds_streaming_layers(self):
+        """A weight-streaming FC is limited by DRAM bandwidth."""
+        from repro.model.layer import fc
+
+        layer = fc("f", k=4096, c=4096)
+        flow = kc_partitioned(c_tile=64)
+        unbounded = analyze_layer(layer, flow, Accelerator(num_pes=256))
+        bounded = analyze_layer(
+            layer, flow, Accelerator(num_pes=256, dram_bandwidth=1)
+        )
+        assert bounded.runtime > unbounded.runtime
+        # Streaming 16.7M weights at 1 elem/cycle needs >= 16.7M cycles.
+        assert bounded.runtime >= layer.tensor_volume("W")
+
+    def test_unbounded_default_unchanged(self):
+        layer = conv2d("c", k=8, c=8, y=12, x=12, r=3, s=3)
+        flow = yx_partitioned()
+        a = analyze_layer(layer, flow, Accelerator(num_pes=16))
+        b = analyze_layer(layer, flow, Accelerator(num_pes=16, dram_bandwidth=10**9))
+        assert a.runtime == b.runtime
+
+
+class TestEngineEdgeCases:
+    def test_batch_greater_than_one(self):
+        layer = conv2d("b", n=4, k=8, c=8, y=12, x=12, r=3, s=3)
+        report = analyze_layer(layer, yx_partitioned(), Accelerator(num_pes=16))
+        single = conv2d("s", n=1, k=8, c=8, y=12, x=12, r=3, s=3)
+        single_report = analyze_layer(single, yx_partitioned(), Accelerator(num_pes=16))
+        assert report.total_ops == 4 * single_report.total_ops
+        assert report.runtime > single_report.runtime
+
+    def test_asymmetric_stride(self):
+        layer = Layer(
+            name="asym",
+            operator=CONV2D,
+            dims={D.K: 4, D.C: 4, D.Y: 17, D.X: 33, D.R: 3, D.S: 3},
+            stride=(2, 4),
+        )
+        assert layer.out_y == 8
+        assert layer.out_x == 8
+        report = analyze_layer(layer, yx_partitioned(), Accelerator(num_pes=16))
+        assert report.total_ops == layer.total_ops()
+
+    def test_dilated_convolution(self):
+        layer = Layer(
+            name="dilated",
+            operator=CONV2D,
+            dims={D.K: 4, D.C: 4, D.Y: 16, D.X: 16, D.R: 3, D.S: 3},
+            dilation=(2, 2),
+        )
+        assert layer.out_y == 12
+        report = analyze_layer(layer, yx_partitioned(), Accelerator(num_pes=16))
+        assert report.total_ops == layer.total_ops()
+        assert report.utilization <= 1.0
+
+    def test_single_pe(self):
+        layer = conv2d("one", k=4, c=4, y=8, x=8, r=3, s=3)
+        report = analyze_layer(layer, yx_partitioned(), Accelerator(num_pes=8))
+        assert report.runtime >= layer.total_ops() / 8
+
+    def test_kernel_equals_input(self):
+        layer = conv2d("full", k=4, c=4, y=5, x=5, r=5, s=5)
+        assert layer.out_y == 1
+        report = analyze_layer(layer, kc_partitioned(c_tile=4), Accelerator(num_pes=8))
+        assert report.total_ops == layer.total_ops()

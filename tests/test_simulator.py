@@ -1,0 +1,167 @@
+"""Tests for the reference simulator: regions, pipeline, agreement."""
+
+import pytest
+
+from repro.dataflow.library import (
+    fig5_playground,
+    kc_partitioned,
+    table3_dataflows,
+    yx_partitioned,
+)
+from repro.engines.analysis import analyze_layer
+from repro.hardware.accelerator import Accelerator, NoC
+from repro.model.layer import conv2d
+from repro.simulator import simulate_layer
+from repro.simulator.regions import Box, Interval, axis_interval
+from repro.simulator.simulator import _Pipeline
+from repro.tensors import dims as D
+from repro.tensors.axes import ConvOutputAxis, PlainAxis, SlidingInputAxis
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(2, 7).length == 5
+        assert Interval(5, 5).length == 0
+        assert Interval(7, 2).length == 0
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)).length == 2
+        assert Interval(0, 3).intersect(Interval(5, 9)).length == 0
+
+
+class TestBox:
+    def test_volume(self):
+        box = Box((Interval(0, 3), Interval(0, 4)))
+        assert box.volume() == 12
+
+    def test_new_volume_none(self):
+        box = Box((Interval(0, 3),))
+        assert box.new_volume_vs(None) == 3
+
+    def test_new_volume_partial_overlap(self):
+        a = Box((Interval(0, 4), Interval(0, 4)))
+        b = Box((Interval(2, 6), Interval(0, 4)))
+        assert b.new_volume_vs(a) == 8
+
+    def test_new_volume_disjoint(self):
+        a = Box((Interval(0, 4),))
+        b = Box((Interval(10, 14),))
+        assert b.new_volume_vs(a) == 4
+
+
+class TestAxisInterval:
+    def test_plain(self):
+        interval = axis_interval(PlainAxis(D.K), {D.K: 5}, {D.K: 3})
+        assert (interval.start, interval.stop) == (5, 8)
+
+    def test_sliding_input(self):
+        axis = SlidingInputAxis(D.YP, D.R, stride=2)
+        interval = axis_interval(axis, {D.YP: 3, D.R: 0}, {D.YP: 2, D.R: 3})
+        # outputs 3..4 at stride 2 with kernel rows 0..2: inputs 6..10.
+        assert (interval.start, interval.stop) == (6, 11)
+
+    def test_conv_output_complete_windows(self):
+        axis = ConvOutputAxis(D.Y, D.R, stride=1)
+        interval = axis_interval(axis, {D.Y: 0, D.R: 0}, {D.Y: 5, D.R: 3})
+        # 5 input rows, 3-row kernel: complete windows at y' = 0, 1, 2.
+        assert (interval.start, interval.stop) == (0, 3)
+
+    def test_conv_output_window_slides_with_kernel(self):
+        axis = ConvOutputAxis(D.Y, D.R, stride=1)
+        interval = axis_interval(axis, {D.Y: 4, D.R: 1}, {D.Y: 5, D.R: 2})
+        # rows 4..8, kernel rows 1..2: y' with y'+1 >= 4 and y'+2 <= 8.
+        assert (interval.start, interval.stop) == (3, 7)
+
+
+class TestPipeline:
+    def test_serial_first_step(self):
+        pipe = _Pipeline()
+        pipe.step(5, 7, 2)
+        assert pipe.elapsed == 14
+
+    def test_double_buffering_overlaps_fetch(self):
+        pipe = _Pipeline()
+        pipe.step(5, 7, 0)
+        pipe.step(5, 7, 0)
+        # Second fetch overlaps first compute: 5 + 7 + 7 = 19.
+        assert pipe.compute_done == 19
+
+    def test_fetch_bound_pipeline(self):
+        pipe = _Pipeline()
+        for _ in range(10):
+            pipe.step(10, 2, 1)
+        # Steady state increments by the fetch time.
+        assert 10 * 10 <= pipe.elapsed <= 10 * 10 + 13
+
+    def test_run_fast_forward_matches_exact(self):
+        exact = _Pipeline()
+        for _ in range(50):
+            exact.step(3, 7, 2)
+        fast = _Pipeline()
+        fast.run(50, 3, 7, 2)
+        assert fast.elapsed == pytest.approx(exact.elapsed, rel=0.02)
+
+
+class TestAgreementWithModel:
+    """The Figure 9 claim: model within a few % of the reference."""
+
+    @pytest.mark.parametrize("name,flow", list(table3_dataflows().items()))
+    def test_small_conv_agreement(self, name, flow):
+        layer = conv2d("s", k=16, c=16, y=18, x=18, r=3, s=3)
+        acc = Accelerator(num_pes=64, noc=NoC(bandwidth=16))
+        sim = simulate_layer(layer, flow, acc)
+        ana = analyze_layer(layer, flow, acc)
+        assert ana.runtime == pytest.approx(sim.runtime, rel=0.15)
+
+    def test_playground_agreement(self):
+        layer = conv2d("conv1d", k=1, c=1, y=1, x=17, r=1, s=6)
+        for key, flow in fig5_playground().items():
+            acc = Accelerator(num_pes=6 if key == "F" else 3)
+            sim = simulate_layer(layer, flow, acc)
+            ana = analyze_layer(layer, flow, acc)
+            assert ana.runtime == pytest.approx(sim.runtime, rel=0.35), key
+
+    def test_model_is_much_faster(self):
+        """The headline speedup: analytical beats step-by-step execution."""
+        import time
+
+        layer = conv2d("m", k=32, c=32, y=34, x=34, r=3, s=3)
+        acc = Accelerator(num_pes=64)
+        flow = yx_partitioned()
+        start = time.perf_counter()
+        analyze_layer(layer, flow, acc)
+        analytical_time = time.perf_counter() - start
+        start = time.perf_counter()
+        simulate_layer(layer, flow, acc)
+        simulator_time = time.perf_counter() - start
+        assert simulator_time > analytical_time
+
+
+class TestSimulatorMechanics:
+    def test_extrapolation_flag(self):
+        layer = conv2d("big", k=64, c=64, y=58, x=58, r=3, s=3)
+        result = simulate_layer(
+            layer, kc_partitioned(c_tile=16), Accelerator(num_pes=64),
+            max_outer_states=10,
+        )
+        assert result.extrapolated
+        assert result.runtime > 0
+
+    def test_traffic_positive(self, small_conv, accelerator):
+        result = simulate_layer(small_conv, yx_partitioned(), accelerator)
+        assert result.l2_ingress > 0
+        assert result.l2_egress > 0
+
+    def test_ingress_at_least_working_set(self, small_conv, accelerator):
+        result = simulate_layer(small_conv, yx_partitioned(), accelerator)
+        volume = small_conv.tensor_volume("W") + small_conv.tensor_volume("I")
+        assert result.l2_ingress >= volume * 0.5  # union-diff, lower bound
+
+    def test_groups_scale_runtime(self):
+        plain = conv2d("p", k=16, c=16, y=14, x=14, r=3, s=3)
+        grouped = conv2d("g", k=16, c=16, y=14, x=14, r=3, s=3, groups=2)
+        acc = Accelerator(num_pes=16)
+        flow = yx_partitioned()
+        plain_result = simulate_layer(plain, flow, acc)
+        grouped_result = simulate_layer(grouped, flow, acc)
+        assert grouped_result.runtime != plain_result.runtime

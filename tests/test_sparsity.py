@@ -1,0 +1,130 @@
+"""Tests for the statistical sparsity models."""
+
+import pytest
+
+from repro.dataflow.library import kc_partitioned, yx_partitioned
+from repro.engines.analysis import analyze_layer
+from repro.errors import LayerError
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import conv2d
+from repro.sparsity import (
+    BlockSparsity,
+    ChannelPruning,
+    UniformSparsity,
+    load_imbalance_factor,
+    sparse_layer,
+    sparse_report,
+)
+from repro.tensors import dims as D
+
+
+@pytest.fixture
+def layer():
+    return conv2d("s", k=32, c=32, y=16, x=16, r=3, s=3, padding=1)
+
+
+@pytest.fixture
+def accelerator():
+    return Accelerator(num_pes=64)
+
+
+class TestModels:
+    def test_uniform_density(self):
+        assert UniformSparsity(0.5).density() == 0.5
+        assert UniformSparsity(0.5).independent_draws(100) == 100
+
+    def test_channel_pruning_is_structured(self):
+        model = ChannelPruning(0.5)
+        assert model.density() == 0.5
+        assert model.independent_draws(100) == float("inf")
+
+    def test_block_sparsity_fewer_draws(self):
+        model = BlockSparsity(0.5, block=4)
+        assert model.independent_draws(100) == 25
+
+    def test_validation(self):
+        with pytest.raises(LayerError):
+            UniformSparsity(0.0)
+        with pytest.raises(LayerError):
+            UniformSparsity(1.5)
+        with pytest.raises(LayerError):
+            ChannelPruning(0.0)
+        with pytest.raises(LayerError):
+            BlockSparsity(0.5, block=0)
+
+
+class TestImbalance:
+    def test_dense_has_no_imbalance(self):
+        assert load_imbalance_factor(UniformSparsity(1.0), 1000, 64) == 1.0
+
+    def test_structured_has_no_imbalance(self):
+        assert load_imbalance_factor(ChannelPruning(0.5), 1000, 64) == 1.0
+
+    def test_single_pe_has_no_imbalance(self):
+        assert load_imbalance_factor(UniformSparsity(0.5), 1000, 1) == 1.0
+
+    def test_random_sparsity_penalized(self):
+        factor = load_imbalance_factor(UniformSparsity(0.5), 1000, 64)
+        assert factor > 1.0
+
+    def test_blocks_worse_than_uniform(self):
+        uniform = load_imbalance_factor(UniformSparsity(0.5), 1000, 64)
+        blocked = load_imbalance_factor(BlockSparsity(0.5, block=16), 1000, 64)
+        assert blocked > uniform
+
+    def test_more_work_less_imbalance(self):
+        small = load_imbalance_factor(UniformSparsity(0.5), 100, 64)
+        large = load_imbalance_factor(UniformSparsity(0.5), 100_000, 64)
+        assert large < small
+
+    def test_more_pes_more_imbalance(self):
+        few = load_imbalance_factor(UniformSparsity(0.5), 1000, 4)
+        many = load_imbalance_factor(UniformSparsity(0.5), 1000, 1024)
+        assert many > few
+
+
+class TestSparseLayer:
+    def test_uniform_sets_density(self, layer):
+        adjusted = sparse_layer(layer, {"W": UniformSparsity(0.25)})
+        assert adjusted.density("W") == 0.25
+        assert adjusted.dims[D.C] == layer.dims[D.C]
+
+    def test_channel_pruning_shrinks_c(self, layer):
+        adjusted = sparse_layer(layer, {"I": ChannelPruning(0.5)})
+        assert adjusted.dims[D.C] == 16
+        assert adjusted.density("I") == 1.0
+
+    def test_unknown_tensor_rejected(self, layer):
+        with pytest.raises(KeyError):
+            sparse_layer(layer, {"Z": UniformSparsity(0.5)})
+
+
+class TestSparseReport:
+    def test_random_sparsity_buys_less_than_density(self, layer, accelerator):
+        """Random 50% sparsity speeds up by less than 2x (imbalance)."""
+        flow = yx_partitioned()
+        dense = analyze_layer(layer, flow, accelerator)
+        sparse = sparse_report(
+            layer, {"W": UniformSparsity(0.5)}, flow, accelerator
+        )
+        assert sparse.runtime < dense.runtime
+        assert sparse.runtime > dense.runtime * 0.5
+        assert sparse.imbalance > 1.0
+
+    def test_structured_sparsity_buys_full_density(self, layer, accelerator):
+        flow = kc_partitioned(c_tile=16)
+        dense = analyze_layer(layer, flow, accelerator)
+        pruned = sparse_report(
+            layer, {"I": ChannelPruning(0.5)}, flow, accelerator
+        )
+        assert pruned.imbalance == 1.0
+        assert pruned.runtime <= dense.runtime * 0.75
+
+    def test_energy_reflects_reduced_traffic(self, layer, accelerator):
+        flow = yx_partitioned()
+        dense = analyze_layer(layer, flow, accelerator)
+        sparse = sparse_report(
+            layer, {"W": UniformSparsity(0.5), "I": UniformSparsity(0.5)},
+            flow, accelerator,
+        )
+        assert sparse.energy_total < dense.energy_total

@@ -1,0 +1,119 @@
+"""Reproduction of Table 1: reuse opportunities per mapped dimension.
+
+Table 1 states, for every spatially mapped dimension (with everything
+else temporally unit-mapped), which tensor gains which *spatial* reuse
+opportunity, and, for every innermost temporally mapped dimension,
+which tensor gains which *temporal* reuse opportunity:
+
+Spatial map on:   K -> I multicast;  C -> O reduction;
+                  R/S -> I + O multicast...(I halo, O partial);
+                  X/Y -> W multicast.
+Innermost temporal: C -> O temporal reduction (stationary outputs),
+                  K -> I temporally reused (stationary inputs), etc. —
+a tensor is temporally reusable exactly when it is *decoupled* from the
+innermost temporally mapped dimension.
+"""
+
+import pytest
+
+from repro.dataflow.dataflow import dataflow
+from repro.dataflow.directives import spatial_map, temporal_map
+from repro.engines.binding import bind_dataflow
+from repro.engines.reuse import analyze_level_reuse
+from repro.engines.tensor_analysis import analyze_tensors
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import conv2d
+from repro.tensors import dims as D
+
+
+@pytest.fixture
+def layer():
+    return conv2d("t", k=8, c=8, y=12, x=12, r=3, s=3)
+
+
+def spatial_reuse(layer, dim, num_pes=4):
+    """Bind 'SpatialMap(1,1) dim' alone and report the spatial reuse."""
+    flow = dataflow("probe", spatial_map(1, 1, dim), temporal_map(1, 1, D.C if dim != D.C else D.K))
+    bound = bind_dataflow(flow, layer, Accelerator(num_pes=num_pes))
+    tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
+    return analyze_level_reuse(bound.levels[0], tensors)
+
+
+class TestSpatialOpportunities:
+    """Table 1, left half: spatially mapped dimension -> reuse."""
+
+    def test_spatial_k_multicasts_inputs(self, layer):
+        reuse = spatial_reuse(layer, D.K)
+        assert "I" in reuse.multicast_tensors
+        assert not reuse.output_spatially_reduced
+
+    def test_spatial_c_reduces_outputs(self, layer):
+        reuse = spatial_reuse(layer, D.C)
+        assert reuse.output_spatially_reduced
+        assert "I" not in reuse.multicast_tensors
+        assert "W" not in reuse.multicast_tensors
+
+    def test_spatial_x_multicasts_weights(self, layer):
+        reuse = spatial_reuse(layer, D.X)
+        assert "W" in reuse.multicast_tensors
+
+    def test_spatial_y_multicasts_weights(self, layer):
+        reuse = spatial_reuse(layer, D.Y)
+        assert "W" in reuse.multicast_tensors
+
+    def test_spatial_r_multicasts_inputs_shifts_outputs(self, layer):
+        """Input-centric R spatial: all PEs share the same input rows
+        (each applies a different kernel row — the row-stationary trick),
+        while weights differ per PE and output windows shift by one."""
+        reuse = spatial_reuse(layer, D.R)
+        assert "I" in reuse.multicast_tensors
+        assert "W" not in reuse.multicast_tensors
+        assert not reuse.output_spatially_reduced
+
+
+def innermost_temporal_reuse(layer, dim):
+    """Bind with `dim` as the innermost temporal map; report stationarity."""
+    other = D.K if dim != D.K else D.C
+    flow = dataflow(
+        "probe",
+        spatial_map(1, 1, other),
+        temporal_map(1, 1, dim),
+    )
+    bound = bind_dataflow(flow, layer, Accelerator(num_pes=2))
+    tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
+    reuse = analyze_level_reuse(bound.levels[0], tensors)
+    cls = next(c for c in reuse.classes if dim in c.label)
+    return {name: traffic.stationary for name, traffic in cls.traffic.items()}
+
+
+class TestTemporalOpportunities:
+    """Table 1, right half: innermost temporal dimension -> stationarity.
+
+    A tensor is temporally reusable (stationary) exactly when it is
+    decoupled from the advancing dimension.
+    """
+
+    def test_innermost_c_keeps_outputs_stationary(self, layer):
+        stationary = innermost_temporal_reuse(layer, D.C)
+        assert stationary["O"]          # temporal reduction of outputs
+        assert not stationary["W"]
+        assert not stationary["I"]
+
+    def test_innermost_k_keeps_inputs_stationary(self, layer):
+        stationary = innermost_temporal_reuse(layer, D.K)
+        assert stationary["I"]          # temporal multicast of inputs
+        assert not stationary["W"]
+        assert not stationary["O"]
+
+    def test_innermost_x_keeps_weights_stationary(self, layer):
+        stationary = innermost_temporal_reuse(layer, D.X)
+        assert stationary["W"]          # temporal multicast of weights
+        assert not stationary["I"]
+        assert not stationary["O"]
+
+    def test_innermost_r_keeps_inputs_stationary(self, layer):
+        """Input-centric view: advancing the kernel row re-reads the same
+        input rows — convolutional (temporal) reuse of inputs."""
+        stationary = innermost_temporal_reuse(layer, D.R)
+        assert not stationary["W"]
+        assert stationary["I"]

@@ -1,0 +1,88 @@
+"""Tests for the NoC topology models."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware.topologies import (
+    Bus,
+    Crossbar,
+    HierarchicalBus,
+    Mesh2D,
+    SystolicChain,
+    eyeriss_like_noc,
+    mesh_noc,
+)
+
+
+class TestBus:
+    def test_pipe_parameters(self):
+        noc = Bus(width=8).as_noc()
+        assert noc.bandwidth == 8
+        assert noc.avg_latency == 2
+        assert noc.multicast
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            Bus(width=0)
+
+
+class TestHierarchicalBus:
+    def test_eyeriss_3x_rule(self):
+        """The paper: dedicated channels per tensor give 3x bandwidth."""
+        noc = HierarchicalBus(channel_width=4).as_noc()
+        assert noc.bandwidth == 12
+        assert noc.avg_latency == 2
+
+    def test_helper(self):
+        assert eyeriss_like_noc(channel_width=4).bandwidth == 12
+
+
+class TestCrossbar:
+    def test_bandwidth_scales_with_ports(self):
+        assert Crossbar(ports=16).as_noc().bandwidth == 16
+        assert Crossbar(ports=16, port_width=2).as_noc().bandwidth == 32
+
+
+class TestMesh2D:
+    def test_bisection_and_latency(self):
+        """The paper's example: N x N mesh, corner injection -> (N, N)."""
+        noc = Mesh2D(side=8).as_noc()
+        assert noc.bandwidth == 8
+        assert noc.avg_latency == 8
+
+    def test_mesh_noc_helper_rounds_up(self):
+        noc = mesh_noc(num_pes=60)
+        assert noc.bandwidth == 8  # ceil(sqrt(60)) = 8
+        noc = mesh_noc(num_pes=64)
+        assert noc.bandwidth == 8
+
+    def test_wider_channels(self):
+        assert Mesh2D(side=4, channel_width=2).as_noc().bandwidth == 8
+
+
+class TestSystolicChain:
+    def test_store_and_forward(self):
+        noc = SystolicChain(length=16).as_noc()
+        assert noc.bandwidth == 1
+        assert noc.avg_latency == 8
+        assert noc.multicast  # temporal multicast via forwarding
+
+
+class TestEndToEnd:
+    def test_topologies_plug_into_analysis(self):
+        from repro.dataflow.library import yx_partitioned
+        from repro.engines.analysis import analyze_layer
+        from repro.hardware.accelerator import Accelerator
+        from repro.model.layer import conv2d
+
+        layer = conv2d("t", k=16, c=16, y=14, x=14, r=3, s=3)
+        runtimes = {}
+        for name, topology in (
+            ("bus", Bus(width=8)),
+            ("mesh", Mesh2D(side=8)),
+            ("xbar", Crossbar(ports=32)),
+        ):
+            accelerator = Accelerator(num_pes=64, noc=topology.as_noc())
+            runtimes[name] = analyze_layer(layer, yx_partitioned(), accelerator).runtime
+        # The fat crossbar is never slower than the narrow bus.
+        assert runtimes["xbar"] <= runtimes["bus"]

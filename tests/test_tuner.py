@@ -1,0 +1,163 @@
+"""Tests for the dataflow auto-tuner."""
+
+import pytest
+
+from repro.dataflow.library import table3_dataflows
+from repro.engines.analysis import analyze_layer
+from repro.errors import DataflowError
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import conv2d
+from repro.tensors import dims as D
+from repro.tuner import CandidateSpec, enumerate_candidates, tune_layer, tune_network
+from repro.tuner.search import OBJECTIVES
+
+
+@pytest.fixture(scope="module")
+def layer():
+    return conv2d("t", k=32, c=32, y=16, x=16, r=3, s=3, padding=1)
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return Accelerator(num_pes=64)
+
+
+SMALL_GRID = list(
+    enumerate_candidates(
+        c_tiles=(1, 8), k_tiles=(1, 4), plane_tiles=(1,), cluster_sizes=(8,)
+    )
+)
+
+
+class TestCandidateSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CandidateSpec(outer_spatial="Q", schedule="reduction_inner")
+        with pytest.raises(ValueError):
+            CandidateSpec(outer_spatial=D.K, schedule="bogus")
+        with pytest.raises(ValueError):
+            CandidateSpec(outer_spatial=D.K, schedule="reduction_inner", cluster_size=8)
+        with pytest.raises(ValueError):
+            CandidateSpec(
+                outer_spatial=D.K, schedule="reduction_inner",
+                cluster_size=8, inner_spatial=D.K,
+            )
+
+    def test_build_single_level(self):
+        spec = CandidateSpec(outer_spatial=D.K, schedule="activation_inner", c_tile=4)
+        flow = spec.build()
+        assert flow.map_directives()[0].spatial
+        assert flow.map_directives()[0].dim == D.K
+        assert len(flow.levels()) == 1
+
+    def test_build_two_level(self):
+        spec = CandidateSpec(
+            outer_spatial=D.K, schedule="reduction_inner",
+            cluster_size=8, inner_spatial=D.C,
+        )
+        flow = spec.build()
+        levels = flow.levels()
+        assert len(levels) == 2
+        assert levels[1].maps[0].dim == D.C
+
+    def test_names_unique(self):
+        names = [spec.name for spec in SMALL_GRID]
+        assert len(names) == len(set(names))
+
+    def test_all_candidates_build(self):
+        for spec in SMALL_GRID:
+            flow = spec.build()
+            assert flow.directives
+
+    def test_schedules_differ(self, layer, accelerator):
+        reduction = CandidateSpec(outer_spatial=D.K, schedule="reduction_inner")
+        activation = CandidateSpec(outer_spatial=D.K, schedule="activation_inner")
+        r1 = analyze_layer(layer, reduction.build(), accelerator)
+        r2 = analyze_layer(layer, activation.build(), accelerator)
+        assert r1.l2_reads != r2.l2_reads
+
+
+class TestTuneLayer:
+    def test_best_is_minimum(self, layer, accelerator):
+        result = tune_layer(layer, accelerator, candidates=SMALL_GRID)
+        assert result.best.score == min(c.score for c in result.top)
+        assert result.evaluated + result.rejected == len(SMALL_GRID)
+
+    def test_top_k_sorted(self, layer, accelerator):
+        result = tune_layer(layer, accelerator, candidates=SMALL_GRID, top_k=4)
+        scores = [c.score for c in result.top]
+        assert scores == sorted(scores)
+        assert len(result.top) == 4
+
+    def test_beats_or_matches_table3(self, layer, accelerator):
+        """The tuner should find something at least as good as the
+        library dataflows that live inside its template space."""
+        result = tune_layer(layer, accelerator)
+        baseline = min(
+            analyze_layer(layer, flow, accelerator).runtime
+            for flow in table3_dataflows().values()
+        )
+        assert result.best_report.runtime <= baseline * 1.05
+
+    def test_objectives(self, layer, accelerator):
+        by_runtime = tune_layer(layer, accelerator, "runtime", candidates=SMALL_GRID)
+        by_energy = tune_layer(layer, accelerator, "energy", candidates=SMALL_GRID)
+        assert by_energy.best_report.energy_total <= by_runtime.best_report.energy_total
+
+    def test_unknown_objective(self, layer, accelerator):
+        with pytest.raises(KeyError):
+            tune_layer(layer, accelerator, "area")
+
+    def test_buffer_constraints_reject(self, layer, accelerator):
+        # An impossible L2 budget rejects every candidate.
+        with pytest.raises(DataflowError):
+            tune_layer(
+                layer, accelerator, candidates=SMALL_GRID, max_l2_bytes=1
+            )
+        # A generous budget changes nothing.
+        loose = tune_layer(
+            layer, accelerator, candidates=SMALL_GRID, max_l1_bytes=10**9
+        )
+        unconstrained = tune_layer(layer, accelerator, candidates=SMALL_GRID)
+        assert loose.best.spec == unconstrained.best.spec
+
+    def test_random_strategy_budget(self, layer, accelerator):
+        result = tune_layer(
+            layer, accelerator, candidates=SMALL_GRID, strategy="random", budget=5
+        )
+        assert result.evaluated + result.rejected == 5
+
+    def test_random_strategy_deterministic(self, layer, accelerator):
+        a = tune_layer(layer, accelerator, candidates=SMALL_GRID,
+                       strategy="random", budget=6, seed=3)
+        b = tune_layer(layer, accelerator, candidates=SMALL_GRID,
+                       strategy="random", budget=6, seed=3)
+        assert a.best.spec == b.best.spec
+
+    def test_unknown_strategy(self, layer, accelerator):
+        with pytest.raises(ValueError):
+            tune_layer(layer, accelerator, candidates=SMALL_GRID, strategy="annealing")
+
+
+class TestTuneNetwork:
+    def test_per_layer_results(self, accelerator):
+        from repro.model.network import Network
+        from repro.model.layer import fc
+
+        network = Network(
+            name="tiny",
+            layers=(
+                conv2d("c1", k=8, c=8, y=10, x=10, r=3, s=3),
+                fc("f1", k=16, c=512),
+            ),
+        )
+        results = tune_network(
+            network, accelerator, candidates=SMALL_GRID
+        )
+        assert set(results) == {"c1", "f1"}
+        for result in results.values():
+            assert result.best_report.runtime > 0
+
+
+def test_objectives_registry():
+    assert set(OBJECTIVES) == {"runtime", "energy", "edp"}

@@ -1,0 +1,60 @@
+"""Tests for the ASCII chart helper and the dims module."""
+
+import pytest
+
+from repro.tensors import dims as D
+from repro.tensors.dims import base_dim, is_output_coordinate, validate_dim
+from repro.util.ascii_chart import bar_chart
+
+
+class TestDims:
+    def test_canonical_count(self):
+        assert len(D.CANONICAL_DIMS) == 7
+
+    def test_aliases(self):
+        assert D.OUTPUT_DIM_OF[D.Y] == D.YP
+        assert D.INPUT_DIM_OF[D.XP] == D.X
+
+    def test_base_dim(self):
+        assert base_dim(D.YP) == D.Y
+        assert base_dim(D.K) == D.K
+
+    def test_is_output_coordinate(self):
+        assert is_output_coordinate(D.YP)
+        assert not is_output_coordinate(D.Y)
+
+    def test_validate(self):
+        assert validate_dim("K") == "K"
+        with pytest.raises(ValueError):
+            validate_dim("Z")
+
+
+class TestBarChart:
+    def test_linear(self):
+        chart = bar_chart([("a", 10.0), ("bb", 5.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_log_scale(self):
+        chart = bar_chart([("x", 10.0), ("y", 1000.0)], width=30, log=True)
+        x_bar = chart.splitlines()[0].count("#")
+        y_bar = chart.splitlines()[1].count("#")
+        assert y_bar == 30
+        assert 8 <= x_bar <= 12  # log10(10)/log10(1000) = 1/3 of width
+
+    def test_title(self):
+        assert bar_chart([("a", 1.0)], title="T").splitlines()[0] == "T"
+
+    def test_zero_value_has_empty_bar(self):
+        chart = bar_chart([("a", 0.0), ("b", 4.0)])
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+        with pytest.raises(ValueError):
+            bar_chart([("a", 0.0)], log=True)

@@ -1,0 +1,98 @@
+"""Tests for the per-PE mapping enumerator (Figure 6(d) reproduction)."""
+
+import pytest
+
+from repro.dataflow.library import fig5_playground, row_stationary_fig6
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import conv2d
+from repro.visualize import enumerate_mappings, mapping_table
+
+
+@pytest.fixture(scope="module")
+def fig6_setup():
+    layer = conv2d("fig1", n=2, k=4, c=6, y=8, x=8, r=3, s=3)
+    return layer, row_stationary_fig6(), Accelerator(num_pes=6)
+
+
+def by_pe(mappings, step):
+    return {
+        mapping.pe_coordinates: mapping.boxes
+        for mapping in mappings
+        if mapping.step == step
+    }
+
+
+class TestFig6d:
+    """The relationships the paper reads off Figure 6(d)."""
+
+    def test_six_pes_enumerated(self, fig6_setup):
+        layer, flow, acc = fig6_setup
+        mappings = enumerate_mappings(layer, flow, acc, steps=1)
+        assert len(mappings) == 6
+        assert {m.pe_coordinates for m in mappings} == {
+            (c, p) for c in range(2) for p in range(3)
+        }
+
+    def test_weights_identical_across_clusters(self, fig6_setup):
+        """Same weight set in both clusters -> spatial multicast."""
+        layer, flow, acc = fig6_setup
+        pes = by_pe(enumerate_mappings(layer, flow, acc, steps=1), 0)
+        for pe in range(3):
+            assert pes[(0, pe)]["W"] == pes[(1, pe)]["W"]
+
+    def test_weights_differ_by_filter_row_within_cluster(self, fig6_setup):
+        layer, flow, acc = fig6_setup
+        pes = by_pe(enumerate_mappings(layer, flow, acc, steps=1), 0)
+        r_rows = [pes[(0, pe)]["W"][2] for pe in range(3)]
+        assert r_rows == [(0, 1), (1, 2), (2, 3)]
+
+    def test_inputs_replicated_diagonally(self, fig6_setup):
+        """Cluster 0 / PE i+1 holds the same rows as cluster 1 / PE i."""
+        layer, flow, acc = fig6_setup
+        pes = by_pe(enumerate_mappings(layer, flow, acc, steps=1), 0)
+        for pe in range(2):
+            assert pes[(0, pe + 1)]["I"] == pes[(1, pe)]["I"]
+
+    def test_outputs_identical_within_cluster(self, fig6_setup):
+        """All PEs of a cluster accumulate the same outputs."""
+        layer, flow, acc = fig6_setup
+        pes = by_pe(enumerate_mappings(layer, flow, acc, steps=1), 0)
+        for cluster in range(2):
+            outputs = {pes[(cluster, pe)]["O"] for pe in range(3)}
+            assert len(outputs) == 1
+        assert pes[(0, 0)]["O"] != pes[(1, 0)]["O"]
+
+    def test_steps_advance_the_mapping(self, fig6_setup):
+        layer, flow, acc = fig6_setup
+        mappings = enumerate_mappings(layer, flow, acc, steps=2)
+        step0 = by_pe(mappings, 0)
+        step1 = by_pe(mappings, 1)
+        assert step0[(0, 0)]["W"] != step1[(0, 0)]["W"]  # K advanced
+        assert step0[(0, 0)]["I"] == step1[(0, 0)]["I"]  # inputs held
+
+
+class TestFig5Mappings:
+    def test_output_stationary_a(self):
+        """Figure 5(A): PEs hold distinct output columns, same weights."""
+        layer = conv2d("conv1d", k=1, c=1, y=1, x=17, r=1, s=6)
+        flow = fig5_playground()["A"]
+        pes = by_pe(
+            enumerate_mappings(layer, flow, Accelerator(num_pes=3), steps=1), 0
+        )
+        outputs = [pes[(p,)]["O"][3] for p in range(3)]
+        assert outputs == [(0, 1), (1, 2), (2, 3)]
+        weights = {pes[(p,)]["W"] for p in range(3)}
+        assert len(weights) == 1
+
+
+class TestMappingTable:
+    def test_renders(self, fig6_setup):
+        layer, flow, acc = fig6_setup
+        text = mapping_table(layer, flow, acc, "W", steps=2)
+        assert "W mapping" in text
+        assert "0/2" in text
+
+    def test_unknown_tensor_raises(self, fig6_setup):
+        layer, flow, acc = fig6_setup
+        with pytest.raises(KeyError):
+            mapping_table(layer, flow, acc, "Z")

@@ -1,0 +1,144 @@
+"""Tests for the model zoo: structure and known op counts."""
+
+import pytest
+
+from repro.model.taxonomy import OperatorClass, classify_layer
+from repro.model.zoo import MODELS, build
+from repro.tensors import dims as D
+
+
+class TestVGG16:
+    def test_thirteen_convs_three_fcs(self, vgg16):
+        convs = [l for l in vgg16 if l.name.startswith("CONV")]
+        fcs = [l for l in vgg16 if l.name.startswith("FC")]
+        assert len(convs) == 13
+        assert len(fcs) == 3
+
+    def test_total_macs_about_15_5G(self, vgg16):
+        """VGG16 is famously ~15.3-15.5 GMACs of convolution."""
+        conv_ops = sum(l.total_ops() for l in vgg16.conv_layers())
+        assert 1.4e10 < conv_ops < 1.6e10
+
+    def test_conv2_shape(self, vgg16):
+        layer = vgg16.layer("CONV2")
+        assert layer.dims[D.K] == 64
+        assert layer.dims[D.C] == 64
+        assert layer.out_y == 224
+
+    def test_conv11_is_late_layer(self, vgg16):
+        assert classify_layer(vgg16.layer("CONV11")) is OperatorClass.LATE_CONV
+
+    def test_conv1_is_early_layer(self, vgg16):
+        assert classify_layer(vgg16.layer("CONV1")) is OperatorClass.EARLY_CONV
+
+    def test_fc1_input_is_flattened_pool5(self, vgg16):
+        assert vgg16.layer("FC1").dims[D.C] == 512 * 7 * 7
+
+
+class TestAlexNet:
+    def test_conv1_output_is_55(self, alexnet):
+        assert alexnet.layer("CONV1").out_y == 55
+
+    def test_grouped_layers(self, alexnet):
+        assert alexnet.layer("CONV2").groups == 2
+        assert alexnet.layer("CONV3").groups == 1
+
+    def test_total_macs_about_700M(self, alexnet):
+        conv_ops = sum(l.total_ops() for l in alexnet.conv_layers())
+        assert 6e8 < conv_ops < 8e8
+
+
+class TestResNet50:
+    def test_total_macs_about_4G(self):
+        net = build("resnet50")
+        assert 3.5e9 < net.total_ops() < 4.5e9
+
+    def test_has_bottleneck_structure(self):
+        net = build("resnet50")
+        block = [l for l in net if l.name.startswith("CONV2_1")]
+        suffixes = {l.name.split("CONV2_1")[1] for l in block}
+        assert {"a", "b", "c", "_shortcut", "_add"} <= suffixes
+
+    def test_residual_adds_are_elementwise(self):
+        net = build("resnet50")
+        add = net.layer("CONV2_1_add")
+        assert classify_layer(add) is OperatorClass.RESIDUAL
+
+    def test_stage_extents(self):
+        net = build("resnet50")
+        assert net.layer("CONV5_3c").out_y == 7
+
+
+class TestResNeXt50:
+    def test_grouped_3x3(self):
+        net = build("resnext50")
+        conv = net.layer("CONV2_1b")
+        assert conv.groups == 32
+        # 32x4d: stage-2 bottleneck width 128, 4 channels per group.
+        assert conv.dims[D.C] == 4
+
+    def test_more_ops_than_resnet_in_3x3(self):
+        resnet = build("resnet50").layer("CONV2_1b").total_ops()
+        resnext = build("resnext50").layer("CONV2_1b").total_ops()
+        assert resnext != resnet
+
+
+class TestMobileNetV2:
+    def test_depthwise_and_pointwise_present(self, mobilenet_v2):
+        classes = {classify_layer(l) for l in mobilenet_v2}
+        assert OperatorClass.DEPTHWISE in classes
+        assert OperatorClass.POINTWISE in classes
+        assert OperatorClass.RESIDUAL in classes
+
+    def test_total_macs_about_300M(self, mobilenet_v2):
+        assert 2.5e8 < mobilenet_v2.total_ops() < 3.5e8
+
+    def test_first_block_no_expand(self, mobilenet_v2):
+        names = [l.name for l in mobilenet_v2]
+        assert "BN1_1_dw" in names
+        assert "BN1_1_expand" not in names
+
+    def test_stride_two_blocks_shrink(self, mobilenet_v2):
+        assert mobilenet_v2.layer("BN2_1_dw").out_y == 56
+
+
+class TestUNet:
+    def test_contracting_path_extents(self):
+        net = build("unet")
+        assert net.layer("DOWN1_1").out_y == 570
+        assert net.layer("DOWN5_2").out_y == 28
+
+    def test_upconv_doubles(self):
+        net = build("unet")
+        assert net.layer("UPCONV1").out_y == 56
+
+    def test_final_output_388(self):
+        net = build("unet")
+        assert net.layer("FINAL").out_y == 388
+
+    def test_transposed_layers_have_structured_sparsity(self):
+        net = build("unet")
+        assert net.layer("UPCONV2").density("I") < 1.0
+
+
+class TestDCGAN:
+    def test_generator_reaches_64(self):
+        net = build("dcgan")
+        assert net.layer("CONV4").out_y == 64
+
+    def test_all_convs_transposed(self):
+        net = build("dcgan")
+        for layer in net.conv_layers():
+            assert layer.operator.name == "TRCONV"
+
+
+class TestRegistry:
+    def test_build_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build("lenet")
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_all_models_build(self, name):
+        net = build(name)
+        assert len(net.layers) > 0
+        assert net.total_ops() > 0
