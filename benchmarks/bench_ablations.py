@@ -7,8 +7,6 @@
 
 import time
 
-import pytest
-
 from repro.dataflow.library import kc_partitioned, x_partitioned
 from repro.dse import explore
 from repro.dse.space import DesignSpace, kc_partitioned_variants

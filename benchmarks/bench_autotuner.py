@@ -8,8 +8,6 @@ designs/second for the C++ DSE; this records the Python equivalent).
 
 import time
 
-import pytest
-
 from repro.dataflow.library import table3_dataflows
 from repro.engines.analysis import analyze_layer
 from repro.hardware.accelerator import Accelerator

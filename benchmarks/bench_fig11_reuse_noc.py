@@ -7,8 +7,6 @@ the paper), the algorithmic maximum ("A" bars), and the NoC bandwidth
 each dataflow needs to stay compute-bound.
 """
 
-import math
-
 import pytest
 
 from repro.dataflow.library import table3_dataflows

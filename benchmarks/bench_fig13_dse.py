@@ -157,6 +157,66 @@ def test_fig13_shape_claims(dse_results):
     )
 
 
+def test_fig13_static_lint_pruning(dse_results, emit_result):
+    """The static-analyzer win: cost-model calls and wall-clock saved.
+
+    Re-runs every Figure 13 sweep with ``static_lint=False`` and
+    compares; optima must be identical (the lint reject set is
+    binding-equivalent) while the linted sweep pays strictly fewer
+    cost-model evaluations wherever any variant is unbindable.
+    """
+    import time
+
+    vgg16 = build("vgg16")
+    rows = []
+    for flow_name, space in spaces().items():
+        for layer_name in ("CONV2", "CONV11"):
+            layer = vgg16.layer(layer_name)
+            linted = dse_results[(flow_name, layer_name)]
+            start = time.perf_counter()
+            brute = explore(
+                layer, space, area_budget=AREA_BUDGET,
+                power_budget=POWER_BUDGET, static_lint=False,
+            )
+            brute_elapsed = time.perf_counter() - start
+
+            # Identical surviving designs and optima.
+            assert len(linted.points) == len(brute.points)
+            assert linted.throughput_optimal == brute.throughput_optimal
+            assert linted.energy_optimal == brute.energy_optimal
+            assert linted.edp_optimal == brute.edp_optimal
+            if linted.statistics.static_rejects:
+                assert (
+                    linted.statistics.cost_model_calls
+                    < brute.statistics.cost_model_calls
+                )
+
+            saved = brute_elapsed - linted.statistics.elapsed_seconds
+            rows.append(
+                [
+                    f"{flow_name}/{layer_name}",
+                    linted.statistics.static_rejects,
+                    linted.statistics.cost_model_calls,
+                    brute.statistics.cost_model_calls,
+                    f"{linted.statistics.elapsed_seconds:.2f}",
+                    f"{brute_elapsed:.2f}",
+                    f"{saved:+.2f}",
+                ]
+            )
+    emit_result(
+        "fig13_static_lint_pruning",
+        format_table(
+            [
+                "DSE setting", "lint rejects", "cost-model calls (lint)",
+                "cost-model calls (brute)", "lint time (s)",
+                "brute time (s)", "saved (s)",
+            ],
+            rows,
+            title="Static mapping analyzer — DSE pruning win (identical optima)",
+        ),
+    )
+
+
 def test_fig13_dse_rate_benchmark(benchmark):
     """Timed kernel: one pruned sweep over a small space."""
     layer = build("vgg16").layer("CONV11")

@@ -6,8 +6,6 @@ row-stationary example, using the reuse classifier and the mapping
 enumerator.
 """
 
-import pytest
-
 from repro.dataflow.library import fig5_playground, row_stationary_fig6
 from repro.engines.analysis import analyze_layer
 from repro.engines.insight import summarize_reuse

@@ -19,7 +19,7 @@ from repro.adaptive import adaptive_analysis
 from repro.dataflow.library import kc_partitioned, table3_dataflows, yx_partitioned
 from repro.engines.analysis import analyze_network
 from repro.hardware.accelerator import Accelerator
-from repro.hetero import SubAccelerator, analyze_heterogeneous, split_accelerator
+from repro.hetero import analyze_heterogeneous, split_accelerator
 from repro.model.zoo import build
 from repro.util.text_table import format_table
 

@@ -7,7 +7,6 @@ prints the rows/series the paper reports and also writes them under
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

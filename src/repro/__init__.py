@@ -19,6 +19,14 @@ Quickstart::
 """
 
 from repro.dataflow import Dataflow, parse_dataflow
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    lint_dataflow,
+    lint_text,
+    static_errors,
+)
 from repro.engines import (
     LayerAnalysis,
     NetworkAnalysis,
@@ -45,5 +53,11 @@ __all__ = [
     "AreaModel",
     "Layer",
     "Network",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "lint_dataflow",
+    "lint_text",
+    "static_errors",
     "__version__",
 ]

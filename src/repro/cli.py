@@ -4,6 +4,10 @@ Subcommands:
 
 - ``analyze`` — run the cost model for a zoo model (or one layer) under
   a named dataflow and print the per-layer report table;
+- ``lint`` — statically check a dataflow (DSL file or library entry),
+  optionally against a layer and hardware config, and print a
+  rustc-style diagnostic report (or ``--format json``); exits 1 when
+  the mapping has errors;
 - ``validate`` — compare the analytical model against the reference
   simulator on a layer;
 - ``dse`` — run a small hardware design-space exploration for a layer;
@@ -86,6 +90,49 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_dataflow, lint_text
+
+    if args.layer and not args.model:
+        raise SystemExit("--layer requires --model")
+    layer = None
+    if args.model:
+        network = build(args.model)
+        layer = network.layer(args.layer) if args.layer else network.layers[0]
+    accelerator = Accelerator(
+        num_pes=args.pes,
+        l1_size=args.l1,
+        l2_size=args.l2,
+        noc=NoC(bandwidth=args.bandwidth, avg_latency=args.latency),
+    )
+    catalog = table3_dataflows()
+    if args.dataflow in catalog:
+        report = lint_dataflow(catalog[args.dataflow], layer, accelerator)
+    else:
+        try:
+            with open(args.dataflow) as handle:
+                text = handle.read()
+        except OSError:
+            raise SystemExit(
+                f"unknown dataflow {args.dataflow!r}: not in {sorted(catalog)} "
+                f"and not a readable file"
+            )
+        except UnicodeDecodeError as exc:
+            raise SystemExit(f"{args.dataflow}: not a text file ({exc})")
+        report = lint_text(
+            text,
+            name=args.dataflow,
+            source=args.dataflow,
+            layer=layer,
+            accelerator=accelerator,
+        )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 1 if report.has_errors else 0
+
+
 def _cmd_adaptive(args: argparse.Namespace) -> int:
     network = build(args.model)
     accelerator = _accelerator(args)
@@ -144,8 +191,9 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     stats = result.statistics
     print(
         f"explored {stats.explored} designs ({stats.valid} valid, "
-        f"{stats.pruned} pruned) in {stats.elapsed_seconds:.2f}s "
-        f"({stats.effective_rate:.0f} designs/s)"
+        f"{stats.pruned} pruned, {stats.static_rejects} lint-rejected, "
+        f"{stats.cost_model_calls} cost-model calls) in "
+        f"{stats.elapsed_seconds:.2f}s ({stats.effective_rate:.0f} designs/s)"
     )
     for label, point in (
         ("throughput-optimal", result.throughput_optimal),
@@ -198,6 +246,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     add_hw(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_lint = sub.add_parser("lint", help="statically check a dataflow")
+    p_lint.add_argument(
+        "dataflow", help="library dataflow name or DSL file path"
+    )
+    p_lint.add_argument(
+        "--model", choices=sorted(MODELS), help="zoo model to lint against"
+    )
+    p_lint.add_argument(
+        "--layer", help="layer name (default: first layer of --model)"
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
+    p_lint.add_argument("--l1", type=int, help="L1 scratchpad bytes per PE")
+    p_lint.add_argument("--l2", type=int, help="shared L2 buffer bytes")
+    add_hw(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_adaptive = sub.add_parser("adaptive", help="best dataflow per layer")
     p_adaptive.add_argument("--model", required=True, choices=sorted(MODELS))

@@ -46,33 +46,16 @@ class Dataflow:
     directives: Tuple[Directive, ...]
 
     def __post_init__(self) -> None:
-        if not self.directives:
-            raise DataflowError(f"{self.name}: a dataflow needs at least one directive")
-        for directive in self.directives:
-            if not isinstance(directive, (MapDirective, ClusterDirective)):
-                raise DataflowError(
-                    f"{self.name}: unexpected directive {directive!r}"
-                )
-        if isinstance(self.directives[-1], ClusterDirective):
-            raise DataflowError(
-                f"{self.name}: a Cluster directive must be followed by maps"
-            )
-        self._validate_representation()
+        # Structural validation is delegated to the static mapping
+        # analyzer's construction rules (DF001-DF004); the raised error
+        # keeps the legacy message of the first finding and carries the
+        # full diagnostic list.
+        from repro.lint.engine import construction_diagnostics
 
-    def _validate_representation(self) -> None:
-        """Each activation axis must use one coordinate system throughout."""
-        for in_dim, out_dim in ((D.Y, D.YP), (D.X, D.XP)):
-            used = {
-                directive.dim
-                for directive in self.directives
-                if isinstance(directive, MapDirective)
-                and directive.dim in (in_dim, out_dim)
-            }
-            if len(used) > 1:
-                raise DataflowError(
-                    f"{self.name}: directives mix {in_dim} and {out_dim}; "
-                    f"pick one coordinate system per axis"
-                )
+        diagnostics = construction_diagnostics(self.name, self.directives)
+        errors = [d for d in diagnostics if d.is_error]
+        if errors:
+            raise DataflowError(errors[0].message, diagnostics=diagnostics)
 
     def levels(self) -> List[LevelSpec]:
         """Split the directive list into cluster levels."""

@@ -14,12 +14,19 @@ The syntax follows the paper's listings (Table 3, Figure 4)::
 
 Comments start with ``//`` or ``#``; blank lines are ignored. Sizes and
 offsets are integer expressions over ``Sz(dim)``.
+
+Two entry points: :func:`parse_dataflow` (strict — raises
+:class:`~repro.errors.DataflowParseError` at the first bad line, as a
+library loader wants) and :func:`scan_dataflow` (lenient — every bad
+line becomes a ``DF002`` diagnostic with a source span and scanning
+continues, which is what ``repro lint`` builds on).
 """
 
 from __future__ import annotations
 
 import re
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.dataflow.dataflow import Dataflow
 from repro.dataflow.directives import (
@@ -29,6 +36,7 @@ from repro.dataflow.directives import (
     SizeExpr,
 )
 from repro.errors import DataflowParseError
+from repro.lint.diagnostics import Diagnostic, Severity, SourceSpan
 from repro.tensors.dims import ALL_DIRECTIVE_DIMS
 
 _MAP_RE = re.compile(
@@ -37,7 +45,20 @@ _MAP_RE = re.compile(
 _CLUSTER_RE = re.compile(r"^Cluster\s*\(\s*(?P<size>.+?)\s*\)$")
 
 
-def _split_args(args: str, line_number: int) -> "tuple[str, str]":
+@dataclass(frozen=True)
+class ScanResult:
+    """A lenient scan: directives with spans, plus syntax diagnostics.
+
+    ``spans`` is parallel to ``directives``; ``diagnostics`` holds one
+    ``DF002`` finding per unparsable line.
+    """
+
+    directives: Tuple[Directive, ...]
+    spans: Tuple[SourceSpan, ...]
+    diagnostics: Tuple[Diagnostic, ...]
+
+
+def _split_args(args: str) -> "Optional[Tuple[str, str]]":
     """Split ``size, offset`` on the comma at parenthesis depth zero."""
     depth = 0
     for index, char in enumerate(args):
@@ -47,9 +68,7 @@ def _split_args(args: str, line_number: int) -> "tuple[str, str]":
             depth -= 1
         elif char == "," and depth == 0:
             return args[:index].strip(), args[index + 1 :].strip()
-    raise DataflowParseError(
-        f"line {line_number}: expected 'size, offset' arguments, got {args!r}"
-    )
+    return None
 
 
 def _parse_size(text: str) -> "int | SizeExpr":
@@ -59,21 +78,49 @@ def _parse_size(text: str) -> "int | SizeExpr":
     return SizeExpr(text)
 
 
-def parse_dataflow(text: str, name: str = "parsed") -> Dataflow:
-    """Parse a dataflow from its textual DSL form."""
+def scan_dataflow(text: str, name: str = "parsed") -> ScanResult:
+    """Scan DSL text leniently; see :class:`ScanResult`."""
     directives: List[Directive] = []
+    spans: List[SourceSpan] = []
+    diagnostics: List[Diagnostic] = []
+
+    def syntax_error(message: str, line_number: int, span: SourceSpan) -> None:
+        diagnostics.append(
+            Diagnostic(
+                code="DF002",
+                severity=Severity.ERROR,
+                message=f"line {line_number}: {message}",
+                span=span,
+            )
+        )
+
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.split("//")[0].split("#")[0].strip()
         if not line:
             continue
+        column = raw_line.find(line) + 1
+        span = SourceSpan(
+            line=line_number,
+            column=column,
+            end_column=column + len(line),
+            source=raw_line.rstrip("\n"),
+        )
         map_match = _MAP_RE.match(line)
         if map_match:
             dim = map_match.group("dim")
             if dim not in ALL_DIRECTIVE_DIMS:
-                raise DataflowParseError(
-                    f"line {line_number}: unknown dimension {dim!r}"
+                syntax_error(f"unknown dimension {dim!r}", line_number, span)
+                continue
+            split = _split_args(map_match.group("args"))
+            if split is None:
+                syntax_error(
+                    f"expected 'size, offset' arguments, "
+                    f"got {map_match.group('args')!r}",
+                    line_number,
+                    span,
                 )
-            size_text, offset_text = _split_args(map_match.group("args"), line_number)
+                continue
+            size_text, offset_text = split
             directives.append(
                 MapDirective(
                     dim=dim,
@@ -82,14 +129,36 @@ def parse_dataflow(text: str, name: str = "parsed") -> Dataflow:
                     spatial=map_match.group("kind") == "SpatialMap",
                 )
             )
+            spans.append(span)
             continue
         cluster_match = _CLUSTER_RE.match(line)
         if cluster_match:
             directives.append(
                 ClusterDirective(size=_parse_size(cluster_match.group("size")))
             )
+            spans.append(span)
             continue
-        raise DataflowParseError(f"line {line_number}: cannot parse {raw_line!r}")
-    if not directives:
-        raise DataflowParseError("empty dataflow description")
-    return Dataflow(name=name, directives=tuple(directives))
+        syntax_error(f"cannot parse {raw_line!r}", line_number, span)
+
+    return ScanResult(
+        directives=tuple(directives),
+        spans=tuple(spans),
+        diagnostics=tuple(diagnostics),
+    )
+
+
+def parse_dataflow(text: str, name: str = "parsed") -> Dataflow:
+    """Parse a dataflow from its textual DSL form (strict)."""
+    scan = scan_dataflow(text, name=name)
+    if scan.diagnostics:
+        raise DataflowParseError(
+            scan.diagnostics[0].message, diagnostics=list(scan.diagnostics)
+        )
+    if not scan.directives:
+        empty = Diagnostic(
+            code="DF001",
+            severity=Severity.ERROR,
+            message="empty dataflow description",
+        )
+        raise DataflowParseError(empty.message, diagnostics=[empty])
+    return Dataflow(name=name, directives=scan.directives)

@@ -25,19 +25,28 @@ from repro.errors import BindingError, DataflowError
 from repro.hardware.accelerator import Accelerator, NoC
 from repro.hardware.area import DEFAULT_AREA_MODEL, AreaModel
 from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.lint.engine import required_pes, static_errors
 from repro.model.layer import Layer
 from repro.util.pareto import pareto_front
 
 
 @dataclass(frozen=True)
 class DSEStatistics:
-    """Sweep statistics, the paper's Figure 13(c) table."""
+    """Sweep statistics, the paper's Figure 13(c) table.
+
+    ``pruned`` includes ``static_rejects``: mapping×hardware points the
+    static mapping analyzer rejected without a cost-model run.
+    ``cost_model_calls`` counts actual :func:`analyze_layer` invocations
+    (including ones that raised), so the lint pruning win is measurable.
+    """
 
     explored: int
     evaluated: int
     valid: int
     pruned: int
     elapsed_seconds: float
+    static_rejects: int = 0
+    cost_model_calls: int = 0
 
     @property
     def effective_rate(self) -> float:
@@ -71,13 +80,37 @@ def explore(
     area_model: AreaModel = DEFAULT_AREA_MODEL,
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
     noc_latency: int = 2,
+    static_lint: bool = True,
 ) -> DSEResult:
-    """Sweep ``space`` for ``layer`` under the given budgets."""
+    """Sweep ``space`` for ``layer`` under the given budgets.
+
+    With ``static_lint`` (the default) every dataflow variant is checked
+    once by the static mapping analyzer; points whose mapping cannot
+    bind (wrong sizes, duplicated dims, cluster hierarchy larger than
+    the PE array) are counted into ``pruned`` without paying a
+    cost-model evaluation. The check is binding-equivalent, so the
+    surviving set — and therefore every optimum — is identical to a
+    sweep with ``static_lint=False``.
+    """
     points: List[DesignPoint] = []
     explored = evaluated = pruned = 0
+    static_rejects = cost_model_calls = 0
     start = time.perf_counter()
 
     best = {"throughput": None, "energy": None, "edp": None}
+
+    # One static pass per variant: the layer-only lint verdict and the
+    # PE demand of the cluster hierarchy (compared per PE count below).
+    variant_lint: dict = {}
+    if static_lint:
+        for label, dataflow in space.dataflow_variants:
+            try:
+                needed = required_pes(dataflow, layer)
+            except DataflowError:
+                variant_lint[(label, dataflow.name)] = (True, 0)
+                continue
+            errors = static_errors(dataflow, layer)
+            variant_lint[(label, dataflow.name)] = (bool(errors), needed)
 
     for num_pes in space.pe_counts:
         # Prune the whole PE row if even the cheapest NoC busts the budget.
@@ -103,6 +136,13 @@ def explore(
             )
             for label, dataflow in space.dataflow_variants:
                 explored += 1
+                if static_lint:
+                    bad, needed = variant_lint[(label, dataflow.name)]
+                    if bad or needed > num_pes:
+                        pruned += 1
+                        static_rejects += 1
+                        continue
+                cost_model_calls += 1
                 try:
                     report = analyze_layer(layer, dataflow, accelerator, energy_model)
                 except (BindingError, DataflowError):
@@ -143,6 +183,8 @@ def explore(
         valid=len(points),
         pruned=pruned,
         elapsed_seconds=elapsed,
+        static_rejects=static_rejects,
+        cost_model_calls=cost_model_calls,
     )
     return DSEResult(
         points=tuple(points),

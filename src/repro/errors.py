@@ -2,13 +2,34 @@
 
 All errors raised by the package derive from :class:`ReproError` so callers
 can catch everything coming from this library with a single ``except``.
+
+Errors raised by code that went through the static mapping analyzer carry
+the structured findings in ``diagnostics`` (a list of
+:class:`repro.lint.Diagnostic`), so an ``except DataflowError`` site can
+inspect codes, severities, and fix-its instead of parsing the message.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro package."""
+    """Base class for all errors raised by the repro package.
+
+    ``diagnostics`` holds the :class:`repro.lint.Diagnostic` findings
+    behind the error when it came out of the static mapping analyzer;
+    it is empty for errors raised directly.
+    """
+
+    def __init__(self, *args, diagnostics=None):
+        super().__init__(*args)
+        self.diagnostics = list(diagnostics or [])
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        codes = sorted({d.code for d in self.diagnostics})
+        if codes:
+            return f"{base} [{', '.join(codes)}]"
+        return base
 
 
 class DataflowError(ReproError):

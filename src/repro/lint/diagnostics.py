@@ -1,0 +1,209 @@
+"""Diagnostic objects: what the static mapping analyzer emits.
+
+A :class:`Diagnostic` is one finding — a stable code (``DF001``…), a
+severity, a human message, the offending directive (with a
+:class:`SourceSpan` when the dataflow was parsed from DSL text), and an
+optional machine-applicable :class:`FixIt`. A :class:`LintReport`
+aggregates the findings for one mapping and renders them either as a
+rustc-style text report or as JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` findings make a mapping invalid (construction raises, the
+    CLI exits 1, and search tools reject the candidate); ``WARNING``
+    findings waste hardware or bandwidth but still analyze; ``INFO``
+    findings are observations.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Location of a directive in DSL source text (1-based columns)."""
+
+    line: int
+    column: int
+    end_column: int
+    source: str  # the full raw source line, without its newline
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_column": self.end_column,
+            "source": self.source,
+        }
+
+
+@dataclass(frozen=True)
+class FixIt:
+    """A machine-applicable suggestion attached to a diagnostic.
+
+    ``replacement`` — when present — is the full directive text that
+    should replace the offending one.
+    """
+
+    description: str
+    replacement: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"description": self.description, "replacement": self.replacement}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static mapping analyzer."""
+
+    code: str
+    severity: Severity
+    message: str
+    directive: Optional[str] = None  # str() of the offending directive
+    directive_index: Optional[int] = None  # index into the directive list
+    span: Optional[SourceSpan] = None
+    fixit: Optional[FixIt] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def headline(self) -> str:
+        """One-line summary: ``error[DF005]: message``."""
+        return f"{self.severity}[{self.code}]: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "directive": self.directive,
+            "directive_index": self.directive_index,
+        }
+        payload["span"] = self.span.to_dict() if self.span else None
+        payload["fixit"] = self.fixit.to_dict() if self.fixit else None
+        return payload
+
+
+def _sort_key(diagnostic: Diagnostic) -> Tuple[int, int, str]:
+    position = (
+        diagnostic.span.line
+        if diagnostic.span is not None
+        else (diagnostic.directive_index if diagnostic.directive_index is not None else 1 << 30)
+    )
+    return (diagnostic.severity.rank, position, diagnostic.code)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All diagnostics for one mapping, with rendering helpers.
+
+    ``subject`` is the dataflow name; ``source`` the file path when the
+    mapping was linted from DSL text (used in location lines).
+    """
+
+    subject: str
+    diagnostics: Tuple[Diagnostic, ...]
+    source: Optional[str] = None
+
+    @staticmethod
+    def from_list(
+        subject: str,
+        diagnostics: List[Diagnostic],
+        source: Optional[str] = None,
+    ) -> "LintReport":
+        return LintReport(
+            subject=subject,
+            diagnostics=tuple(sorted(diagnostics, key=_sort_key)),
+            source=source,
+        )
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.is_error for d in self.diagnostics)
+
+    def codes(self) -> List[str]:
+        """Sorted distinct diagnostic codes present in the report."""
+        return sorted({d.code for d in self.diagnostics})
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Rustc-style multi-diagnostic text report."""
+        blocks = [self._render_one(d) for d in self.diagnostics]
+        blocks.append(self._summary_line())
+        return "\n".join(blocks)
+
+    def _render_one(self, diagnostic: Diagnostic) -> str:
+        lines = [diagnostic.headline()]
+        origin = self.source or self.subject
+        if diagnostic.span is not None:
+            span = diagnostic.span
+            lines.append(f"  --> {origin}:{span.line}:{span.column}")
+            gutter = f"{span.line:>4}"
+            pad = " " * len(gutter)
+            lines.append(f"{pad} |")
+            lines.append(f"{gutter} | {span.source}")
+            carets = " " * (span.column - 1) + "^" * max(1, span.end_column - span.column)
+            lines.append(f"{pad} | {carets}")
+        elif diagnostic.directive is not None:
+            lines.append(
+                f"  --> {origin}: directive {diagnostic.directive_index}: "
+                f"{diagnostic.directive}"
+            )
+        if diagnostic.fixit is not None:
+            help_line = f"   = help: {diagnostic.fixit.description}"
+            if diagnostic.fixit.replacement:
+                help_line += f" -> `{diagnostic.fixit.replacement}`"
+            lines.append(help_line)
+        return "\n".join(lines) + "\n"
+
+    def _summary_line(self) -> str:
+        return (
+            f"{self.subject}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {len(self.infos)} info(s)"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "source": self.source,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,164 @@
+"""The lint engine: select applicable rules and run them over a mapping.
+
+Three entry points cover the three ways a mapping shows up:
+
+- :func:`lint_directives` — the low-level pass over a raw directive
+  list (possibly malformed — this is what construction validation uses);
+- :func:`lint_dataflow` — lint a constructed
+  :class:`~repro.dataflow.dataflow.Dataflow`, optionally against a
+  :class:`~repro.model.layer.Layer` and an
+  :class:`~repro.hardware.accelerator.Accelerator` (more context
+  enables more rules);
+- :func:`lint_text` — lint DSL text *leniently*: every syntax error
+  becomes a diagnostic with a source span instead of aborting the parse.
+
+:func:`static_errors` is the fast subset the DSE explorer and the
+auto-tuner call: only *binding-equivalent* error rules run, so a
+non-empty result guarantees :func:`~repro.engines.binding.bind_dataflow`
+would raise for the same mapping — rejecting it statically can never
+change which candidates survive a search.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from repro.lint.diagnostics import Diagnostic, LintReport, SourceSpan
+from repro.lint.rules import RULES, RuleContext, required_pes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dataflow.dataflow import Dataflow
+    from repro.dataflow.directives import Directive
+    from repro.hardware.accelerator import Accelerator
+    from repro.model.layer import Layer
+
+__all__ = [
+    "construction_diagnostics",
+    "lint_dataflow",
+    "lint_directives",
+    "lint_text",
+    "required_pes",
+    "static_errors",
+]
+
+
+def lint_directives(
+    name: str,
+    directives: "Sequence[Directive]",
+    layer: "Optional[Layer]" = None,
+    accelerator: "Optional[Accelerator]" = None,
+    spans: "Optional[Sequence[Optional[SourceSpan]]]" = None,
+    dataflow: object = None,
+    codes: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Run every applicable rule over a raw directive list.
+
+    Rules whose requirements (``layer``, ``accelerator``) are not met
+    are skipped silently; ``codes`` restricts the pass to a subset of
+    rule codes. Results come back in rule-code order (stable).
+    """
+    context = RuleContext(
+        name=name,
+        directives=tuple(directives),
+        layer=layer,
+        accelerator=accelerator,
+        dataflow=dataflow,
+        spans=tuple(spans) if spans is not None else None,
+    )
+    available = set()
+    if layer is not None:
+        available.add("layer")
+    if accelerator is not None:
+        available.add("accelerator")
+    selected = None if codes is None else set(codes)
+    diagnostics: List[Diagnostic] = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        if selected is not None and code not in selected:
+            continue
+        if not rule.requires <= available:
+            continue
+        diagnostics.extend(rule.check(context))
+    return diagnostics
+
+
+def construction_diagnostics(
+    name: str, directives: "Sequence[Directive]"
+) -> List[Diagnostic]:
+    """The structural checks ``Dataflow.__post_init__`` enforces.
+
+    Only rules flagged ``construction`` run — they need no layer or
+    hardware context and their errors make the object unbuildable.
+    """
+    codes = [code for code, rule in RULES.items() if rule.construction]
+    return lint_directives(name, directives, codes=codes)
+
+
+def lint_dataflow(
+    dataflow: "Dataflow",
+    layer: "Optional[Layer]" = None,
+    accelerator: "Optional[Accelerator]" = None,
+) -> LintReport:
+    """Lint a constructed dataflow; more context enables more rules."""
+    diagnostics = lint_directives(
+        dataflow.name,
+        dataflow.directives,
+        layer=layer,
+        accelerator=accelerator,
+        dataflow=dataflow,
+    )
+    return LintReport.from_list(dataflow.name, diagnostics)
+
+
+def lint_text(
+    text: str,
+    name: str = "parsed",
+    source: Optional[str] = None,
+    layer: "Optional[Layer]" = None,
+    accelerator: "Optional[Accelerator]" = None,
+) -> LintReport:
+    """Lint DSL text leniently, with source spans on every diagnostic.
+
+    Unlike :func:`~repro.dataflow.parser.parse_dataflow`, syntax errors
+    do not abort: every unparsable line becomes a ``DF002`` diagnostic
+    and the remaining well-formed directives are still checked by the
+    semantic rules.
+    """
+    from repro.dataflow.parser import scan_dataflow
+
+    scan = scan_dataflow(text, name=name)
+    diagnostics = list(scan.diagnostics)
+    diagnostics.extend(
+        lint_directives(
+            name,
+            scan.directives,
+            layer=layer,
+            accelerator=accelerator,
+            spans=scan.spans,
+        )
+    )
+    return LintReport.from_list(name, diagnostics, source=source)
+
+
+def static_errors(
+    dataflow: "Dataflow",
+    layer: "Layer",
+    accelerator: "Optional[Accelerator]" = None,
+) -> List[Diagnostic]:
+    """Binding-equivalent errors only: the search-pruning fast path.
+
+    Every diagnostic returned here corresponds to a condition under
+    which :func:`~repro.engines.binding.bind_dataflow` raises, so a
+    search loop may skip the candidate without evaluating it and still
+    visit exactly the same set of valid designs.
+    """
+    codes = [code for code, rule in RULES.items() if rule.binding_equivalent]
+    diagnostics = lint_directives(
+        dataflow.name,
+        dataflow.directives,
+        layer=layer,
+        accelerator=accelerator,
+        dataflow=dataflow,
+        codes=codes,
+    )
+    return [d for d in diagnostics if d.is_error]

@@ -1,0 +1,820 @@
+"""The lint rule registry: every ``DF0xx`` check over a directive list.
+
+Each rule is a generator over a :class:`RuleContext` registered with the
+:func:`rule` decorator. Rules declare what context they need (``layer``,
+``accelerator``) and two orthogonal properties:
+
+- ``construction`` rules run inside ``Dataflow.__post_init__`` and make
+  construction raise (they need no layer or hardware);
+- ``binding_equivalent`` rules are *sound* with respect to the cluster
+  analysis engine: an error from one of them implies
+  :func:`~repro.engines.binding.bind_dataflow` would raise for the same
+  mapping, which lets the DSE explorer and the auto-tuner reject
+  candidates statically without ever changing which designs survive.
+
+The full catalog, with bad/fixed example pairs, lives in
+``docs/mapping-lints.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.dataflow.directives import (
+    ClusterDirective,
+    Directive,
+    MapDirective,
+    evaluate_size,
+)
+from repro.errors import DataflowError
+from repro.lint.diagnostics import Diagnostic, FixIt, Severity, SourceSpan
+from repro.tensors import dims as D
+from repro.util.intmath import num_chunks, prod
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engines.binding import BoundDataflow
+    from repro.engines.tensor_analysis import TensorAnalysis
+    from repro.hardware.accelerator import Accelerator
+    from repro.model.layer import Layer
+
+#: Dimensions along which a window may legitimately slide (halo reuse).
+_SLIDING_DIMS = frozenset({D.Y, D.X})
+
+
+@dataclass(frozen=True)
+class LevelView:
+    """One cluster level of a (possibly invalid) raw directive list."""
+
+    index: int
+    maps: Tuple[Tuple[int, MapDirective], ...]  # (directive index, directive)
+    cluster: "Optional[Tuple[int, ClusterDirective]]"  # the closing Cluster
+
+
+def split_levels(directives: Tuple[Directive, ...]) -> Tuple[LevelView, ...]:
+    """Group directives into cluster levels, tolerating malformed lists."""
+    levels: List[LevelView] = []
+    maps: List[Tuple[int, MapDirective]] = []
+    for index, directive in enumerate(directives):
+        if isinstance(directive, ClusterDirective):
+            levels.append(
+                LevelView(index=len(levels), maps=tuple(maps), cluster=(index, directive))
+            )
+            maps = []
+        elif isinstance(directive, MapDirective):
+            maps.append((index, directive))
+    levels.append(LevelView(index=len(levels), maps=tuple(maps), cluster=None))
+    return tuple(levels)
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may inspect, with lazily computed derived state."""
+
+    name: str
+    directives: Tuple[Directive, ...]
+    layer: "Optional[Layer]" = None
+    accelerator: "Optional[Accelerator]" = None
+    dataflow: object = None  # the Dataflow instance, when linting one
+    spans: Optional[Tuple[Optional[SourceSpan], ...]] = None
+
+    _bound: object = field(default=None, repr=False)
+    _bound_tried: bool = field(default=False, repr=False)
+    _tensors: object = field(default=None, repr=False)
+    _tensors_tried: bool = field(default=False, repr=False)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> Tuple[LevelView, ...]:
+        return split_levels(self.directives)
+
+    @property
+    def map_entries(self) -> List[Tuple[int, MapDirective]]:
+        return [
+            (i, d) for i, d in enumerate(self.directives) if isinstance(d, MapDirective)
+        ]
+
+    @property
+    def cluster_entries(self) -> List[Tuple[int, ClusterDirective]]:
+        return [
+            (i, d)
+            for i, d in enumerate(self.directives)
+            if isinstance(d, ClusterDirective)
+        ]
+
+    @property
+    def dim_sizes(self) -> Optional[Dict[str, int]]:
+        return self.layer.all_dim_sizes() if self.layer is not None else None
+
+    @property
+    def strides(self) -> Dict[str, int]:
+        if self.layer is None:
+            return {}
+        return {D.Y: self.layer.stride[0], D.X: self.layer.stride[1]}
+
+    def eval_size(self, value) -> Optional[int]:
+        """Concrete value of a size/offset, or ``None`` when unknown.
+
+        Mirrors the cluster analysis engine: symbolic expressions are
+        evaluated against the layer's extents with ``St`` bound to the
+        layer stride. Without a layer, only plain ints are known.
+        """
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, int):
+            return value
+        if self.layer is None:
+            return None
+        try:
+            return evaluate_size(value, self.dim_sizes, self.strides)
+        except (DataflowError, ValueError):
+            return None
+
+    def eval_cluster_size(self, value) -> Optional[int]:
+        """Concrete cluster size, evaluated exactly as binding does.
+
+        Binding evaluates ``Cluster`` sizes without the stride mapping
+        (``St`` resolves to 1), unlike map sizes/offsets.
+        """
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, int):
+            return value
+        if self.layer is None:
+            return None
+        try:
+            return evaluate_size(value, self.dim_sizes)
+        except (DataflowError, ValueError):
+            return None
+
+    def expression_error(self, value) -> Optional[str]:
+        """Why a size expression cannot be evaluated, or ``None`` if it can."""
+        if isinstance(value, int) and not isinstance(value, bool):
+            return None
+        sizes = self.dim_sizes or {dim: 1 for dim in D.ALL_DIRECTIVE_DIMS}
+        try:
+            evaluate_size(value, sizes, self.strides or None)
+        except (DataflowError, ValueError) as error:
+            return str(error)
+        return None
+
+    @property
+    def bound(self) -> "Optional[BoundDataflow]":
+        """The mapping bound to layer + accelerator, or ``None``."""
+        if self._bound_tried:
+            return self._bound
+        self._bound_tried = True
+        if self.layer is None or self.accelerator is None:
+            return None
+        flow = self.dataflow
+        if flow is None:
+            try:
+                from repro.dataflow.dataflow import Dataflow
+
+                flow = Dataflow(name=self.name, directives=tuple(self.directives))
+            except Exception:
+                return None
+        try:
+            from repro.engines.binding import bind_dataflow
+
+            self._bound = bind_dataflow(flow, self.layer, self.accelerator)
+        except Exception:
+            self._bound = None
+        return self._bound
+
+    @property
+    def tensors(self) -> "Optional[TensorAnalysis]":
+        if self._tensors_tried:
+            return self._tensors
+        self._tensors_tried = True
+        if self.layer is None:
+            return None
+        mapped = {d.dim for _, d in self.map_entries}
+        row_rep = "output" if D.YP in mapped else "input"
+        col_rep = "output" if D.XP in mapped else "input"
+        try:
+            from repro.engines.tensor_analysis import analyze_tensors
+
+            self._tensors = analyze_tensors(self.layer, row_rep, col_rep)
+        except Exception:
+            self._tensors = None
+        return self._tensors
+
+    # ------------------------------------------------------------------
+    # Diagnostic construction
+    # ------------------------------------------------------------------
+    def diag(
+        self,
+        code: str,
+        message: str,
+        index: Optional[int] = None,
+        fixit: Optional[FixIt] = None,
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        directive = None
+        span = None
+        if index is not None and 0 <= index < len(self.directives):
+            directive = str(self.directives[index])
+            if self.spans is not None and index < len(self.spans):
+                span = self.spans[index]
+        return Diagnostic(
+            code=code,
+            severity=severity or RULES[code].default_severity,
+            message=message,
+            directive=directive,
+            directive_index=index,
+            span=span,
+            fixit=fixit,
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Registry entry for one diagnostic code."""
+
+    code: str
+    title: str
+    default_severity: Severity
+    requires: frozenset
+    construction: bool
+    binding_equivalent: bool
+    check: Callable[[RuleContext], Iterator[Diagnostic]]
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def rule(
+    code: str,
+    title: str,
+    severity: Severity,
+    requires: Tuple[str, ...] = (),
+    construction: bool = False,
+    binding_equivalent: bool = False,
+):
+    def register(fn: Callable[[RuleContext], Iterator[Diagnostic]]):
+        if code in RULES:  # pragma: no cover - registry misuse guard
+            raise ValueError(f"duplicate lint rule code {code}")
+        RULES[code] = Rule(
+            code=code,
+            title=title,
+            default_severity=severity,
+            requires=frozenset(requires),
+            construction=construction,
+            binding_equivalent=binding_equivalent,
+            check=fn,
+        )
+        return fn
+
+    return register
+
+
+def required_pes(dataflow, layer: "Layer") -> int:
+    """PEs the cluster hierarchy needs, exactly as binding computes it.
+
+    Raises :class:`~repro.errors.DataflowError` (as binding would) when a
+    cluster size cannot be evaluated or is non-positive.
+    """
+    from repro.errors import BindingError
+
+    full_sizes = layer.all_dim_sizes()
+    sizes = []
+    for directive in dataflow.directives:
+        if isinstance(directive, ClusterDirective):
+            size = evaluate_size(directive.size, full_sizes)
+            if size < 1:
+                raise BindingError(
+                    f"{dataflow.name} on {layer.name}: cluster size {size} < 1"
+                )
+            sizes.append(size)
+    return prod(sizes)
+
+
+# ======================================================================
+# Construction-time structural rules (DF001-DF004)
+# ======================================================================
+@rule(
+    "DF001",
+    "dataflow has no directives",
+    Severity.ERROR,
+    construction=True,
+)
+def _check_empty(ctx: RuleContext) -> Iterator[Diagnostic]:
+    if not ctx.directives:
+        yield ctx.diag("DF001", f"{ctx.name}: a dataflow needs at least one directive")
+
+
+@rule(
+    "DF002",
+    "unparsable or unknown directive",
+    Severity.ERROR,
+    construction=True,
+)
+def _check_directive_kinds(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for index, directive in enumerate(ctx.directives):
+        if not isinstance(directive, (MapDirective, ClusterDirective)):
+            yield ctx.diag(
+                "DF002", f"{ctx.name}: unexpected directive {directive!r}", index=index
+            )
+
+
+@rule(
+    "DF003",
+    "Cluster directive not followed by maps",
+    Severity.ERROR,
+    construction=True,
+)
+def _check_trailing_cluster(ctx: RuleContext) -> Iterator[Diagnostic]:
+    if ctx.directives and isinstance(ctx.directives[-1], ClusterDirective):
+        yield ctx.diag(
+            "DF003",
+            f"{ctx.name}: a Cluster directive must be followed by maps",
+            index=len(ctx.directives) - 1,
+            fixit=FixIt("add map directives after the Cluster, or remove it"),
+        )
+
+
+@rule(
+    "DF004",
+    "mixed input/output coordinate systems on one axis",
+    Severity.ERROR,
+    construction=True,
+)
+def _check_coordinate_mixing(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for in_dim, out_dim in ((D.Y, D.YP), (D.X, D.XP)):
+        first_style: Optional[str] = None
+        for index, directive in ctx.map_entries:
+            if directive.dim not in (in_dim, out_dim):
+                continue
+            if first_style is None:
+                first_style = directive.dim
+            elif directive.dim != first_style:
+                yield ctx.diag(
+                    "DF004",
+                    f"{ctx.name}: directives mix {in_dim} and {out_dim}; "
+                    f"pick one coordinate system per axis",
+                    index=index,
+                    fixit=FixIt(
+                        f"rewrite every {directive.dim} directive in terms of "
+                        f"{first_style} (or vice versa)"
+                    ),
+                )
+                break
+
+
+# ======================================================================
+# Structural rules checked at lint time (DF005-DF006)
+# ======================================================================
+@rule(
+    "DF005",
+    "dimension mapped more than once in a cluster level",
+    Severity.ERROR,
+    binding_equivalent=True,
+)
+def _check_duplicate_dims(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for level in ctx.levels:
+        seen: Dict[str, int] = {}
+        for index, directive in level.maps:
+            if directive.dim in seen:
+                yield ctx.diag(
+                    "DF005",
+                    f"{ctx.name}: dimension {directive.dim} mapped twice in "
+                    f"cluster level {level.index}",
+                    index=index,
+                    fixit=FixIt(f"remove or merge one of the {directive.dim} maps"),
+                )
+            else:
+                seen[directive.dim] = index
+
+
+@rule(
+    "DF006",
+    "layer dimension never mapped",
+    Severity.INFO,
+    requires=("layer",),
+)
+def _check_dimension_coverage(ctx: RuleContext) -> Iterator[Diagnostic]:
+    mapped = {D.base_dim(d.dim) for _, d in ctx.map_entries}
+    for dim in D.CANONICAL_DIMS:
+        extent = ctx.layer.dims.get(dim, 1)
+        if extent <= 1 or dim not in ctx.layer.operator.used_dims:
+            continue
+        if dim not in mapped:
+            yield ctx.diag(
+                "DF006",
+                f"{ctx.name}: dimension {dim} (extent {extent}) is never mapped; "
+                f"it is handled as a single full-size chunk per step",
+            )
+
+
+# ======================================================================
+# Cluster shape vs. the PE array (DF007-DF009)
+# ======================================================================
+@rule(
+    "DF007",
+    "cluster hierarchy needs more PEs than exist",
+    Severity.ERROR,
+    requires=("accelerator",),
+    binding_equivalent=True,
+)
+def _check_cluster_fits(ctx: RuleContext) -> Iterator[Diagnostic]:
+    sizes = [ctx.eval_cluster_size(c.size) for _, c in ctx.cluster_entries]
+    if not sizes or any(s is None for s in sizes) or any(s < 1 for s in sizes):
+        return  # symbolic without a layer, or reported by DF011/DF012
+    needed = prod(sizes)
+    if needed > ctx.accelerator.num_pes:
+        index = ctx.cluster_entries[-1][0]
+        yield ctx.diag(
+            "DF007",
+            f"{ctx.name}: cluster hierarchy needs {needed} PEs but only "
+            f"{ctx.accelerator.num_pes} exist",
+            index=index,
+            fixit=FixIt(
+                f"shrink the Cluster sizes so their product is <= "
+                f"{ctx.accelerator.num_pes}, or provision more PEs"
+            ),
+        )
+
+
+@rule(
+    "DF008",
+    "PE array not divisible by the cluster hierarchy",
+    Severity.WARNING,
+    requires=("accelerator",),
+)
+def _check_cluster_divisibility(ctx: RuleContext) -> Iterator[Diagnostic]:
+    sizes = [ctx.eval_cluster_size(c.size) for _, c in ctx.cluster_entries]
+    if not sizes or any(s is None or s < 1 for s in sizes):
+        return
+    needed = prod(sizes)
+    num_pes = ctx.accelerator.num_pes
+    if needed > num_pes or num_pes % needed == 0:
+        return
+    idle = num_pes - (num_pes // needed) * needed
+    index = ctx.cluster_entries[-1][0]
+    yield ctx.diag(
+        "DF008",
+        f"{ctx.name}: {num_pes} PEs do not divide into {needed}-PE clusters; "
+        f"{idle} PEs ({100.0 * idle / num_pes:.0f}%) are permanently idle",
+        index=index,
+        fixit=FixIt(
+            f"use {(num_pes // needed) * needed} PEs, or a cluster size "
+            f"dividing {num_pes}"
+        ),
+    )
+
+
+def _suggest_spatial_size(extent: int, size: int, width: int) -> Optional[int]:
+    """A non-overlapping spatial size whose chunk count fills every fold."""
+    candidates = []
+    for candidate in range(size - 1, 0, -1):
+        if num_chunks(extent, candidate, candidate) % width == 0:
+            candidates.append(candidate)
+            break
+    for candidate in range(size + 1, extent + 1):
+        if num_chunks(extent, candidate, candidate) % width == 0:
+            candidates.append(candidate)
+            break
+    if not candidates:
+        return None
+    return min(candidates, key=lambda c: (abs(c - size), c))
+
+
+@rule(
+    "DF009",
+    "spatial mapping under-utilizes the PEs",
+    Severity.WARNING,
+    requires=("layer", "accelerator"),
+)
+def _check_spatial_utilization(ctx: RuleContext) -> Iterator[Diagnostic]:
+    bound = ctx.bound
+    if bound is None:
+        return
+    for level, view in zip(bound.levels, ctx.levels):
+        if level.width <= 1 or level.spatial_chunks <= 1:
+            continue
+        utilization = level.avg_active / level.width
+        if utilization >= 0.999:
+            continue
+        spatial_bound = [d for d in level.directives if d.spatial and d.chunks > 1]
+        spatial_view = [(i, d) for i, d in view.maps if d.spatial]
+        index = spatial_view[0][0] if spatial_view else None
+        fixit = None
+        if len(spatial_bound) == 1 and spatial_bound[0].offset == spatial_bound[0].size:
+            bd = spatial_bound[0]
+            extent = level.local_sizes.get(bd.dim, 0)
+            if extent > 1:
+                suggestion = _suggest_spatial_size(extent, bd.size, level.width)
+                if suggestion is not None and suggestion != bd.size:
+                    kind = "SpatialMap"
+                    fixit = FixIt(
+                        f"shrink SpatialMap size {bd.size} -> {suggestion} so the "
+                        f"{num_chunks(extent, suggestion, suggestion)} chunks fill "
+                        f"every {level.width}-wide fold",
+                        replacement=f"{kind}({suggestion},{suggestion}) {bd.dim}",
+                    )
+        yield ctx.diag(
+            "DF009",
+            f"{ctx.name}: level {level.index} spreads {level.spatial_chunks} "
+            f"spatial chunks over {level.width} sub-units in {level.folds} fold(s); "
+            f"average PE utilization is {100.0 * utilization:.0f}%",
+            index=index,
+            fixit=fixit,
+        )
+
+
+# ======================================================================
+# Per-directive size/offset checks (DF010-DF012, DF017)
+# ======================================================================
+@rule(
+    "DF010",
+    "overlapping chunks on a non-sliding dimension",
+    Severity.WARNING,
+)
+def _check_halo_misuse(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for index, directive in ctx.map_entries:
+        if directive.dim in _SLIDING_DIMS:
+            continue  # halo on Y/X is convolutional reuse, the point of it
+        size = ctx.eval_size(directive.size)
+        offset = ctx.eval_size(directive.offset)
+        if size is None or offset is None or size <= 0 or offset <= 0:
+            continue
+        if offset < size:
+            yield ctx.diag(
+                "DF010",
+                f"{ctx.name}: {directive.kind}({size},{offset}) {directive.dim} "
+                f"overlaps chunks (offset < size) on non-sliding dimension "
+                f"{directive.dim}, re-fetching the same indices without "
+                f"convolutional reuse",
+                index=index,
+                fixit=FixIt(
+                    f"make the offset equal to the size",
+                    replacement=f"{directive.kind}({directive.size},{directive.size}) "
+                    f"{directive.dim}",
+                ),
+            )
+
+
+@rule(
+    "DF011",
+    "non-positive mapping or cluster size",
+    Severity.ERROR,
+    binding_equivalent=True,
+)
+def _check_positive_sizes(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for index, directive in ctx.map_entries:
+        size = ctx.eval_size(directive.size)
+        offset = ctx.eval_size(directive.offset)
+        if size is not None and size < 1:
+            yield ctx.diag(
+                "DF011",
+                f"{ctx.name}: {directive.kind} size on {directive.dim} "
+                f"evaluates to {size}; sizes must be >= 1",
+                index=index,
+            )
+        if offset is not None and offset < 1:
+            yield ctx.diag(
+                "DF011",
+                f"{ctx.name}: {directive.kind} offset on {directive.dim} "
+                f"evaluates to {offset}; offsets must be >= 1",
+                index=index,
+            )
+    for index, directive in ctx.cluster_entries:
+        size = ctx.eval_cluster_size(directive.size)
+        if size is not None and size < 1:
+            yield ctx.diag(
+                "DF011",
+                f"{ctx.name}: cluster size {size} < 1",
+                index=index,
+            )
+
+
+@rule(
+    "DF012",
+    "unresolvable size expression",
+    Severity.ERROR,
+    binding_equivalent=True,
+)
+def _check_size_expressions(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for index, directive in enumerate(ctx.directives):
+        if isinstance(directive, MapDirective):
+            values = (("size", directive.size), ("offset", directive.offset))
+        elif isinstance(directive, ClusterDirective):
+            values = (("size", directive.size),)
+        else:
+            continue
+        for role, value in values:
+            reason = ctx.expression_error(value)
+            if reason is not None:
+                yield ctx.diag(
+                    "DF012",
+                    f"{ctx.name}: cannot evaluate the {role} of directive "
+                    f"{index} ({directive}): {reason}",
+                    index=index,
+                )
+
+
+@rule(
+    "DF017",
+    "offset larger than size skips indices",
+    Severity.WARNING,
+)
+def _check_coverage_gaps(ctx: RuleContext) -> Iterator[Diagnostic]:
+    for index, directive in ctx.map_entries:
+        if directive.dim in _SLIDING_DIMS:
+            continue  # strided windows legitimately skip input pixels
+        size = ctx.eval_size(directive.size)
+        offset = ctx.eval_size(directive.offset)
+        if size is None or offset is None or size < 1 or offset < 1:
+            continue
+        extent = (
+            ctx.layer.dim_size(directive.dim) if ctx.layer is not None else None
+        )
+        if offset > size and (extent is None or extent > size):
+            yield ctx.diag(
+                "DF017",
+                f"{ctx.name}: {directive.kind}({size},{offset}) {directive.dim} "
+                f"skips {offset - size} of every {offset} indices of "
+                f"{directive.dim}; part of the computation is never mapped",
+                index=index,
+                fixit=FixIt(
+                    "make the offset equal to the size to cover every index",
+                    replacement=f"{directive.kind}({directive.size},{directive.size}) "
+                    f"{directive.dim}",
+                ),
+            )
+
+
+# ======================================================================
+# Buffer capacity (DF013-DF014)
+# ======================================================================
+@rule(
+    "DF013",
+    "per-PE tile footprint exceeds L1 capacity",
+    Severity.ERROR,
+    requires=("layer", "accelerator"),
+)
+def _check_l1_footprint(ctx: RuleContext) -> Iterator[Diagnostic]:
+    if ctx.accelerator.l1_size is None:
+        return
+    bound, tensors = ctx.bound, ctx.tensors
+    if bound is None or tensors is None:
+        return
+    buffering = 2 if ctx.accelerator.double_buffered else 1
+    chunk = bound.innermost().chunk_sizes()
+    footprint = (
+        buffering
+        * sum(info.volume(chunk) for info in tensors.tensors)
+        * ctx.accelerator.element_bytes
+    )
+    if footprint > ctx.accelerator.l1_size:
+        yield ctx.diag(
+            "DF013",
+            f"{ctx.name}: per-PE tile footprint {footprint} B "
+            f"({'double' if buffering == 2 else 'single'}-buffered) exceeds the "
+            f"L1 capacity of {ctx.accelerator.l1_size} B",
+            fixit=FixIt(
+                f"shrink the innermost mapping sizes, or provision "
+                f"l1_size >= {footprint} B"
+            ),
+        )
+
+
+@rule(
+    "DF014",
+    "working set exceeds L2 capacity",
+    Severity.WARNING,
+    requires=("layer", "accelerator"),
+)
+def _check_l2_footprint(ctx: RuleContext) -> Iterator[Diagnostic]:
+    if ctx.accelerator.l2_size is None:
+        return
+    bound, tensors = ctx.bound, ctx.tensors
+    if bound is None or tensors is None:
+        return
+    try:
+        from repro.engines.reuse import analyze_level_reuse
+
+        reuse = analyze_level_reuse(bound.levels[0], tensors)
+    except Exception:
+        return
+    buffering = 2 if ctx.accelerator.double_buffered else 1
+    footprint = (
+        buffering
+        * int(
+            sum(
+                reuse.unique_chunk_volumes[t.name] / max(t.density, 1e-12)
+                for t in tensors.tensors
+            )
+        )
+        * ctx.accelerator.element_bytes
+    )
+    if footprint > ctx.accelerator.l2_size:
+        yield ctx.diag(
+            "DF014",
+            f"{ctx.name}: level-0 working set {footprint} B exceeds the L2 "
+            f"capacity of {ctx.accelerator.l2_size} B; traffic will spill "
+            f"to DRAM",
+            fixit=FixIt(
+                f"shrink the level-0 mapping sizes, or provision "
+                f"l2_size >= {footprint} B"
+            ),
+        )
+
+
+# ======================================================================
+# Hardware reuse support, the paper's Table 5 (DF015-DF016, DF018)
+# ======================================================================
+@rule(
+    "DF015",
+    "spatial reduction required but unsupported",
+    Severity.WARNING,
+    requires=("layer", "accelerator"),
+)
+def _check_spatial_reduction_support(ctx: RuleContext) -> Iterator[Diagnostic]:
+    if ctx.accelerator.spatial_reduction:
+        return
+    bound, tensors = ctx.bound, ctx.tensors
+    if bound is None or tensors is None:
+        return
+    output = tensors.output
+    for level, view in zip(bound.levels, ctx.levels):
+        if level.width <= 1 or level.spatial_chunks <= 1:
+            continue
+        if all(abs(axis.shift(level.spatial_offsets)) == 0 for axis in output.axes):
+            spatial_view = [(i, d) for i, d in view.maps if d.spatial]
+            yield ctx.diag(
+                "DF015",
+                f"{ctx.name}: level {level.index} reduces partial sums across "
+                f"{level.width} sub-units, but the accelerator has no "
+                f"spatial-reduction hardware; every partial sum round-trips "
+                f"through the upper buffer (Table 5)",
+                index=spatial_view[0][0] if spatial_view else None,
+            )
+
+
+@rule(
+    "DF016",
+    "spatial multicast required but unsupported",
+    Severity.WARNING,
+    requires=("layer", "accelerator"),
+)
+def _check_multicast_support(ctx: RuleContext) -> Iterator[Diagnostic]:
+    if ctx.accelerator.noc.multicast:
+        return
+    bound, tensors = ctx.bound, ctx.tensors
+    if bound is None or tensors is None:
+        return
+    for level, view in zip(bound.levels, ctx.levels):
+        if level.width <= 1 or level.spatial_chunks <= 1:
+            continue
+        broadcast = [
+            t.name
+            for t in tensors.tensors
+            if not t.is_output
+            and all(abs(axis.shift(level.spatial_offsets)) == 0 for axis in t.axes)
+        ]
+        if broadcast:
+            spatial_view = [(i, d) for i, d in view.maps if d.spatial]
+            yield ctx.diag(
+                "DF016",
+                f"{ctx.name}: tensor(s) {', '.join(broadcast)} are identical "
+                f"across the {level.width} sub-units of level {level.index}, but "
+                f"the NoC has no multicast; each fetch is duplicated per "
+                f"receiver (Table 5)",
+                index=spatial_view[0][0] if spatial_view else None,
+            )
+
+
+@rule(
+    "DF018",
+    "level distributes nothing across its sub-units",
+    Severity.WARNING,
+    requires=("layer", "accelerator"),
+)
+def _check_idle_levels(ctx: RuleContext) -> Iterator[Diagnostic]:
+    bound = ctx.bound
+    if bound is None:
+        return
+    for level, view in zip(bound.levels, ctx.levels):
+        if level.width <= 1 or level.spatial_chunks > 1:
+            continue
+        index = view.maps[0][0] if view.maps else None
+        yield ctx.diag(
+            "DF018",
+            f"{ctx.name}: level {level.index} maps only a single spatial chunk "
+            f"across its {level.width} sub-units; {level.width - 1} of them do "
+            f"no useful work",
+            index=index,
+            fixit=FixIt("add a SpatialMap over a dimension with extent > 1"),
+        )

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Mapping, Tuple
 
-from repro.tensors import dims as D
 from repro.tensors.axes import Axis, ConvOutputAxis, PlainAxis, SlidingInputAxis
 
 

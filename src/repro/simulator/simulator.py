@@ -112,7 +112,7 @@ def simulate_layer(
     """
     bound = bind_dataflow(dataflow, layer, accelerator)
     tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
-    from repro.simulator.regions import array_union_box, tensor_box
+    from repro.simulator.regions import array_union_box
 
     # Joint odometer: every level's iterators, outer levels first.
     joint: List[_JointEntry] = []

@@ -11,6 +11,7 @@ from repro.engines.analysis import LayerAnalysis, analyze_layer
 from repro.errors import BindingError, DataflowError
 from repro.hardware.accelerator import Accelerator
 from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.lint.engine import static_errors
 from repro.model.layer import Layer
 from repro.model.network import Network
 from repro.tuner.templates import CandidateSpec, enumerate_candidates
@@ -43,6 +44,9 @@ class TunerResult:
     top: Tuple[ScoredCandidate, ...]
     evaluated: int
     rejected: int
+    #: How many of ``rejected`` the static mapping analyzer caught
+    #: before any cost-model evaluation.
+    statically_rejected: int = 0
 
     @property
     def best_dataflow(self) -> Dataflow:
@@ -65,13 +69,17 @@ def tune_layer(
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
     top_k: int = 5,
     seed: int = 0,
+    static_lint: bool = True,
 ) -> TunerResult:
     """Find the best dataflow for ``layer`` on ``accelerator``.
 
     ``strategy`` is ``"exhaustive"`` (walk the whole candidate grid) or
     ``"random"`` (sample ``budget`` candidates uniformly). Candidates
     whose buffer requirements exceed ``max_l1_bytes``/``max_l2_bytes``
-    or that fail to bind are rejected.
+    or that fail to bind are rejected. With ``static_lint`` (the
+    default) invalid candidates are caught by the static mapping
+    analyzer before any cost-model evaluation; the check is
+    binding-equivalent, so the surviving candidate set is identical.
     """
     try:
         score_fn = OBJECTIVES[objective]
@@ -88,9 +96,18 @@ def tune_layer(
 
     scored: List[ScoredCandidate] = []
     rejected = 0
+    statically_rejected = 0
     for spec in specs:
         try:
             dataflow = spec.build()
+        except (BindingError, DataflowError):
+            rejected += 1
+            continue
+        if static_lint and static_errors(dataflow, layer, accelerator):
+            rejected += 1
+            statically_rejected += 1
+            continue
+        try:
             report = analyze_layer(layer, dataflow, accelerator, energy_model)
         except (BindingError, DataflowError):
             rejected += 1
@@ -118,6 +135,7 @@ def tune_layer(
         top=tuple(scored[:top_k]),
         evaluated=len(scored),
         rejected=rejected,
+        statically_rejected=statically_rejected,
     )
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dataflow.dataflow import dataflow
-from repro.dataflow.directives import ClusterDirective, Sz, spatial_map, temporal_map
+from repro.dataflow.directives import Sz, spatial_map, temporal_map
 from repro.dataflow.library import kc_partitioned, yr_partitioned, yx_partitioned
 from repro.engines.binding import bind_dataflow
 from repro.errors import BindingError

@@ -63,3 +63,48 @@ class TestOtherCommands:
                      "--dataflow", "KC-P", "--max-pes", "64", "--pe-step", "32"]) == 0
         out = capsys.readouterr().out
         assert "explored" in out
+        assert "lint-rejected" in out
+
+
+class TestLint:
+    BROKEN = (
+        "SpatialMap(1,1) K\n"
+        "TemporalMap(64,64) C\n"
+        "Cluster(9999)\n"
+        "SpatialMap(1,1) Q\n"
+    )
+
+    def test_broken_file_exits_1_with_locations(self, tmp_path, capsys):
+        path = tmp_path / "broken.df"
+        path.write_text(self.BROKEN)
+        assert main(["lint", str(path), "--model", "alexnet",
+                     "--layer", "CONV1"]) == 1
+        out = capsys.readouterr().out
+        import re
+        codes = set(re.findall(r"error\[(DF\d+)\]", out))
+        assert len(codes) >= 2
+        assert f"--> {path}:3:1" in out  # directive location
+        assert "^" in out
+
+    def test_json_roundtrips(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "broken.df"
+        path.write_text(self.BROKEN)
+        assert main(["lint", str(path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] >= 2
+        assert all("code" in d for d in payload["diagnostics"])
+
+    def test_library_flow_is_clean(self, capsys):
+        assert main(["lint", "KC-P", "--model", "alexnet",
+                     "--layer", "CONV1"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_layer_requires_model(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "KC-P", "--layer", "CONV1"])
+
+    def test_unknown_dataflow_exits(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "definitely-not-a-dataflow"])

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.dataflow.directives import (
     ClusterDirective,
-    SizeExpr,
     Sz,
     evaluate_size,
     spatial_map,

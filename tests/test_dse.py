@@ -117,6 +117,53 @@ class TestPruningSoundness:
         assert area_model.min_area(64, 4) < 16.0
 
 
+class TestStaticLintPruning:
+    """The static mapping analyzer prunes unbindable points for free."""
+
+    @pytest.fixture(scope="class")
+    def lint_space(self):
+        # KC-P's inner cluster is c_tile-wide: the c64 variant is
+        # statically unbindable at 16/32 PEs; at 128 both variants bind.
+        return DesignSpace(
+            pe_counts=[16, 32, 128],
+            noc_bandwidths=[4, 16],
+            dataflow_variants=kc_partitioned_variants(
+                c_tiles=(8, 64), spatial_tiles=((1, 1),)
+            ),
+        )
+
+    def test_identical_optima_and_fewer_cost_model_calls(self, layer, lint_space):
+        linted = explore(layer, lint_space, area_budget=16.0, power_budget=450.0)
+        brute = explore(
+            layer, lint_space, area_budget=16.0, power_budget=450.0,
+            static_lint=False,
+        )
+        assert linted.statistics.static_rejects > 0
+        assert (
+            linted.statistics.cost_model_calls < brute.statistics.cost_model_calls
+        )
+        # Same surviving set, therefore identical optima.
+        assert len(linted.points) == len(brute.points)
+        for which in ("throughput_optimal", "energy_optimal", "edp_optimal"):
+            assert getattr(linted, which) == getattr(brute, which)
+
+    def test_static_rejects_counted_in_pruned(self, layer, lint_space):
+        linted = explore(layer, lint_space, area_budget=16.0, power_budget=450.0)
+        assert linted.statistics.pruned >= linted.statistics.static_rejects
+        # The c64 variant cannot bind on the 16- and 32-PE rows:
+        # 2 PE counts x 2 bandwidths x 1 variant.
+        assert linted.statistics.static_rejects == 4
+        assert linted.statistics.evaluated == linted.statistics.cost_model_calls
+
+    def test_unlinted_sweep_unchanged(self, layer, lint_space):
+        brute = explore(
+            layer, lint_space, area_budget=16.0, power_budget=450.0,
+            static_lint=False,
+        )
+        assert brute.statistics.static_rejects == 0
+        assert brute.statistics.cost_model_calls == lint_space.size
+
+
 class TestObjectives:
     def test_get_objective(self):
         assert get_objective("throughput") is throughput_objective

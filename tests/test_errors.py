@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dataflow.dataflow import Dataflow, dataflow
+from repro.dataflow.dataflow import dataflow
 from repro.dataflow.directives import spatial_map, temporal_map
 from repro.dataflow.library import kc_partitioned
 from repro.engines.binding import bind_dataflow

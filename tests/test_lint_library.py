@@ -1,0 +1,74 @@
+"""Golden lint check: every stock mapping the library ships must be
+diagnostic-error-free against every model in the zoo, and its warning
+profile must stay inside a reviewed golden set."""
+
+import pytest
+
+from repro.dataflow.library import (
+    fig5_playground,
+    output_stationary_1level,
+    row_stationary_fig6,
+    table3_dataflows,
+    weight_stationary_1level,
+)
+from repro.hardware.accelerator import Accelerator
+from repro.lint import lint_dataflow
+from repro.model.zoo import MODELS, build
+
+ACCELERATOR = Accelerator(num_pes=256)
+
+
+def stock_mappings():
+    flows = dict(table3_dataflows())
+    flows.update({f"fig5-{key}": flow for key, flow in fig5_playground().items()})
+    flows["RS"] = row_stationary_fig6()
+    flows["WS-K"] = weight_stationary_1level()
+    flows["OS-YX"] = output_stationary_1level()
+    return flows
+
+
+#: Reviewed non-error codes each stock mapping may emit somewhere in the
+#: zoo. DF009 (under-utilization) and DF018 (idle level) are expected:
+#: small layers cannot fill 256 PEs. DF008 fires for RS/YR-P/fig5-F whose
+#: cluster sizes track Sz(R), which rarely divides 256. The fig5 flows
+#: deliberately map only a subset of dims (DF006).
+GOLDEN_WARNINGS = {
+    "C-P": {"DF009", "DF018"},
+    "X-P": {"DF009", "DF018"},
+    "YX-P": {"DF009", "DF018"},
+    "YR-P": {"DF008", "DF009", "DF018"},
+    "KC-P": {"DF009", "DF018"},
+    "RS": {"DF008", "DF009", "DF018"},
+    "WS-K": {"DF009", "DF018"},
+    "OS-YX": {"DF009", "DF018"},
+    "fig5-A": {"DF006", "DF009", "DF018"},
+    "fig5-B": {"DF006", "DF009", "DF018"},
+    "fig5-C": {"DF006", "DF009", "DF018"},
+    "fig5-D": {"DF006", "DF009", "DF018"},
+    "fig5-E": {"DF006", "DF009", "DF018"},
+    "fig5-F": {"DF006", "DF008", "DF009", "DF018"},
+}
+
+
+def test_golden_covers_every_stock_mapping():
+    assert set(GOLDEN_WARNINGS) == set(stock_mappings())
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+@pytest.mark.parametrize("flow_name", sorted(GOLDEN_WARNINGS))
+def test_library_mapping_is_error_free(model_name, flow_name):
+    flow = stock_mappings()[flow_name]
+    network = build(model_name)
+    observed = set()
+    for layer in network.layers:
+        report = lint_dataflow(flow, layer, ACCELERATOR)
+        assert not report.has_errors, (
+            f"{flow_name} on {model_name}/{layer.name}: "
+            f"{[d.headline() for d in report.errors]}"
+        )
+        observed |= set(report.codes())
+    unexpected = observed - GOLDEN_WARNINGS[flow_name]
+    assert not unexpected, (
+        f"{flow_name} on {model_name} emits codes outside the golden set: "
+        f"{sorted(unexpected)}"
+    )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.dataflow.directives import ClusterDirective
 from repro.dataflow.loopnest import Loop, infer_trip_count, loopnest_to_dataflow
 from repro.engines.analysis import analyze_layer
 from repro.errors import DataflowError

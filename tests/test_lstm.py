@@ -1,7 +1,5 @@
 """Tests for LSTM layers (abstract: "convolutions, LSTMs, FC layers")."""
 
-import pytest
-
 from repro.dataflow.library import kc_partitioned, table3_dataflows
 from repro.engines.analysis import analyze_layer, analyze_network
 from repro.hardware.accelerator import Accelerator

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dataflow.directives import ClusterDirective, MapDirective
+from repro.dataflow.directives import ClusterDirective
 from repro.dataflow.parser import parse_dataflow
 from repro.errors import DataflowParseError
 

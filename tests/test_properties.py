@@ -14,7 +14,6 @@ from repro.engines.analysis import analyze_layer
 from repro.hardware.accelerator import Accelerator, NoC
 from repro.model.layer import conv2d
 from repro.simulator import simulate_layer
-from repro.tensors import dims as D
 from repro.tuner.templates import SCHEDULES, SPATIAL_DIMS, CandidateSpec
 
 layers = st.builds(

@@ -4,7 +4,7 @@ import pytest
 
 from repro.dataflow.library import kc_partitioned, yr_partitioned, yx_partitioned
 from repro.engines.analysis import analyze_layer, analyze_network
-from repro.hardware.accelerator import Accelerator, NoC
+from repro.hardware.accelerator import Accelerator
 from repro.model.layer import Layer, conv2d
 from repro.model.zoo import build
 from repro.report import layer_report, network_report

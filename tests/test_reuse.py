@@ -3,14 +3,13 @@
 import pytest
 
 from repro.dataflow.dataflow import dataflow
-from repro.dataflow.directives import ClusterDirective, Sz, spatial_map, temporal_map
+from repro.dataflow.directives import Sz, spatial_map, temporal_map
 from repro.engines.binding import bind_dataflow
 from repro.engines.reuse import analyze_level_reuse, build_odometer
 from repro.engines.tensor_analysis import analyze_tensors
 from repro.hardware.accelerator import Accelerator
 from repro.model.layer import conv2d
 from repro.tensors import dims as D
-from repro.util.intmath import prod
 
 
 def analyze(flow, layer, num_pes):

@@ -139,6 +139,24 @@ class TestTuneLayer:
             tune_layer(layer, accelerator, candidates=SMALL_GRID, strategy="annealing")
 
 
+class TestStaticLint:
+    def test_static_rejects_counted_and_best_unchanged(self, layer):
+        # On 4 PEs every cluster_size=8 candidate is statically invalid.
+        small = Accelerator(num_pes=4)
+        linted = tune_layer(layer, small, candidates=SMALL_GRID)
+        brute = tune_layer(layer, small, candidates=SMALL_GRID, static_lint=False)
+        assert linted.statically_rejected > 0
+        assert brute.statically_rejected == 0
+        assert linted.rejected == brute.rejected
+        assert linted.evaluated == brute.evaluated
+        assert linted.best.spec == brute.best.spec
+        assert linted.evaluated + linted.rejected == len(SMALL_GRID)
+
+    def test_no_static_rejects_when_everything_binds(self, layer, accelerator):
+        result = tune_layer(layer, accelerator, candidates=SMALL_GRID)
+        assert result.statically_rejected == 0
+
+
 class TestTuneNetwork:
     def test_per_layer_results(self, accelerator):
         from repro.model.network import Network
