@@ -218,12 +218,88 @@ def test_fig13_static_lint_pruning(dse_results, emit_result):
 
 
 def test_fig13_dse_rate_benchmark(benchmark):
-    """Timed kernel: one pruned sweep over a small space."""
+    """Timed kernel: one pruned sweep over a small space.
+
+    ``cache=False`` keeps the kernel honest: with memoization on, every
+    round after the first would measure cache lookups, not the model.
+    """
     layer = build("vgg16").layer("CONV11")
     space = DesignSpace(
         pe_counts=default_pe_counts(max_pes=128, step=32),
         noc_bandwidths=[8, 32],
         dataflow_variants=kc_partitioned_variants(c_tiles=(16,), spatial_tiles=((1, 1),)),
     )
-    result = benchmark(explore, layer, space, AREA_BUDGET, POWER_BUDGET)
+    result = benchmark(explore, layer, space, AREA_BUDGET, POWER_BUDGET, cache=False)
     assert result.statistics.explored == space.size
+
+
+def test_fig13_backend_speedup(emit_result):
+    """The acceptance experiment for the batch-evaluation backend.
+
+    One Figure 13 sweep, three ways: serial with the cache off (the
+    pre-backend behavior), a cold run that fills a fresh cache, and a
+    warm rerun with ``jobs=$(nproc)``. The warm rerun must return the
+    identical result at >= 2x the serial-cold speed.
+    """
+    import os
+    import time
+
+    from repro.exec import AnalysisCache
+
+    layer = build("vgg16").layer("CONV11")
+    space = spaces()["KC-P"]
+    jobs = os.cpu_count() or 1
+
+    start = time.perf_counter()
+    serial_cold = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        executor="serial", cache=False,
+    )
+    serial_seconds = time.perf_counter() - start
+
+    shared = AnalysisCache()
+    start = time.perf_counter()
+    fill = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        executor="auto", jobs=jobs, cache=shared,
+    )
+    fill_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        executor="auto", jobs=jobs, cache=shared,
+    )
+    warm_seconds = time.perf_counter() - start
+
+    for other in (fill, warm):
+        assert other.points == serial_cold.points
+        assert other.throughput_optimal == serial_cold.throughput_optimal
+        assert other.energy_optimal == serial_cold.energy_optimal
+    assert warm.statistics.cache_hits == warm.statistics.cost_model_calls > 0
+
+    speedup = serial_seconds / warm_seconds
+    rows = [
+        ["serial, cache off", "serial", 0, f"{serial_seconds:.3f}", "1.0x"],
+        [
+            f"cold, jobs={jobs}", fill.statistics.executor,
+            fill.statistics.cache_hits, f"{fill_seconds:.3f}",
+            f"{serial_seconds / fill_seconds:.1f}x",
+        ],
+        [
+            f"warm, jobs={jobs}", warm.statistics.executor,
+            warm.statistics.cache_hits, f"{warm_seconds:.3f}", f"{speedup:.1f}x",
+        ],
+    ]
+    emit_result(
+        "fig13_backend_speedup",
+        format_table(
+            ["run", "executor", "cache hits", "time (s)", "speedup"],
+            rows,
+            title=(
+                "Batch-evaluation backend — Fig 13 KC-P/CONV11 sweep "
+                "(identical results, warm cache)"
+            ),
+        ),
+    )
+    assert speedup >= 2.0, f"warm-cache sweep only {speedup:.2f}x over serial cold"

@@ -11,7 +11,14 @@ Subcommands:
 - ``validate`` — compare the analytical model against the reference
   simulator on a layer;
 - ``dse`` — run a small hardware design-space exploration for a layer;
+- ``tune`` — search the auto-tuner's template space for a layer;
 - ``dataflows`` / ``models`` — list what is available.
+
+``dse`` and ``tune`` sweep through the batch-evaluation backend
+(:mod:`repro.exec`): ``--jobs N`` fans cost-model evaluations out over
+worker processes, ``--executor`` pins the executor, and
+``--cache``/``--no-cache`` toggle the memoization cache (see
+``docs/evaluation-backend.md``). Results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -187,12 +194,21 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         noc_bandwidths=default_bandwidths(),
         dataflow_variants=variants,
     )
-    result = explore(layer, space, area_budget=args.area, power_budget=args.power)
+    result = explore(
+        layer,
+        space,
+        area_budget=args.area,
+        power_budget=args.power,
+        executor=args.executor,
+        jobs=args.jobs,
+        cache=args.cache,
+    )
     stats = result.statistics
     print(
         f"explored {stats.explored} designs ({stats.valid} valid, "
         f"{stats.pruned} pruned, {stats.static_rejects} lint-rejected, "
-        f"{stats.cost_model_calls} cost-model calls) in "
+        f"{stats.cost_model_calls} cost-model calls, "
+        f"{stats.cache_hits} cache hits, executor={stats.executor}) in "
         f"{stats.elapsed_seconds:.2f}s ({stats.effective_rate:.0f} designs/s)"
     )
     for label, point in (
@@ -208,6 +224,47 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             f"L1={point.l1_size}B L2={point.l2_size}B thpt={point.throughput:.1f} "
             f"energy={point.energy:.3e} area={point.area:.2f}mm2 power={point.power:.0f}mW"
         )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tuner import tune_layer
+
+    network = build(args.model)
+    layer = network.layer(args.layer)
+    accelerator = _accelerator(args)
+    result = tune_layer(
+        layer,
+        accelerator,
+        objective=args.objective,
+        strategy=args.strategy,
+        budget=args.budget,
+        top_k=args.top_k,
+        executor=args.executor,
+        jobs=args.jobs,
+        cache=args.cache,
+    )
+    rows = [
+        [
+            candidate.spec.name,
+            f"{candidate.report.runtime:.3e}",
+            f"{candidate.report.energy_total:.3e}",
+            f"{candidate.score:.3e}",
+        ]
+        for candidate in result.top
+    ]
+    print(
+        format_table(
+            ["candidate", "cycles", "energy (xMAC)", f"{result.objective} score"],
+            rows,
+            title=f"{layer.name}: top {len(result.top)} of {result.evaluated} evaluated",
+        )
+    )
+    print(
+        f"rejected {result.rejected} candidates "
+        f"({result.statically_rejected} by the static analyzer); "
+        f"{result.cache_hits} cost-model answers served from cache"
+    )
     return 0
 
 
@@ -236,6 +293,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--pes", type=int, default=256, help="number of PEs")
         p.add_argument("--bandwidth", type=int, default=32, help="NoC elems/cycle")
         p.add_argument("--latency", type=int, default=2, help="NoC average latency")
+
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes for the batch backend (default: all cores)",
+        )
+        p.add_argument(
+            "--executor",
+            choices=["auto", "serial", "process"],
+            default="auto",
+            help="evaluation executor (default: auto-select by workload size)",
+        )
+        p.add_argument(
+            "--cache",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="memoize cost-model results (--no-cache disables; "
+            "set REPRO_CACHE_DIR to persist the cache on disk)",
+        )
 
     p_analyze = sub.add_parser("analyze", help="run the cost model")
     p_analyze.add_argument("--model", required=True, choices=sorted(MODELS))
@@ -286,7 +365,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_dse.add_argument("--power", type=float, default=450.0, help="mW budget")
     p_dse.add_argument("--max-pes", type=int, default=512)
     p_dse.add_argument("--pe-step", type=int, default=8)
+    add_backend(p_dse)
     p_dse.set_defaults(func=_cmd_dse)
+
+    p_tune = sub.add_parser("tune", help="auto-tune a dataflow for a layer")
+    p_tune.add_argument("--model", required=True, choices=sorted(MODELS))
+    p_tune.add_argument("--layer", required=True)
+    p_tune.add_argument(
+        "--objective", default="runtime", choices=["runtime", "energy", "edp"]
+    )
+    p_tune.add_argument(
+        "--strategy", default="exhaustive", choices=["exhaustive", "random"]
+    )
+    p_tune.add_argument(
+        "--budget", type=int, default=200, help="candidates for --strategy random"
+    )
+    p_tune.add_argument("--top-k", type=int, default=5, help="candidates to print")
+    add_hw(p_tune)
+    add_backend(p_tune)
+    p_tune.set_defaults(func=_cmd_tune)
 
     p_models = sub.add_parser("models", help="list zoo models")
     p_models.set_defaults(func=_cmd_models)

@@ -6,10 +6,14 @@ For every (PEs, bandwidth, dataflow-variant) triple the explorer:
    if PEs + NoC alone exceed the budget, every buffer choice above them
    does too, so the whole subspace is skipped (the optimization behind
    the paper's 0.17M designs/second effective rate);
-2. runs the analytical model with auto-sized buffers;
-3. sizes L1/L2 exactly to the model's reported requirement and applies
+2. rejects statically unbindable mappings via the lint engine;
+3. evaluates every surviving candidate through the batch-evaluation
+   backend (:mod:`repro.exec`): memoized against previous sweeps and,
+   for large miss sets, fanned out over worker processes — results are
+   bit-identical to the serial loop, in the same order;
+4. sizes L1/L2 exactly to the model's reported requirement and applies
    the area/power constraint to the resulting concrete design;
-4. records the point and maintains throughput-, energy-, and
+5. records the point and maintains throughput-, energy-, and
    EDP-optimized leaders plus the full valid set for Pareto analysis.
 """
 
@@ -17,11 +21,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.dse.space import DesignPoint, DesignSpace
-from repro.engines.analysis import analyze_layer
-from repro.errors import BindingError, DataflowError
+from repro.errors import DataflowError
+from repro.exec import AnalysisCache, BatchEvaluator, EvalPoint
 from repro.hardware.accelerator import Accelerator, NoC
 from repro.hardware.area import DEFAULT_AREA_MODEL, AreaModel
 from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
@@ -36,8 +40,15 @@ class DSEStatistics:
 
     ``pruned`` includes ``static_rejects``: mapping×hardware points the
     static mapping analyzer rejected without a cost-model run.
-    ``cost_model_calls`` counts actual :func:`analyze_layer` invocations
-    (including ones that raised), so the lint pruning win is measurable.
+    ``cost_model_calls`` counts the points that needed a cost-model
+    answer — memoized (``cache_hits``) or freshly evaluated (including
+    evaluations that were rejected by binding) — so the lint pruning win
+    stays measurable with the cache on. The sweep invariant checked by
+    :func:`explore`::
+
+        explored == space.size
+        cost_model_calls + pruned == explored
+        evaluated <= cost_model_calls  (failures are the difference)
     """
 
     explored: int
@@ -47,6 +58,9 @@ class DSEStatistics:
     elapsed_seconds: float
     static_rejects: int = 0
     cost_model_calls: int = 0
+    cache_hits: int = 0
+    executor: str = "serial"
+    eval_wall_seconds: float = 0.0
 
     @property
     def effective_rate(self) -> float:
@@ -81,6 +95,9 @@ def explore(
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
     noc_latency: int = 2,
     static_lint: bool = True,
+    executor: str = "auto",
+    jobs: Optional[int] = None,
+    cache: Union[bool, AnalysisCache, None] = True,
 ) -> DSEResult:
     """Sweep ``space`` for ``layer`` under the given budgets.
 
@@ -91,13 +108,13 @@ def explore(
     cost-model evaluation. The check is binding-equivalent, so the
     surviving set — and therefore every optimum — is identical to a
     sweep with ``static_lint=False``.
-    """
-    points: List[DesignPoint] = []
-    explored = evaluated = pruned = 0
-    static_rejects = cost_model_calls = 0
-    start = time.perf_counter()
 
-    best = {"throughput": None, "energy": None, "edp": None}
+    ``executor``/``jobs``/``cache`` configure the batch-evaluation
+    backend (:mod:`repro.exec`); every combination returns bit-identical
+    results, so they are pure performance knobs.
+    """
+    start = time.perf_counter()
+    explored = pruned = static_rejects = 0
 
     # One static pass per variant: the layer-only lint verdict and the
     # PE demand of the cluster hierarchy (compared per PE count below).
@@ -112,6 +129,11 @@ def explore(
             errors = static_errors(dataflow, layer)
             variant_lint[(label, dataflow.name)] = (bool(errors), needed)
 
+    # ------------------------------------------------------------------
+    # Phase 1 — enumerate: classify every grid point as budget-pruned,
+    # statically rejected, or a candidate for the cost model.
+    # ------------------------------------------------------------------
+    candidates: List[Tuple[int, int, str, object]] = []  # (pes, bw, label, flow)
     for num_pes in space.pe_counts:
         # Prune the whole PE row if even the cheapest NoC busts the budget.
         min_bw = min(space.noc_bandwidths)
@@ -130,10 +152,6 @@ def explore(
                 pruned += len(space.dataflow_variants)
                 explored += len(space.dataflow_variants)
                 continue
-            accelerator = Accelerator(
-                num_pes=num_pes,
-                noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
-            )
             for label, dataflow in space.dataflow_variants:
                 explored += 1
                 if static_lint:
@@ -142,39 +160,77 @@ def explore(
                         pruned += 1
                         static_rejects += 1
                         continue
-                cost_model_calls += 1
-                try:
-                    report = analyze_layer(layer, dataflow, accelerator, energy_model)
-                except (BindingError, DataflowError):
-                    continue
-                evaluated += 1
-                l1 = max(report.l1_buffer_req, 1)
-                l2 = max(report.l2_buffer_req, 1)
-                sized = Accelerator(
-                    num_pes=num_pes,
-                    l1_size=l1,
-                    l2_size=l2,
-                    noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
-                )
-                area = area_model.area(sized)
-                power = area_model.power(sized)
-                if area > area_budget or power > power_budget:
-                    continue
-                point = DesignPoint(
-                    num_pes=num_pes,
-                    noc_bandwidth=bandwidth,
-                    dataflow_name=dataflow.name,
-                    tile_label=label,
-                    l1_size=l1,
-                    l2_size=l2,
-                    area=area,
-                    power=power,
-                    throughput=report.throughput,
-                    runtime=report.runtime,
-                    energy=report.energy_total,
-                )
-                points.append(point)
-                _update_leaders(best, point)
+                candidates.append((num_pes, bandwidth, label, dataflow))
+
+    # ------------------------------------------------------------------
+    # Phase 2 — evaluate the candidates through the batch backend.
+    # ------------------------------------------------------------------
+    evaluator = BatchEvaluator(executor=executor, jobs=jobs, cache=cache)
+    batch = evaluator.evaluate(
+        EvalPoint(
+            layer=layer,
+            dataflow=dataflow,
+            accelerator=Accelerator(
+                num_pes=num_pes,
+                noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
+            ),
+            energy_model=energy_model,
+        )
+        for num_pes, bandwidth, label, dataflow in candidates
+    )
+
+    # ------------------------------------------------------------------
+    # Phase 3 — fold outcomes, in enumeration order, into the result.
+    # ------------------------------------------------------------------
+    points: List[DesignPoint] = []
+    evaluated = 0
+    best = {"throughput": None, "energy": None, "edp": None}
+    for (num_pes, bandwidth, label, dataflow), outcome in zip(candidates, batch):
+        if not outcome.ok:
+            continue
+        report = outcome.report
+        evaluated += 1
+        l1 = max(report.l1_buffer_req, 1)
+        l2 = max(report.l2_buffer_req, 1)
+        sized = Accelerator(
+            num_pes=num_pes,
+            l1_size=l1,
+            l2_size=l2,
+            noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
+        )
+        area = area_model.area(sized)
+        power = area_model.power(sized)
+        if area > area_budget or power > power_budget:
+            continue
+        point = DesignPoint(
+            num_pes=num_pes,
+            noc_bandwidth=bandwidth,
+            dataflow_name=dataflow.name,
+            tile_label=label,
+            l1_size=l1,
+            l2_size=l2,
+            area=area,
+            power=power,
+            throughput=report.throughput,
+            runtime=report.runtime,
+            energy=report.energy_total,
+        )
+        points.append(point)
+        _update_leaders(best, point)
+
+    # The ExploreResult invariant, explicit: every grid point is
+    # accounted for exactly once — budget-pruned, lint-rejected, or
+    # answered by the cost model (evaluated successfully or failed).
+    failures = batch.stats.submitted - evaluated
+    budget_pruned = pruned - static_rejects
+    assert explored == space.size, (
+        f"enumeration drift: walked {explored} of {space.size} grid points"
+    )
+    assert evaluated + failures + static_rejects + budget_pruned == space.size, (
+        f"statistics drift: evaluated={evaluated} failures={failures} "
+        f"static_rejects={static_rejects} budget_pruned={budget_pruned} "
+        f"do not partition the {space.size}-point grid"
+    )
 
     elapsed = time.perf_counter() - start
     statistics = DSEStatistics(
@@ -184,7 +240,10 @@ def explore(
         pruned=pruned,
         elapsed_seconds=elapsed,
         static_rejects=static_rejects,
-        cost_model_calls=cost_model_calls,
+        cost_model_calls=batch.stats.submitted,
+        cache_hits=batch.stats.cache_hits,
+        executor=batch.stats.executor,
+        eval_wall_seconds=batch.stats.wall_seconds,
     )
     return DSEResult(
         points=tuple(points),

@@ -1,0 +1,210 @@
+"""The batch evaluator: cache lookup + serial/process execution of misses.
+
+The contract that makes the backend a drop-in replacement for a serial
+sweep loop: outcomes come back *in input order*, and every
+:class:`~repro.engines.analysis.LayerAnalysis` is bit-identical to what
+``analyze_layer`` would have returned inline — dict iteration order
+included — whether it was computed serially, in a worker process, or
+replayed from the cache.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.engines.analysis import analyze_layer
+from repro.dataflow.dataflow import Dataflow
+from repro.errors import BindingError, DataflowError
+from repro.exec.cache import AnalysisCache, cache_key, resolve_cache
+from repro.exec.serialize import EvalOutcome
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.model.layer import Layer
+
+#: Executor names accepted everywhere.
+EXECUTORS = ("auto", "serial", "process")
+
+#: Below this many cache misses, ``auto`` stays serial: process start-up
+#: and pickling would dominate the analytical model's microsecond scale.
+AUTO_PROCESS_THRESHOLD = 256
+
+
+@dataclass(frozen=True)
+class EvalPoint:
+    """One (layer, dataflow, hardware) evaluation request."""
+
+    layer: Layer
+    dataflow: Dataflow
+    accelerator: Accelerator
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL
+
+    def key(self) -> str:
+        """The point's content-addressed cache key."""
+        return cache_key(self.layer, self.dataflow, self.accelerator, self.energy_model)
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Per-batch accounting, surfaced next to the sweep counters."""
+
+    submitted: int
+    cache_hits: int
+    evaluated: int
+    failures: int
+    executor: str
+    jobs: int
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcomes in input order plus the batch statistics."""
+
+    outcomes: Tuple[EvalOutcome, ...]
+    stats: BatchStats
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+
+def _evaluate_one(point: EvalPoint) -> EvalOutcome:
+    """Run the cost model on one point; model rejections become outcomes."""
+    try:
+        report = analyze_layer(
+            point.layer, point.dataflow, point.accelerator, point.energy_model
+        )
+    except (BindingError, DataflowError) as error:
+        return EvalOutcome(
+            report=None,
+            error_type=type(error).__name__,
+            error_message=str(error),
+        )
+    return EvalOutcome(report=report)
+
+
+def _evaluate_chunk(points: Sequence[EvalPoint]) -> List[EvalOutcome]:
+    """Worker entry point: evaluate one submission chunk serially."""
+    return [_evaluate_one(point) for point in points]
+
+
+def _chunked(items: Sequence, chunk_size: int) -> List[Sequence]:
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+@dataclass
+class BatchEvaluator:
+    """A configured evaluation backend.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"``, ``"process"``, or ``"auto"`` (process only when
+        the miss count and core count justify the start-up cost).
+    jobs:
+        Worker processes for the process executor; defaults to the
+        machine's core count.
+    cache:
+        ``True`` (the shared default cache), ``False``/``None`` (no
+        memoization), or an :class:`AnalysisCache` instance.
+    """
+
+    executor: str = "auto"
+    jobs: Optional[int] = None
+    cache: Union[bool, AnalysisCache, None] = True
+    _cache: Optional[AnalysisCache] = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r}; choose from {EXECUTORS}")
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self._cache = resolve_cache(self.cache)
+
+    def _resolve_jobs(self) -> int:
+        return self.jobs if self.jobs is not None else (os.cpu_count() or 1)
+
+    def _pick_executor(self, misses: int) -> Tuple[str, int]:
+        jobs = self._resolve_jobs()
+        if misses == 0:
+            # Fully warm batch: no work, no workers — report what ran.
+            return "serial", 1
+        if self.executor == "serial" or jobs <= 1:
+            return "serial", 1
+        if self.executor == "process":
+            return "process", jobs
+        if misses >= AUTO_PROCESS_THRESHOLD:
+            return "process", jobs
+        return "serial", 1
+
+    def evaluate(self, points: Iterable[EvalPoint]) -> BatchResult:
+        """Evaluate every point, cache-first, preserving input order."""
+        points = list(points)
+        start = time.perf_counter()
+        outcomes: List[Optional[EvalOutcome]] = [None] * len(points)
+
+        # Cache pass: satisfy what we can, remember the miss positions.
+        miss_indices: List[int] = []
+        keys: List[Optional[str]] = [None] * len(points)
+        if self._cache is not None:
+            for index, point in enumerate(points):
+                key = point.key()
+                keys[index] = key
+                hit = self._cache.get(key)
+                if hit is not None:
+                    outcomes[index] = hit
+                else:
+                    miss_indices.append(index)
+        else:
+            miss_indices = list(range(len(points)))
+
+        cache_hits = len(points) - len(miss_indices)
+        executor, jobs = self._pick_executor(len(miss_indices))
+
+        if executor == "serial":
+            for index in miss_indices:
+                outcomes[index] = _evaluate_one(points[index])
+        elif miss_indices:
+            misses = [points[i] for i in miss_indices]
+            # Chunked submission: a few chunks per worker amortizes
+            # pickling without starving the pool on uneven chunks.
+            chunk_size = max(1, -(-len(misses) // (jobs * 4)))
+            chunks = _chunked(misses, chunk_size)
+            with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+                cursor = 0
+                for chunk_outcomes in pool.map(_evaluate_chunk, chunks):
+                    for outcome in chunk_outcomes:
+                        outcomes[miss_indices[cursor]] = outcome
+                        cursor += 1
+
+        if self._cache is not None:
+            for index in miss_indices:
+                self._cache.put(keys[index], outcomes[index])
+
+        failures = sum(1 for outcome in outcomes if not outcome.ok)
+        stats = BatchStats(
+            submitted=len(points),
+            cache_hits=cache_hits,
+            evaluated=len(miss_indices),
+            failures=failures,
+            executor=executor,
+            jobs=jobs,
+            wall_seconds=time.perf_counter() - start,
+        )
+        return BatchResult(outcomes=tuple(outcomes), stats=stats)
+
+
+def evaluate_batch(
+    points: Iterable[EvalPoint],
+    executor: str = "auto",
+    jobs: Optional[int] = None,
+    cache: Union[bool, AnalysisCache, None] = True,
+) -> BatchResult:
+    """One-shot convenience wrapper around :class:`BatchEvaluator`."""
+    return BatchEvaluator(executor=executor, jobs=jobs, cache=cache).evaluate(points)

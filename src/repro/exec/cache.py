@@ -1,0 +1,322 @@
+"""Content-addressed memoization of cost-model outcomes.
+
+The cache key is a SHA-256 over a *canonical* description of the
+evaluation point:
+
+- the layer (operator structure, dimension extents, stride, dilation,
+  groups, densities);
+- the dataflow's directive list with every symbolic size/offset
+  *evaluated against the layer* (so ``Sz(R)`` and a literal ``3`` on an
+  ``R=3`` layer produce the same key — exactly the spellings the static
+  mapping analyzer proved bind identically);
+- the full hardware configuration and energy model;
+- a model-version salt hashed from the source of the cost-model modules,
+  so any change to the engines invalidates every stale entry
+  automatically.
+
+Storage is two-tier: an in-memory LRU (always on) and an optional
+on-disk JSON store, one file per key under
+``$REPRO_CACHE_DIR`` (or ``~/.cache/repro`` when enabled explicitly),
+sharded as ``<dir>/<salt>/<key[:2]>/<key>.json`` so wiping one salt
+directory drops exactly one model version's entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.dataflow.dataflow import Dataflow
+from repro.dataflow.directives import ClusterDirective, evaluate_size
+from repro.errors import DataflowError
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.energy import EnergyModel
+from repro.model.layer import Layer
+from repro.exec.serialize import EvalOutcome, outcome_from_json, outcome_to_json
+from repro.tensors import dims as D
+
+#: Environment variable naming the on-disk cache directory. When set, the
+#: default cache persists outcomes across processes (and sessions).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_DEFAULT_DISK_DIR = Path.home() / ".cache" / "repro"
+
+_salt_cache: Optional[str] = None
+
+
+def _salt_source_files() -> List[Path]:
+    """Source files whose content defines the cost model's semantics."""
+    import repro.dataflow
+    import repro.engines
+    import repro.hardware
+    import repro.model.layer
+    import repro.tensors
+
+    files: List[Path] = [Path(repro.model.layer.__file__)]
+    for package in (repro.engines, repro.tensors, repro.dataflow, repro.hardware):
+        files.extend(sorted(Path(package.__file__).parent.glob("*.py")))
+    return files
+
+
+def model_version_salt() -> str:
+    """A short hash of the cost-model source: the cache-version salt.
+
+    Any edit to the engines (or the modules they build on) changes the
+    salt, so entries computed by older model code can never be returned
+    for a new one. Computed once per process.
+    """
+    global _salt_cache
+    if _salt_cache is None:
+        digest = hashlib.sha256()
+        for path in _salt_source_files():
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+        _salt_cache = digest.hexdigest()[:12]
+    return _salt_cache
+
+
+def _canonical_size(size: Any, dim_sizes: Dict[str, int], strides: Dict[str, int]) -> Any:
+    try:
+        return evaluate_size(size, dim_sizes, strides)
+    except DataflowError:
+        # Unresolvable spelling: key on the raw text (the point will be
+        # rejected by binding anyway, and rejections are cached too).
+        return f"raw:{size}"
+
+
+def canonical_directives(dataflow: Dataflow, layer: Layer) -> List[List[Any]]:
+    """The directive list with all sizes evaluated against ``layer``.
+
+    Spellings that the binding engine resolves identically (symbolic
+    ``Sz``/``St`` expressions vs. their concrete values) canonicalize to
+    the same list; structurally different mappings never collide.
+    """
+    dim_sizes = layer.all_dim_sizes()
+    strides = {D.Y: layer.stride[0], D.X: layer.stride[1]}
+    canonical: List[List[Any]] = []
+    for directive in dataflow.directives:
+        if isinstance(directive, ClusterDirective):
+            canonical.append(["C", _canonical_size(directive.size, dim_sizes, strides)])
+        else:
+            canonical.append(
+                [
+                    "S" if directive.spatial else "T",
+                    directive.dim,
+                    _canonical_size(directive.size, dim_sizes, strides),
+                    _canonical_size(directive.offset, dim_sizes, strides),
+                ]
+            )
+    return canonical
+
+
+def _layer_payload(layer: Layer) -> Dict[str, Any]:
+    operator = layer.operator
+    return {
+        "name": layer.name,
+        "operator": {
+            "name": operator.name,
+            "tensors": [
+                [t.name, t.role.value, list(t.axis_templates)] for t in operator.tensors
+            ],
+            "reduction_dims": sorted(operator.reduction_dims),
+            "compute_templates": list(operator.compute_templates),
+            "used_dims": sorted(operator.used_dims),
+        },
+        "dims": {dim: size for dim, size in sorted(layer.dims.items())},
+        "stride": list(layer.stride),
+        "dilation": list(layer.dilation),
+        "groups": layer.groups,
+        "densities": {name: d for name, d in sorted(layer.densities.items())},
+    }
+
+
+def _accelerator_payload(accelerator: Accelerator) -> Dict[str, Any]:
+    return {
+        "num_pes": accelerator.num_pes,
+        "l1_size": accelerator.l1_size,
+        "l2_size": accelerator.l2_size,
+        "noc": {
+            "bandwidth": accelerator.noc.bandwidth,
+            "avg_latency": accelerator.noc.avg_latency,
+            "multicast": accelerator.noc.multicast,
+        },
+        "spatial_reduction": accelerator.spatial_reduction,
+        "double_buffered": accelerator.double_buffered,
+        "vector_width": accelerator.vector_width,
+        "element_bytes": accelerator.element_bytes,
+        "clock_ghz": accelerator.clock_ghz,
+        "dram_bandwidth": accelerator.dram_bandwidth,
+    }
+
+
+def _energy_payload(model: EnergyModel) -> Dict[str, Any]:
+    return {
+        "mac": model.mac,
+        "sram_base": model.sram_base,
+        "sram_sqrt": model.sram_sqrt,
+        "sram_write_factor": model.sram_write_factor,
+        "noc_hop": model.noc_hop,
+        "dram": model.dram,
+    }
+
+
+def canonical_point_payload(
+    layer: Layer,
+    dataflow: Dataflow,
+    accelerator: Accelerator,
+    energy_model: EnergyModel,
+) -> Dict[str, Any]:
+    """The full canonical description one cache key is hashed from."""
+    return {
+        "salt": model_version_salt(),
+        "layer": _layer_payload(layer),
+        "dataflow": {
+            "name": dataflow.name,
+            "directives": canonical_directives(dataflow, layer),
+        },
+        "accelerator": _accelerator_payload(accelerator),
+        "energy": _energy_payload(energy_model),
+    }
+
+
+def cache_key(
+    layer: Layer,
+    dataflow: Dataflow,
+    accelerator: Accelerator,
+    energy_model: EnergyModel,
+) -> str:
+    """Stable content hash of one (layer, dataflow, hardware) point."""
+    payload = canonical_point_payload(layer, dataflow, accelerator, energy_model)
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class AnalysisCache:
+    """Two-tier (memory LRU + optional disk) outcome cache.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory LRU capacity; oldest entries are evicted first.
+    disk_dir:
+        On-disk store root. ``None`` disables the disk tier; the string
+        ``"auto"`` uses ``$REPRO_CACHE_DIR`` when set and
+        ``~/.cache/repro`` otherwise.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 65536,
+        disk_dir: Union[str, Path, None] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        if disk_dir == "auto":
+            disk_dir = os.environ.get(CACHE_DIR_ENV) or _DEFAULT_DISK_DIR
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._memory: Dict[str, EvalOutcome] = {}
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / model_version_salt() / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[EvalOutcome]:
+        """The memoized outcome for ``key``, or ``None`` on a miss."""
+        outcome = self._memory.pop(key, None)
+        if outcome is not None:
+            self._memory[key] = outcome  # re-insert: most recently used
+            self.hits += 1
+            return outcome.as_cached()
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            try:
+                outcome = outcome_from_json(path.read_text())
+            except OSError:
+                outcome = None
+            if outcome is not None:
+                self._remember(key, outcome)
+                self.hits += 1
+                self.disk_hits += 1
+                return outcome.as_cached()
+        self.misses += 1
+        return None
+
+    def put(self, key: str, outcome: EvalOutcome) -> None:
+        """Memoize ``outcome`` (successes and model rejections alike)."""
+        outcome = EvalOutcome(
+            report=outcome.report,
+            error_type=outcome.error_type,
+            error_message=outcome.error_message,
+        )
+        self._remember(key, outcome)
+        if self.disk_dir is not None:
+            self._write_disk(key, outcome)
+
+    def _remember(self, key: str, outcome: EvalOutcome) -> None:
+        self._memory.pop(key, None)
+        self._memory[key] = outcome
+        while len(self._memory) > self.max_entries:
+            oldest = next(iter(self._memory))
+            del self._memory[oldest]
+            self.evictions += 1
+
+    def _write_disk(self, key: str, outcome: EvalOutcome) -> None:
+        path = self._disk_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(outcome_to_json(outcome))
+                os.replace(tmp, path)  # atomic: concurrent readers see old or new
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass  # the disk tier is best-effort; memory stays authoritative
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (the disk tier is left untouched)."""
+        self._memory.clear()
+
+
+_default_cache: Optional[AnalysisCache] = None
+
+
+def default_cache() -> AnalysisCache:
+    """The process-wide shared cache (disk tier iff ``$REPRO_CACHE_DIR``)."""
+    global _default_cache
+    if _default_cache is None:
+        disk = os.environ.get(CACHE_DIR_ENV)
+        _default_cache = AnalysisCache(disk_dir=disk if disk else None)
+    return _default_cache
+
+
+def resolve_cache(
+    cache: Union[bool, AnalysisCache, None],
+) -> Optional[AnalysisCache]:
+    """Normalize the ``cache`` argument every sweep entry point accepts.
+
+    ``True`` means the shared :func:`default_cache`, ``False``/``None``
+    disables memoization, and an :class:`AnalysisCache` instance is used
+    as-is.
+    """
+    if cache is True:
+        return default_cache()
+    if cache is False or cache is None:
+        return None
+    if isinstance(cache, AnalysisCache):
+        return cache
+    raise TypeError(f"cache must be a bool or AnalysisCache, got {cache!r}")

@@ -21,11 +21,12 @@ models the second option:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.dataflow.dataflow import Dataflow
-from repro.engines.analysis import LayerAnalysis, analyze_layer
-from repro.errors import BindingError, DataflowError, HardwareError
+from repro.engines.analysis import LayerAnalysis
+from repro.errors import DataflowError, HardwareError
+from repro.exec import AnalysisCache, BatchEvaluator, EvalPoint
 from repro.hardware.accelerator import Accelerator
 from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from repro.model.network import Network
@@ -99,8 +100,17 @@ def analyze_heterogeneous(
     sub_accelerators: Sequence[SubAccelerator],
     mode: str = "sequential",
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    executor: str = "auto",
+    jobs: Optional[int] = None,
+    cache: Union[bool, AnalysisCache, None] = True,
 ) -> HeterogeneousAnalysis:
-    """Assign every layer to a sub-accelerator; see the module docstring."""
+    """Assign every layer to a sub-accelerator; see the module docstring.
+
+    The layer×partition cost matrix is evaluated through the
+    batch-evaluation backend (:mod:`repro.exec`):
+    ``executor``/``jobs``/``cache`` are pure performance knobs and do
+    not change the assignment.
+    """
     if not sub_accelerators:
         raise HardwareError("need at least one sub-accelerator")
     names = [sub.name for sub in sub_accelerators]
@@ -109,17 +119,27 @@ def analyze_heterogeneous(
     if mode not in ("sequential", "pipelined"):
         raise ValueError(f"unknown mode {mode!r}")
 
-    # Evaluate every layer on every partition it binds to.
+    # Evaluate every layer on every partition it binds to — one batch
+    # over the whole layer×partition grid.
+    evaluator = BatchEvaluator(executor=executor, jobs=jobs, cache=cache)
+    batch = evaluator.evaluate(
+        EvalPoint(
+            layer=layer,
+            dataflow=sub.dataflow,
+            accelerator=sub.accelerator,
+            energy_model=energy_model,
+        )
+        for layer in network.layers
+        for sub in sub_accelerators
+    )
     costs: Dict[str, Dict[str, LayerAnalysis]] = {}
+    outcomes = iter(batch)
     for layer in network.layers:
         options: Dict[str, LayerAnalysis] = {}
         for sub in sub_accelerators:
-            try:
-                options[sub.name] = analyze_layer(
-                    layer, sub.dataflow, sub.accelerator, energy_model
-                )
-            except (BindingError, DataflowError):
-                continue
+            outcome = next(outcomes)
+            if outcome.ok:
+                options[sub.name] = outcome.report
         if not options:
             raise DataflowError(
                 f"layer {layer.name!r} binds to no sub-accelerator"

@@ -102,6 +102,24 @@ class Layer:
                     f"kernel extent {k_ext} along {k_dim}"
                 )
 
+    def __reduce__(self):
+        # The normalized dims/densities live in MappingProxyType views,
+        # which cannot be pickled; rebuild through __init__ (re-running
+        # the cheap validation) so layers cross process boundaries — the
+        # batch-evaluation backend ships them to worker processes.
+        return (
+            Layer,
+            (
+                self.name,
+                self.operator,
+                dict(self.dims),
+                self.stride,
+                self.dilation,
+                self.groups,
+                dict(self.densities),
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Sizes
     # ------------------------------------------------------------------

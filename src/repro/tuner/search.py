@@ -4,11 +4,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.dataflow.dataflow import Dataflow
-from repro.engines.analysis import LayerAnalysis, analyze_layer
+from repro.engines.analysis import LayerAnalysis
 from repro.errors import BindingError, DataflowError
+from repro.exec import AnalysisCache, BatchEvaluator, EvalPoint
 from repro.hardware.accelerator import Accelerator
 from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from repro.lint.engine import static_errors
@@ -47,6 +48,9 @@ class TunerResult:
     #: How many of ``rejected`` the static mapping analyzer caught
     #: before any cost-model evaluation.
     statically_rejected: int = 0
+    #: How many cost-model answers came from the memoization cache
+    #: (free on tuner restarts and overlapping candidate grids).
+    cache_hits: int = 0
 
     @property
     def best_dataflow(self) -> Dataflow:
@@ -70,6 +74,9 @@ def tune_layer(
     top_k: int = 5,
     seed: int = 0,
     static_lint: bool = True,
+    executor: str = "auto",
+    jobs: Optional[int] = None,
+    cache: Union[bool, AnalysisCache, None] = True,
 ) -> TunerResult:
     """Find the best dataflow for ``layer`` on ``accelerator``.
 
@@ -80,6 +87,10 @@ def tune_layer(
     default) invalid candidates are caught by the static mapping
     analyzer before any cost-model evaluation; the check is
     binding-equivalent, so the surviving candidate set is identical.
+
+    Surviving candidates are scored through the batch-evaluation backend
+    (:mod:`repro.exec`): ``executor``/``jobs``/``cache`` are pure
+    performance knobs — every combination scores the identical set.
     """
     try:
         score_fn = OBJECTIVES[objective]
@@ -94,9 +105,10 @@ def tune_layer(
     elif strategy != "exhaustive":
         raise ValueError(f"unknown strategy {strategy!r}")
 
-    scored: List[ScoredCandidate] = []
+    # Phase 1 — enumerate: build + statically screen the candidates.
     rejected = 0
     statically_rejected = 0
+    runnable: List[Tuple[CandidateSpec, Dataflow]] = []
     for spec in specs:
         try:
             dataflow = spec.build()
@@ -107,11 +119,27 @@ def tune_layer(
             rejected += 1
             statically_rejected += 1
             continue
-        try:
-            report = analyze_layer(layer, dataflow, accelerator, energy_model)
-        except (BindingError, DataflowError):
+        runnable.append((spec, dataflow))
+
+    # Phase 2 — evaluate through the backend (memoized, parallelizable).
+    evaluator = BatchEvaluator(executor=executor, jobs=jobs, cache=cache)
+    batch = evaluator.evaluate(
+        EvalPoint(
+            layer=layer,
+            dataflow=dataflow,
+            accelerator=accelerator,
+            energy_model=energy_model,
+        )
+        for spec, dataflow in runnable
+    )
+
+    # Phase 3 — filter and score, in enumeration order.
+    scored: List[ScoredCandidate] = []
+    for (spec, dataflow), outcome in zip(runnable, batch):
+        if not outcome.ok:
             rejected += 1
             continue
+        report = outcome.report
         if max_l1_bytes is not None and report.l1_buffer_req > max_l1_bytes:
             rejected += 1
             continue
@@ -119,14 +147,10 @@ def tune_layer(
             rejected += 1
             continue
         scored.append(
-            ScoredCandidate(
-                spec=spec, dataflow=dataflow, report=report, score=score_fn(report)
-            )
+            ScoredCandidate(spec=spec, dataflow=dataflow, report=report, score=score_fn(report))
         )
     if not scored:
-        raise DataflowError(
-            f"no tuner candidate is feasible for layer {layer.name!r}"
-        )
+        raise DataflowError(f"no tuner candidate is feasible for layer {layer.name!r}")
     scored.sort(key=lambda candidate: candidate.score)
     return TunerResult(
         layer_name=layer.name,
@@ -136,6 +160,7 @@ def tune_layer(
         evaluated=len(scored),
         rejected=rejected,
         statically_rejected=statically_rejected,
+        cache_hits=batch.stats.cache_hits,
     )
 
 
