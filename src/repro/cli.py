@@ -8,6 +8,11 @@ Subcommands:
   optionally against a layer and hardware config, and print a
   rustc-style diagnostic report (or ``--format json``); exits 1 when
   the mapping has errors;
+- ``verify`` — prove (or refute with a concrete MAC counterexample)
+  that a mapping covers a layer's compute space exactly once;
+  ``--library`` checks every stock mapping, ``--audit`` classifies
+  which lint rules the verifier certifies as sound; exits 1 when any
+  mapping is not proven;
 - ``validate`` — compare the analytical model against the reference
   simulator on a layer;
 - ``dse`` — run a small hardware design-space exploration for a layer;
@@ -140,6 +145,93 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.has_errors else 0
 
 
+def _stock_catalog() -> "dict":
+    """Every mapping the library ships, keyed like the golden tests."""
+    from repro.dataflow.library import (
+        fig5_playground,
+        output_stationary_1level,
+        row_stationary_fig6,
+        weight_stationary_1level,
+    )
+
+    catalog = dict(table3_dataflows())
+    catalog.update({f"fig5-{key}": flow for key, flow in fig5_playground().items()})
+    catalog["RS"] = row_stationary_fig6()
+    catalog["WS-K"] = weight_stationary_1level()
+    catalog["OS-YX"] = output_stationary_1level()
+    return catalog
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.model.layer import conv2d
+    from repro.verify import DEFAULT_BUDGET, audit_rules, verify_dataflow
+
+    budget = args.budget if args.budget is not None else DEFAULT_BUDGET
+
+    if args.audit:
+        audits = audit_rules()
+        if args.format == "json":
+            print(json.dumps([a.to_dict() for a in audits.values()], indent=2))
+            return 0
+        for audit in audits.values():
+            mark = "certified" if audit.certified else "heuristic"
+            print(f"{audit.code}  {audit.category:20s} [{mark}] {audit.title}")
+            for line in audit.evidence:
+                print(f"    - {line}")
+        return 0
+
+    catalog = _stock_catalog()
+    flows: "dict" = {}
+    if args.library:
+        flows.update(catalog)
+    for target in args.targets:
+        if target in catalog:
+            flows[target] = catalog[target]
+        else:
+            try:
+                with open(target) as handle:
+                    flows[target] = parse_dataflow(handle.read(), name=target)
+            except OSError:
+                raise SystemExit(
+                    f"unknown dataflow {target!r}: not in {sorted(catalog)} "
+                    "and not a readable file"
+                )
+    if not flows:
+        raise SystemExit("nothing to verify: pass dataflow targets or --library")
+
+    if args.layer and not args.model:
+        raise SystemExit("--layer requires --model")
+    if args.model:
+        network = build(args.model)
+        layers = (
+            [network.layer(args.layer)] if args.layer else list(network.layers)
+        )
+    else:
+        # A synthetic workload that exercises channels, sliding rows and
+        # columns, and edge tiles without being slow to enumerate.
+        layers = [conv2d("verify-default", k=8, c=8, y=18, x=18, r=3, s=3)]
+
+    results = []
+    for name, flow in flows.items():
+        for layer in layers:
+            results.append(verify_dataflow(flow, layer, budget=budget))
+    all_proven = all(result.proven for result in results)
+    if args.format == "json":
+        payload = {
+            "results": [result.to_dict() for result in results],
+            "all_proven": all_proven,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for result in results:
+            print(result.render())
+        proven = sum(result.proven for result in results)
+        print(f"{proven}/{len(results)} mapping-layer pairs proven covered exactly once")
+    return 0 if all_proven else 1
+
+
 def _cmd_adaptive(args: argparse.Namespace) -> int:
     network = build(args.model)
     accelerator = _accelerator(args)
@@ -199,6 +291,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         space,
         area_budget=args.area,
         power_budget=args.power,
+        verify_coverage=args.verify_coverage,
         executor=args.executor,
         jobs=args.jobs,
         cache=args.cache,
@@ -207,6 +300,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     print(
         f"explored {stats.explored} designs ({stats.valid} valid, "
         f"{stats.pruned} pruned, {stats.static_rejects} lint-rejected, "
+        f"{stats.coverage_rejects} coverage-refuted, "
         f"{stats.cost_model_calls} cost-model calls, "
         f"{stats.cache_hits} cache hits, executor={stats.executor}) in "
         f"{stats.elapsed_seconds:.2f}s ({stats.effective_rate:.0f} designs/s)"
@@ -240,6 +334,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         budget=args.budget,
         top_k=args.top_k,
+        verify_coverage=args.verify_coverage,
         executor=args.executor,
         jobs=args.jobs,
         cache=args.cache,
@@ -262,7 +357,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     )
     print(
         f"rejected {result.rejected} candidates "
-        f"({result.statically_rejected} by the static analyzer); "
+        f"({result.statically_rejected} by the static analyzer, "
+        f"{result.coverage_rejected} coverage-refuted); "
         f"{result.cache_hits} cost-model answers served from cache"
     )
     return 0
@@ -293,6 +389,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--pes", type=int, default=256, help="number of PEs")
         p.add_argument("--bandwidth", type=int, default=32, help="NoC elems/cycle")
         p.add_argument("--latency", type=int, default=2, help="NoC average latency")
+
+    def add_verify_coverage(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--verify-coverage",
+            action="store_true",
+            help="soundly prune mappings the iteration-space verifier "
+            "refutes (proven missed/double-counted MACs)",
+        )
 
     def add_backend(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -344,6 +448,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_hw(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
 
+    p_verify = sub.add_parser(
+        "verify", help="prove exactly-once MAC coverage of a mapping"
+    )
+    p_verify.add_argument(
+        "targets",
+        nargs="*",
+        help="library dataflow names or DSL file paths",
+    )
+    p_verify.add_argument(
+        "--library",
+        action="store_true",
+        help="verify every stock mapping the library ships",
+    )
+    p_verify.add_argument(
+        "--audit",
+        action="store_true",
+        help="classify which lint rules the verifier certifies as sound",
+    )
+    p_verify.add_argument(
+        "--model", choices=sorted(MODELS), help="zoo model to verify against"
+    )
+    p_verify.add_argument(
+        "--layer", help="layer name (default: every layer of --model)"
+    )
+    p_verify.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
+    p_verify.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="cell-update budget for exact enumeration (default: 2e6)",
+    )
+    p_verify.set_defaults(func=_cmd_verify)
+
     p_adaptive = sub.add_parser("adaptive", help="best dataflow per layer")
     p_adaptive.add_argument("--model", required=True, choices=sorted(MODELS))
     p_adaptive.add_argument("--metric", default="runtime", choices=["runtime", "energy", "edp"])
@@ -365,6 +504,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_dse.add_argument("--power", type=float, default=450.0, help="mW budget")
     p_dse.add_argument("--max-pes", type=int, default=512)
     p_dse.add_argument("--pe-step", type=int, default=8)
+    add_verify_coverage(p_dse)
     add_backend(p_dse)
     p_dse.set_defaults(func=_cmd_dse)
 
@@ -382,6 +522,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_tune.add_argument("--top-k", type=int, default=5, help="candidates to print")
     add_hw(p_tune)
+    add_verify_coverage(p_tune)
     add_backend(p_tune)
     p_tune.set_defaults(func=_cmd_tune)
 

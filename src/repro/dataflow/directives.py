@@ -32,9 +32,18 @@ class SizeExpr:
     ``St(dim)`` is the layer's stride along an activation axis (1 for
     non-activation dims), needed to write stride-portable tile sizes
     like ``(4-1)*St(Y)+Sz(R)`` (a chunk covering four output rows).
+
+    The expression is validated syntactically at construction: empty
+    text, trailing garbage (``"8)"``, ``"1,1"``), and unknown dimensions
+    raise :class:`DataflowParseError` carrying the 0-based character
+    ``position`` of the error, instead of misparsing silently and
+    failing only when (or if) the size is evaluated.
     """
 
     text: str
+
+    def __post_init__(self) -> None:
+        _Parser(self.text, {}, syntax_only=True).parse()
 
     def evaluate(
         self,
@@ -78,51 +87,78 @@ def evaluate_size(
     raise DataflowError(f"size must be an int or expression, got {size!r}")
 
 
-_TOKEN_RE = re.compile(r"\s*(?:(\d+)|(Sz|St)|([A-Z]'?)|([()+\-*]))")
+_TOKEN_RE = re.compile(r"(?:(\d+)|(Sz|St)|([A-Z]'?)|([()+\-*]))")
 
 
 class _Parser:
-    """Recursive-descent evaluator for :class:`SizeExpr`."""
+    """Recursive-descent evaluator for :class:`SizeExpr`.
+
+    With ``syntax_only=True`` the parser validates structure (grammar and
+    dimension names) without requiring dimension bindings: ``Sz``/``St``
+    factors evaluate to 1. Every error carries the 0-based character
+    position of the offending token in ``position``.
+    """
 
     def __init__(
         self,
         text: str,
         dim_sizes: Mapping[str, int],
         strides: "Mapping[str, int] | None" = None,
-    ):
+        syntax_only: bool = False,
+    ) -> None:
         self.text = text
         self.dim_sizes = dim_sizes
         self.strides = strides or {}
+        self.syntax_only = syntax_only
         self.tokens = self._tokenize(text)
         self.pos = 0
 
     @staticmethod
-    def _tokenize(text: str):
-        tokens = []
+    def _tokenize(text: str) -> "list[tuple[str, int]]":
+        tokens: "list[tuple[str, int]]" = []
         index = 0
-        while index < len(text):
+        length = len(text)
+        while index < length:
+            if text[index].isspace():
+                index += 1
+                continue
             match = _TOKEN_RE.match(text, index)
-            if match is None:
+            if match is None or match.lastindex is None:
                 raise DataflowParseError(
-                    f"bad size expression {text!r} at position {index}"
+                    f"bad size expression {text!r} at position {index}",
+                    position=index,
                 )
-            tokens.append(match.group(match.lastindex))
+            tokens.append((match.group(match.lastindex), index))
             index = match.end()
         return tokens
 
-    def _peek(self):
-        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+    def _peek(self) -> "str | None":
+        return self.tokens[self.pos][0] if self.pos < len(self.tokens) else None
 
-    def _next(self):
+    def _next(self) -> "str | None":
         token = self._peek()
         self.pos += 1
         return token
 
+    def _here(self) -> int:
+        """Character position of the token just consumed (or end of text)."""
+        index = min(self.pos - 1, len(self.tokens) - 1)
+        if index < 0 or self.pos - 1 >= len(self.tokens):
+            return len(self.text)
+        return self.tokens[index][1]
+
     def parse(self) -> int:
+        if not self.tokens:
+            raise DataflowParseError(
+                f"empty size expression {self.text!r}", position=0
+            )
         value = self._expr()
         if self._peek() is not None:
+            position = self.tokens[self.pos][1]
             raise DataflowParseError(
                 f"trailing tokens in size expression {self.text!r}"
+                f" at position {position}",
+                position=position,
             )
         return value
 
@@ -145,21 +181,39 @@ class _Parser:
     def _factor(self) -> int:
         token = self._next()
         if token is None:
-            raise DataflowParseError(f"unexpected end of expression {self.text!r}")
+            raise DataflowParseError(
+                f"unexpected end of expression {self.text!r}",
+                position=len(self.text),
+            )
         if token.isdigit():
             return int(token)
         if token in ("Sz", "St"):
             func = token
             if self._next() != "(":
-                raise DataflowParseError(f"expected '(' after {func} in {self.text!r}")
+                raise DataflowParseError(
+                    f"expected '(' after {func} in {self.text!r}",
+                    position=self._here(),
+                )
             dim = self._next()
             if dim is None:
-                raise DataflowParseError(f"expected dimension in {self.text!r}")
-            validate_dim(dim)
+                raise DataflowParseError(
+                    f"expected dimension in {self.text!r}",
+                    position=len(self.text),
+                )
+            try:
+                validate_dim(dim)
+            except ValueError as exc:
+                raise DataflowParseError(
+                    f"{exc} in size expression {self.text!r}",
+                    position=self._here(),
+                ) from None
             if self._next() != ")":
                 raise DataflowParseError(
-                    f"expected ')' after {func}({dim} in {self.text!r}"
+                    f"expected ')' after {func}({dim} in {self.text!r}",
+                    position=self._here(),
                 )
+            if self.syntax_only:
+                return 1
             if func == "St":
                 return self.strides.get(dim, 1)
             try:
@@ -171,9 +225,15 @@ class _Parser:
         if token == "(":
             value = self._expr()
             if self._next() != ")":
-                raise DataflowParseError(f"unbalanced parentheses in {self.text!r}")
+                raise DataflowParseError(
+                    f"unbalanced parentheses in {self.text!r}",
+                    position=self._here(),
+                )
             return value
-        raise DataflowParseError(f"unexpected token {token!r} in {self.text!r}")
+        raise DataflowParseError(
+            f"unexpected token {token!r} in {self.text!r}",
+            position=self._here(),
+        )
 
 
 class Directive:

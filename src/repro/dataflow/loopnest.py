@@ -24,7 +24,10 @@ states: tensor indices coupled in affine one/two-dim combinations).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.model.layer import Layer
 
 from repro.dataflow.dataflow import Dataflow
 from repro.dataflow.directives import (
@@ -64,9 +67,20 @@ class Loop:
 
 
 def loopnest_to_dataflow(
-    loops: Sequence[Loop], name: str = "from-loopnest"
+    loops: Sequence[Loop],
+    name: str = "from-loopnest",
+    verify_against: Optional["Layer"] = None,
 ) -> Dataflow:
-    """Convert a loop nest to directives; see the module docstring."""
+    """Convert a loop nest to directives; see the module docstring.
+
+    With ``verify_against`` the converted mapping is handed to the
+    iteration-space verifier (:mod:`repro.verify`): if the schedule is
+    *proven* not to cover that layer's compute space exactly once —
+    e.g. the nest's steps skip indices or re-walk tiles — the
+    conversion raises :class:`DataflowError` carrying the concrete
+    missed/double-counted MAC coordinate instead of returning a
+    mapping that silently computes the wrong thing.
+    """
     if not loops:
         raise DataflowError("a loop nest needs at least one loop")
 
@@ -87,7 +101,19 @@ def loopnest_to_dataflow(
             seen_parallel = True
         else:
             directives.append(temporal_map(loop.size, loop.offset, loop.dim))
-    return Dataflow(name=name, directives=tuple(directives))
+    dataflow = Dataflow(name=name, directives=tuple(directives))
+    if verify_against is not None:
+        from repro.verify import Verdict, verify_dataflow
+
+        result = verify_dataflow(dataflow, verify_against)
+        if result.verdict is Verdict.REFUTED:
+            assert result.counterexample is not None
+            raise DataflowError(
+                f"loop nest {name!r} does not cover layer "
+                f"{verify_against.name!r} exactly once: "
+                f"{result.counterexample.describe()}"
+            )
+    return dataflow
 
 
 def infer_trip_count(extent: int, size: int, step: int) -> int:

@@ -58,8 +58,12 @@ class ScanResult:
     diagnostics: Tuple[Diagnostic, ...]
 
 
-def _split_args(args: str) -> "Optional[Tuple[str, str]]":
-    """Split ``size, offset`` on the comma at parenthesis depth zero."""
+def _split_args(args: str) -> "Optional[Tuple[str, str, int]]":
+    """Split ``size, offset`` on the comma at parenthesis depth zero.
+
+    Returns the stripped halves plus the comma's index within ``args``
+    (so callers can map expression errors back to source columns).
+    """
     depth = 0
     for index, char in enumerate(args):
         if char == "(":
@@ -67,11 +71,17 @@ def _split_args(args: str) -> "Optional[Tuple[str, str]]":
         elif char == ")":
             depth -= 1
         elif char == "," and depth == 0:
-            return args[:index].strip(), args[index + 1 :].strip()
+            return args[:index].strip(), args[index + 1 :].strip(), index
     return None
 
 
 def _parse_size(text: str) -> "int | SizeExpr":
+    """Parse one size/offset argument.
+
+    Raises :class:`DataflowParseError` (with a character ``position``
+    relative to ``text``) for empty or malformed expressions — the
+    ``SizeExpr`` constructor validates its grammar.
+    """
     text = text.strip()
     if re.fullmatch(r"\d+", text):
         return int(text)
@@ -105,27 +115,65 @@ def scan_dataflow(text: str, name: str = "parsed") -> ScanResult:
             end_column=column + len(line),
             source=raw_line.rstrip("\n"),
         )
+        def expression_span(arg_text: str, start_in_line: int, position: int) -> SourceSpan:
+            """Narrow the line span to one size expression (`position` within it)."""
+            lead = len(arg_text) - len(arg_text.lstrip())
+            start = column + start_in_line + lead
+            stripped = arg_text.strip()
+            caret = start + min(max(position, 0), max(len(stripped) - 1, 0))
+            return SourceSpan(
+                line=line_number,
+                column=caret,
+                end_column=start + max(len(stripped), 1),
+                source=raw_line.rstrip("\n"),
+            )
+
         map_match = _MAP_RE.match(line)
         if map_match:
             dim = map_match.group("dim")
             if dim not in ALL_DIRECTIVE_DIMS:
                 syntax_error(f"unknown dimension {dim!r}", line_number, span)
                 continue
-            split = _split_args(map_match.group("args"))
+            args_text = map_match.group("args")
+            args_start = map_match.start("args")
+            split = _split_args(args_text)
             if split is None:
                 syntax_error(
-                    f"expected 'size, offset' arguments, "
-                    f"got {map_match.group('args')!r}",
+                    f"expected 'size, offset' arguments, got {args_text!r}",
                     line_number,
                     span,
                 )
                 continue
-            size_text, offset_text = split
+            size_text, offset_text, comma = split
+            try:
+                size = _parse_size(size_text)
+            except DataflowParseError as exc:
+                syntax_error(
+                    f"bad size expression: {exc.args[0]}",
+                    line_number,
+                    expression_span(
+                        args_text[:comma], args_start, exc.position or 0
+                    ),
+                )
+                continue
+            try:
+                offset = _parse_size(offset_text)
+            except DataflowParseError as exc:
+                syntax_error(
+                    f"bad offset expression: {exc.args[0]}",
+                    line_number,
+                    expression_span(
+                        args_text[comma + 1 :],
+                        args_start + comma + 1,
+                        exc.position or 0,
+                    ),
+                )
+                continue
             directives.append(
                 MapDirective(
                     dim=dim,
-                    size=_parse_size(size_text),
-                    offset=_parse_size(offset_text),
+                    size=size,
+                    offset=offset,
                     spatial=map_match.group("kind") == "SpatialMap",
                 )
             )
@@ -133,9 +181,20 @@ def scan_dataflow(text: str, name: str = "parsed") -> ScanResult:
             continue
         cluster_match = _CLUSTER_RE.match(line)
         if cluster_match:
-            directives.append(
-                ClusterDirective(size=_parse_size(cluster_match.group("size")))
-            )
+            try:
+                cluster_size = _parse_size(cluster_match.group("size"))
+            except DataflowParseError as exc:
+                syntax_error(
+                    f"bad cluster size expression: {exc.args[0]}",
+                    line_number,
+                    expression_span(
+                        cluster_match.group("size"),
+                        cluster_match.start("size"),
+                        exc.position or 0,
+                    ),
+                )
+                continue
+            directives.append(ClusterDirective(size=cluster_size))
             spans.append(span)
             continue
         syntax_error(f"cannot parse {raw_line!r}", line_number, span)
@@ -152,7 +211,9 @@ def parse_dataflow(text: str, name: str = "parsed") -> Dataflow:
     scan = scan_dataflow(text, name=name)
     if scan.diagnostics:
         raise DataflowParseError(
-            scan.diagnostics[0].message, diagnostics=list(scan.diagnostics)
+            scan.diagnostics[0].message,
+            diagnostics=list(scan.diagnostics),
+            span=scan.diagnostics[0].span,
         )
     if not scan.directives:
         empty = Diagnostic(

@@ -57,6 +57,7 @@ class DSEStatistics:
     pruned: int
     elapsed_seconds: float
     static_rejects: int = 0
+    coverage_rejects: int = 0
     cost_model_calls: int = 0
     cache_hits: int = 0
     executor: str = "serial"
@@ -95,6 +96,7 @@ def explore(
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
     noc_latency: int = 2,
     static_lint: bool = True,
+    verify_coverage: bool = False,
     executor: str = "auto",
     jobs: Optional[int] = None,
     cache: Union[bool, AnalysisCache, None] = True,
@@ -109,12 +111,20 @@ def explore(
     surviving set — and therefore every optimum — is identical to a
     sweep with ``static_lint=False``.
 
+    With ``verify_coverage`` the iteration-space verifier
+    (:mod:`repro.verify`) additionally checks each variant once against
+    the layer and prunes variants *proven* not to cover the compute
+    space exactly once (``coverage_rejects``). The pruning is sound:
+    only mappings refuted with a concrete missed or double-counted MAC
+    are dropped, so the optima over *correct* mappings are unchanged
+    (and bit-identical when every variant is sound).
+
     ``executor``/``jobs``/``cache`` configure the batch-evaluation
     backend (:mod:`repro.exec`); every combination returns bit-identical
     results, so they are pure performance knobs.
     """
     start = time.perf_counter()
-    explored = pruned = static_rejects = 0
+    explored = pruned = static_rejects = coverage_rejects = 0
 
     # One static pass per variant: the layer-only lint verdict and the
     # PE demand of the cluster hierarchy (compared per PE count below).
@@ -128,6 +138,23 @@ def explore(
                 continue
             errors = static_errors(dataflow, layer)
             variant_lint[(label, dataflow.name)] = (bool(errors), needed)
+
+    # One coverage verification per variant (the layer is fixed, so the
+    # verdict is independent of the hardware grid): refuted variants are
+    # pruned from every grid point they would have occupied.
+    variant_refuted: dict = {}
+    if verify_coverage:
+        from repro.verify import Verdict, verify_dataflow
+
+        for label, dataflow in space.dataflow_variants:
+            key = (label, dataflow.name)
+            if static_lint and variant_lint.get(key, (False, 0))[0]:
+                continue  # already rejected statically
+            try:
+                result = verify_dataflow(dataflow, layer)
+            except Exception:
+                continue  # never let verification break the sweep
+            variant_refuted[key] = result.verdict is Verdict.REFUTED
 
     # ------------------------------------------------------------------
     # Phase 1 — enumerate: classify every grid point as budget-pruned,
@@ -160,6 +187,10 @@ def explore(
                         pruned += 1
                         static_rejects += 1
                         continue
+                if verify_coverage and variant_refuted.get((label, dataflow.name)):
+                    pruned += 1
+                    coverage_rejects += 1
+                    continue
                 candidates.append((num_pes, bandwidth, label, dataflow))
 
     # ------------------------------------------------------------------
@@ -222,13 +253,17 @@ def explore(
     # accounted for exactly once — budget-pruned, lint-rejected, or
     # answered by the cost model (evaluated successfully or failed).
     failures = batch.stats.submitted - evaluated
-    budget_pruned = pruned - static_rejects
+    budget_pruned = pruned - static_rejects - coverage_rejects
     assert explored == space.size, (
         f"enumeration drift: walked {explored} of {space.size} grid points"
     )
-    assert evaluated + failures + static_rejects + budget_pruned == space.size, (
+    assert (
+        evaluated + failures + static_rejects + coverage_rejects + budget_pruned
+        == space.size
+    ), (
         f"statistics drift: evaluated={evaluated} failures={failures} "
-        f"static_rejects={static_rejects} budget_pruned={budget_pruned} "
+        f"static_rejects={static_rejects} coverage_rejects={coverage_rejects} "
+        f"budget_pruned={budget_pruned} "
         f"do not partition the {space.size}-point grid"
     )
 
@@ -240,6 +275,7 @@ def explore(
         pruned=pruned,
         elapsed_seconds=elapsed,
         static_rejects=static_rejects,
+        coverage_rejects=coverage_rejects,
         cost_model_calls=batch.stats.submitted,
         cache_hits=batch.stats.cache_hits,
         executor=batch.stats.executor,

@@ -37,7 +37,18 @@ class DataflowError(ReproError):
 
 
 class DataflowParseError(DataflowError):
-    """The textual dataflow DSL could not be parsed."""
+    """The textual dataflow DSL could not be parsed.
+
+    ``position`` is the 0-based character offset of the error inside the
+    offending size expression (when known); ``span`` a
+    :class:`repro.lint.SourceSpan` locating the error in DSL source text
+    (when the expression came from a parsed file).
+    """
+
+    def __init__(self, *args, diagnostics=None, position=None, span=None):
+        super().__init__(*args, diagnostics=diagnostics)
+        self.position = position
+        self.span = span
 
 
 class BindingError(DataflowError):

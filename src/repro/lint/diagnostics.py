@@ -72,7 +72,14 @@ class FixIt:
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One finding of the static mapping analyzer."""
+    """One finding of the static mapping analyzer.
+
+    ``provenance`` records how the finding was established:
+    ``"heuristic"`` for the shape/arithmetic pattern rules, ``"proven"``
+    when it is backed by the iteration-space verifier
+    (:mod:`repro.verify`) — i.e. the statement is a theorem about the
+    clamped-tile schedule semantics, not a heuristic signal.
+    """
 
     code: str
     severity: Severity
@@ -81,6 +88,7 @@ class Diagnostic:
     directive_index: Optional[int] = None  # index into the directive list
     span: Optional[SourceSpan] = None
     fixit: Optional[FixIt] = None
+    provenance: str = "heuristic"
 
     @property
     def is_error(self) -> bool:
@@ -97,6 +105,7 @@ class Diagnostic:
             "message": self.message,
             "directive": self.directive,
             "directive_index": self.directive_index,
+            "provenance": self.provenance,
         }
         payload["span"] = self.span.to_dict() if self.span else None
         payload["fixit"] = self.fixit.to_dict() if self.fixit else None
@@ -182,6 +191,8 @@ class LintReport:
                 f"  --> {origin}: directive {diagnostic.directive_index}: "
                 f"{diagnostic.directive}"
             )
+        if diagnostic.provenance != "heuristic":
+            lines.append(f"   = note: provenance: {diagnostic.provenance}")
         if diagnostic.fixit is not None:
             help_line = f"   = help: {diagnostic.fixit.description}"
             if diagnostic.fixit.replacement:

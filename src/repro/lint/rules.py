@@ -33,6 +33,7 @@ from repro.dataflow.directives import (
     ClusterDirective,
     Directive,
     MapDirective,
+    SizeLike,
     evaluate_size,
 )
 from repro.errors import DataflowError
@@ -41,13 +42,20 @@ from repro.tensors import dims as D
 from repro.util.intmath import num_chunks, prod
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dataflow.dataflow import Dataflow
     from repro.engines.binding import BoundDataflow
     from repro.engines.tensor_analysis import TensorAnalysis
     from repro.hardware.accelerator import Accelerator
     from repro.model.layer import Layer
+    from repro.verify.result import VerifyResult
 
 #: Dimensions along which a window may legitimately slide (halo reuse).
 _SLIDING_DIMS = frozenset({D.Y, D.X})
+
+#: Enumeration budget for coverage verification during linting (cell
+#: updates). Deliberately below the verifier's default so `lint` stays
+#: interactive; undecided mappings surface as DF103.
+_LINT_VERIFY_BUDGET = 200_000
 
 
 @dataclass(frozen=True)
@@ -90,6 +98,8 @@ class RuleContext:
     _bound_tried: bool = field(default=False, repr=False)
     _tensors: object = field(default=None, repr=False)
     _tensors_tried: bool = field(default=False, repr=False)
+    _coverage: object = field(default=None, repr=False)
+    _coverage_tried: bool = field(default=False, repr=False)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -122,7 +132,7 @@ class RuleContext:
             return {}
         return {D.Y: self.layer.stride[0], D.X: self.layer.stride[1]}
 
-    def eval_size(self, value) -> Optional[int]:
+    def eval_size(self, value: SizeLike) -> Optional[int]:
         """Concrete value of a size/offset, or ``None`` when unknown.
 
         Mirrors the cluster analysis engine: symbolic expressions are
@@ -140,7 +150,7 @@ class RuleContext:
         except (DataflowError, ValueError):
             return None
 
-    def eval_cluster_size(self, value) -> Optional[int]:
+    def eval_cluster_size(self, value: SizeLike) -> Optional[int]:
         """Concrete cluster size, evaluated exactly as binding does.
 
         Binding evaluates ``Cluster`` sizes without the stride mapping
@@ -157,7 +167,7 @@ class RuleContext:
         except (DataflowError, ValueError):
             return None
 
-    def expression_error(self, value) -> Optional[str]:
+    def expression_error(self, value: SizeLike) -> Optional[str]:
         """Why a size expression cannot be evaluated, or ``None`` if it can."""
         if isinstance(value, int) and not isinstance(value, bool):
             return None
@@ -210,6 +220,38 @@ class RuleContext:
             self._tensors = None
         return self._tensors
 
+    @property
+    def coverage(self) -> "Optional[VerifyResult]":
+        """Iteration-space coverage verdict for this mapping, or ``None``.
+
+        Accelerator-independent (the verifier binds against a synthetic
+        accelerator that exactly fits the cluster hierarchy); requires a
+        layer. Uses a reduced enumeration budget so linting stays fast —
+        mappings the budget cannot decide surface as DF103.
+        """
+        if self._coverage_tried:
+            return self._coverage
+        self._coverage_tried = True
+        if self.layer is None:
+            return None
+        flow = self.dataflow
+        if flow is None:
+            try:
+                from repro.dataflow.dataflow import Dataflow
+
+                flow = Dataflow(name=self.name, directives=tuple(self.directives))
+            except Exception:
+                return None
+        try:
+            from repro.verify import verify_dataflow
+
+            self._coverage = verify_dataflow(
+                flow, self.layer, budget=_LINT_VERIFY_BUDGET
+            )
+        except Exception:
+            self._coverage = None
+        return self._coverage
+
     # ------------------------------------------------------------------
     # Diagnostic construction
     # ------------------------------------------------------------------
@@ -220,6 +262,7 @@ class RuleContext:
         index: Optional[int] = None,
         fixit: Optional[FixIt] = None,
         severity: Optional[Severity] = None,
+        provenance: str = "heuristic",
     ) -> Diagnostic:
         directive = None
         span = None
@@ -235,6 +278,7 @@ class RuleContext:
             directive_index=index,
             span=span,
             fixit=fixit,
+            provenance=provenance,
         )
 
 
@@ -254,6 +298,9 @@ class Rule:
 RULES: Dict[str, Rule] = {}
 
 
+_RuleCheck = Callable[[RuleContext], Iterator[Diagnostic]]
+
+
 def rule(
     code: str,
     title: str,
@@ -261,8 +308,8 @@ def rule(
     requires: Tuple[str, ...] = (),
     construction: bool = False,
     binding_equivalent: bool = False,
-):
-    def register(fn: Callable[[RuleContext], Iterator[Diagnostic]]):
+) -> Callable[[_RuleCheck], _RuleCheck]:
+    def register(fn: _RuleCheck) -> _RuleCheck:
         if code in RULES:  # pragma: no cover - registry misuse guard
             raise ValueError(f"duplicate lint rule code {code}")
         RULES[code] = Rule(
@@ -279,7 +326,7 @@ def rule(
     return register
 
 
-def required_pes(dataflow, layer: "Layer") -> int:
+def required_pes(dataflow: "Dataflow", layer: "Layer") -> int:
     """PEs the cluster hierarchy needs, exactly as binding computes it.
 
     Raises :class:`~repro.errors.DataflowError` (as binding would) when a
@@ -818,3 +865,81 @@ def _check_idle_levels(ctx: RuleContext) -> Iterator[Diagnostic]:
             index=index,
             fixit=FixIt("add a SpatialMap over a dimension with extent > 1"),
         )
+
+
+# ======================================================================
+# Iteration-space coverage, backed by the verifier (DF101-DF103)
+#
+# Unlike the DF0xx pattern rules, these come from repro.verify: DF101 is
+# a *theorem* about the schedule (hence provenance "proven" and a
+# concrete counterexample coordinate in the message), DF102 the positive
+# certificate, DF103 the honest "ran out of budget" signal.
+# ======================================================================
+@rule(
+    "DF101",
+    "mapping does not cover the compute space exactly once",
+    Severity.ERROR,
+    requires=("layer",),
+)
+def _check_coverage_refuted(ctx: RuleContext) -> Iterator[Diagnostic]:
+    result = ctx.coverage
+    if result is None:
+        return
+    from repro.verify.result import Verdict
+
+    if result.verdict is not Verdict.REFUTED or result.counterexample is None:
+        return
+    yield ctx.diag(
+        "DF101",
+        f"{ctx.name}: coverage refuted on {result.layer_name}: "
+        f"{result.counterexample.describe()}",
+        provenance="proven",
+        fixit=FixIt(
+            "align sizes/offsets so chunks tile each dimension exactly "
+            "(offset == size, or offset == stride * outputs-per-chunk on "
+            "sliding dims)"
+        ),
+    )
+
+
+@rule(
+    "DF102",
+    "mapping proven to cover the compute space exactly once",
+    Severity.INFO,
+    requires=("layer",),
+)
+def _check_coverage_proven(ctx: RuleContext) -> Iterator[Diagnostic]:
+    result = ctx.coverage
+    if result is None:
+        return
+    from repro.verify.result import Verdict
+
+    if result.verdict is not Verdict.PROVEN:
+        return
+    yield ctx.diag(
+        "DF102",
+        f"{ctx.name}: every one of the {result.total_macs} MACs on "
+        f"{result.layer_name} is executed exactly once ({result.method})",
+        provenance="proven",
+    )
+
+
+@rule(
+    "DF103",
+    "coverage verification undecided within budget",
+    Severity.INFO,
+    requires=("layer",),
+)
+def _check_coverage_undecided(ctx: RuleContext) -> Iterator[Diagnostic]:
+    result = ctx.coverage
+    if result is None:
+        return
+    from repro.verify.result import Verdict
+
+    if result.verdict is not Verdict.UNDECIDED:
+        return
+    yield ctx.diag(
+        "DF103",
+        f"{ctx.name}: coverage on {result.layer_name} undecided: "
+        f"{result.message or 'enumeration budget exhausted'}",
+    )

@@ -45,6 +45,13 @@ class SimulationResult:
     extrapolated: bool
     l2_ingress: float
     l2_egress: float
+    #: Dense MACs the schedule issues: steady innermost-tile MACs times
+    #: the chunk count of every level (spatial and temporal), times
+    #: ``layer.groups``. Edge tiles are counted at their steady size, so
+    #: for edge-free configurations this equals ``layer.total_ops()``
+    #: exactly — the differential check the iteration-space verifier
+    #: (:mod:`repro.verify`) relies on.
+    macs_issued: int = 0
 
     @property
     def cycles(self) -> float:
@@ -138,7 +145,16 @@ def simulate_layer(
     input_density = 1.0
     for info in tensors.inputs:
         input_density *= info.density
-    ops_per_step = tensors.ops_per_chunk(innermost_sizes) * input_density
+    dense_ops_per_chunk = tensors.ops_per_chunk(innermost_sizes)
+    chunk_executions = 1
+    for level in bound.levels:
+        if any(d.spatial for d in level.directives):
+            chunk_executions *= level.spatial_chunks
+        for directive in level.directives:
+            if not directive.spatial:
+                chunk_executions *= directive.chunks
+    macs_issued = dense_ops_per_chunk * chunk_executions * layer.groups
+    ops_per_step = dense_ops_per_chunk * input_density
     compute_time = max(1.0, ops_per_step / accelerator.vector_width)
 
     noc = accelerator.noc
@@ -266,4 +282,5 @@ def simulate_layer(
         extrapolated=extrapolated,
         l2_ingress=l2_ingress * layer.groups,
         l2_egress=l2_egress * layer.groups,
+        macs_issued=macs_issued,
     )

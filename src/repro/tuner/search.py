@@ -48,6 +48,10 @@ class TunerResult:
     #: How many of ``rejected`` the static mapping analyzer caught
     #: before any cost-model evaluation.
     statically_rejected: int = 0
+    #: How many of ``rejected`` the iteration-space verifier refuted
+    #: (proven missed/double-counted MACs) before evaluation; only
+    #: counted when ``verify_coverage`` is enabled.
+    coverage_rejected: int = 0
     #: How many cost-model answers came from the memoization cache
     #: (free on tuner restarts and overlapping candidate grids).
     cache_hits: int = 0
@@ -74,6 +78,7 @@ def tune_layer(
     top_k: int = 5,
     seed: int = 0,
     static_lint: bool = True,
+    verify_coverage: bool = False,
     executor: str = "auto",
     jobs: Optional[int] = None,
     cache: Union[bool, AnalysisCache, None] = True,
@@ -87,6 +92,13 @@ def tune_layer(
     default) invalid candidates are caught by the static mapping
     analyzer before any cost-model evaluation; the check is
     binding-equivalent, so the surviving candidate set is identical.
+
+    With ``verify_coverage`` each surviving candidate is additionally
+    checked by the iteration-space verifier (:mod:`repro.verify`) and
+    rejected when *proven* not to cover the layer's compute space
+    exactly once. The pruning is sound — only refuted mappings are
+    dropped — so the best candidate among correct mappings is
+    unchanged.
 
     Surviving candidates are scored through the batch-evaluation backend
     (:mod:`repro.exec`): ``executor``/``jobs``/``cache`` are pure
@@ -120,6 +132,28 @@ def tune_layer(
             statically_rejected += 1
             continue
         runnable.append((spec, dataflow))
+
+    coverage_rejected = 0
+    if verify_coverage:
+        from repro.verify import Verdict, verify_dataflow
+
+        survivors: List[Tuple[CandidateSpec, Dataflow]] = []
+        verdicts: Dict[str, bool] = {}  # dataflow name -> refuted
+        for spec, dataflow in runnable:
+            refuted = verdicts.get(dataflow.name)
+            if refuted is None:
+                try:
+                    result = verify_dataflow(dataflow, layer)
+                    refuted = result.verdict is Verdict.REFUTED
+                except Exception:
+                    refuted = False  # never let verification break tuning
+                verdicts[dataflow.name] = refuted
+            if refuted:
+                rejected += 1
+                coverage_rejected += 1
+                continue
+            survivors.append((spec, dataflow))
+        runnable = survivors
 
     # Phase 2 — evaluate through the backend (memoized, parallelizable).
     evaluator = BatchEvaluator(executor=executor, jobs=jobs, cache=cache)
@@ -160,6 +194,7 @@ def tune_layer(
         evaluated=len(scored),
         rejected=rejected,
         statically_rejected=statically_rejected,
+        coverage_rejected=coverage_rejected,
         cache_hits=batch.stats.cache_hits,
     )
 

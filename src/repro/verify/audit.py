@@ -1,0 +1,207 @@
+"""Audit: which lint rules does the coverage verifier certify as sound?
+
+The DF0xx catalog predates the verifier and is mostly heuristic. This
+module classifies every registered rule into:
+
+* ``construction-sound`` — ``construction`` rules: an error raises at
+  :class:`~repro.dataflow.dataflow.Dataflow` construction, so the
+  verifier never sees such mappings at all.
+* ``binding-sound`` — ``binding_equivalent`` rules: an error implies
+  :func:`~repro.engines.binding.bind_dataflow` raises for the same
+  mapping (certified by construction and the binding-equivalence
+  property tests; the verifier reports such mappings as ``INVALID``).
+* ``coverage-refutable`` — shape rules whose canonical triggers the
+  verifier *refutes with a concrete counterexample* (DF010 overlapping
+  chunks, DF017 offset-skips-indices). The audit runs the trigger
+  corpus and records the verdicts. These rules stay heuristic in
+  general: the same surface pattern at an inner cluster level can be
+  clamped into a benign schedule, which the audit also demonstrates —
+  that is precisely why they warn instead of erroring, and why DF101
+  exists.
+* ``verifier`` — the DF101-DF103 codes, which *are* the verifier.
+* ``heuristic`` — everything else (utilization, capacity, hardware
+  support): not statements about coverage at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.dataflow.dataflow import Dataflow
+from repro.dataflow.directives import (
+    ClusterDirective,
+    Directive,
+    spatial_map,
+    temporal_map,
+)
+from repro.model.layer import Layer, conv2d
+from repro.tensors import dims as D
+from repro.verify.engine import verify_dataflow
+from repro.verify.result import Verdict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.diagnostics import Diagnostic
+
+#: The lint entry point, passed in lazily to avoid an import cycle.
+_LintFn = Callable[..., "List[Diagnostic]"]
+
+_VERIFIER_CODES = frozenset({"DF101", "DF102", "DF103"})
+_COVERAGE_CODES = frozenset({"DF010", "DF017"})
+
+
+@dataclass(frozen=True)
+class RuleAudit:
+    """Classification of one lint rule against the verifier."""
+
+    code: str
+    title: str
+    category: str
+    certified: bool
+    evidence: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "title": self.title,
+            "category": self.category,
+            "certified": self.certified,
+            "evidence": list(self.evidence),
+        }
+
+
+def _default_layer() -> Layer:
+    return conv2d("audit", n=1, k=8, c=8, y=12, x=12, r=3, s=3)
+
+
+def _trigger_corpus(code: str) -> List[Tuple[str, Tuple[Directive, ...]]]:
+    """Mappings whose top-level shape trips the rule."""
+    if code == "DF010":
+        return [
+            (
+                "overlap on K",
+                (temporal_map(4, 2, D.K), spatial_map(1, 1, D.C)),
+            ),
+            (
+                "overlap on C",
+                (spatial_map(1, 1, D.K), temporal_map(3, 1, D.C)),
+            ),
+        ]
+    if code == "DF017":
+        return [
+            (
+                "gap on K",
+                (temporal_map(2, 4, D.K), spatial_map(1, 1, D.C)),
+            ),
+            (
+                "gap on C",
+                (spatial_map(1, 1, D.K), temporal_map(1, 2, D.C)),
+            ),
+        ]
+    return []
+
+
+def _benign_inner_variant() -> Tuple[Directive, ...]:
+    """A DF010-shaped directive that the clamp renders exactly-once.
+
+    The inner ``TemporalMap(4,2) K`` looks overlapping, but its level
+    only ever sees a 2-wide K tile, so the bound size clamps to 2 and
+    the schedule partitions exactly — the verifier proves it.
+    """
+    return (
+        temporal_map(2, 2, D.K),
+        spatial_map(1, 1, D.C),
+        ClusterDirective(size=8),
+        temporal_map(4, 2, D.K),
+    )
+
+
+def audit_rules(layer: Optional[Layer] = None) -> Dict[str, RuleAudit]:
+    """Classify every registered lint rule; see the module docstring."""
+    from repro.lint.engine import lint_directives
+    from repro.lint.rules import RULES
+
+    layer = layer or _default_layer()
+    audits: Dict[str, RuleAudit] = {}
+    for code, rule in sorted(RULES.items()):
+        if code in _VERIFIER_CODES:
+            audits[code] = RuleAudit(
+                code=code,
+                title=rule.title,
+                category="verifier",
+                certified=True,
+                evidence=("emitted directly from repro.verify verdicts",),
+            )
+            continue
+        if getattr(rule, "construction", False):
+            audits[code] = RuleAudit(
+                code=code,
+                title=rule.title,
+                category="construction-sound",
+                certified=True,
+                evidence=(
+                    "error raises at Dataflow construction; the verifier "
+                    "never sees such mappings",
+                ),
+            )
+            continue
+        if rule.binding_equivalent:
+            audits[code] = RuleAudit(
+                code=code,
+                title=rule.title,
+                category="binding-sound",
+                certified=True,
+                evidence=(
+                    "error implies bind_dataflow raises (binding-equivalence "
+                    "property tests); the verifier reports such mappings INVALID",
+                ),
+            )
+            continue
+        if code in _COVERAGE_CODES:
+            audits[code] = _audit_coverage_rule(code, rule.title, layer, lint_directives)
+            continue
+        audits[code] = RuleAudit(
+            code=code,
+            title=rule.title,
+            category="heuristic",
+            certified=False,
+        )
+    return audits
+
+
+def _audit_coverage_rule(
+    code: str, title: str, layer: Layer, lint_directives: _LintFn
+) -> RuleAudit:
+    evidence: List[str] = []
+    certified = True
+    for label, directives in _trigger_corpus(code):
+        diagnostics = lint_directives(f"audit-{code}", list(directives), layer=layer)
+        fired = any(d.code == code for d in diagnostics)
+        flow = Dataflow(name=f"audit-{code}", directives=tuple(directives))
+        result = verify_dataflow(flow, layer)
+        refuted = result.verdict is Verdict.REFUTED
+        certified = certified and fired and refuted
+        outcome = "refuted" if refuted else result.verdict.value
+        detail = (
+            f" ({result.counterexample.describe()})"
+            if result.counterexample is not None
+            else ""
+        )
+        evidence.append(
+            f"{label}: rule {'fires' if fired else 'SILENT'}, "
+            f"verifier {outcome}{detail}"
+        )
+    if code == "DF010":
+        benign = Dataflow(name="audit-benign", directives=_benign_inner_variant())
+        result = verify_dataflow(benign, layer)
+        evidence.append(
+            f"inner-level variant: verifier {result.verdict.value} "
+            "(surface pattern alone does not imply a defect)"
+        )
+    return RuleAudit(
+        code=code,
+        title=title,
+        category="coverage-refutable",
+        certified=certified,
+        evidence=tuple(evidence),
+    )

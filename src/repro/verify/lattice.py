@@ -1,0 +1,145 @@
+"""Symbolic exactly-once decisions on interval+stride tilings.
+
+The lattice layer decides coverage *without enumerating chunks*, from
+the generator parameters alone. It is deliberately one-sided: a
+``PROVEN`` answer is a theorem about the clamped-tile semantics, a
+``REFUTED`` answer carries a counterexample cell that is valid for every
+schedule shape, and anything it cannot decide returns ``None`` so the
+engine falls back to exact enumeration. (One-sidedness is not laziness:
+overlapping tiles at one level can be exactly compensated by strided
+tiles below — e.g. extent 4 under ``(size=3, offset=1)`` then
+``(size=1, offset=2)`` covers {0,2} and {1,3}, exactly once — so no
+local per-generator condition can be complete.)
+
+Proof obligations discharged here, in clamped-tile semantics (chunk
+``j`` spans ``[j*offset, min(j*offset + size, parent_end))``):
+
+* **Plain axis.** If every generator has ``offset == size``, each level
+  partitions its parent tile exactly (trailing chunks are clamped or
+  empty but never overlap and never leave gaps), so by induction the
+  leaf intervals partition ``[0, extent)``.
+
+* **Sliding axis** (input dim ``Y`` with untiled kernel dim ``R``,
+  stride ``st``, dilated kernel span ``E``). Write ``W(L) =
+  (L - E) // st + 1`` for the number of windows in an interval of
+  length ``L`` (0 when ``L < E``). If every generator on ``Y``
+  satisfies ``offset % st == 0``, ``size >= E``, and
+  ``offset == st * W(size)``, then the output slots of the chunks of a
+  parent interval of *any* length ``L`` tile ``[0, W(L))``
+  contiguously: chunk ``j`` contributes windows ``[j*W(size),
+  j*W(size) + W(min(size, L - j*offset)))``, and ``W(L) - j*W(size) =
+  W(L - j*offset)`` because ``offset`` is a multiple of ``st``. This
+  holds recursively for clamped edge chunks, so the full-window-fit
+  MAC set is exactly ``{(o, r) : 0 <= o < W(extent), 0 <= r < R}``,
+  each pair exactly once. A generator whose ``size`` is below ``E``
+  (which bounds every interval under it) admits no window at all, so
+  the axis is refuted with the all-zeros cell missed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.verify.schedule import DimSchedule, PlainAxis, SlidingAxis
+
+
+@dataclass(frozen=True)
+class LatticeDecision:
+    """Outcome of a symbolic attempt on one axis.
+
+    ``verdict`` is ``"proven"`` or ``"refuted"``; refutations carry the
+    violating cell as ``{coord_name: index}`` (its multiplicity is
+    computed by the engine's exact point query).
+    """
+
+    verdict: str
+    detail: str
+    cell: Optional[Dict[str, int]] = None
+
+
+def windows(length: int, span: int, stride: int) -> int:
+    """Number of full kernel windows in an interval of ``length``."""
+    if length < span:
+        return 0
+    return (length - span) // stride + 1
+
+
+def decide_plain(axis: PlainAxis, schedule: DimSchedule) -> Optional[LatticeDecision]:
+    """Symbolic decision for a directly tiled coordinate."""
+    if any(gen.joint is not None for gen in schedule.gens):
+        return None
+    if all(gen.offset == gen.size for gen in schedule.gens):
+        steps = " -> ".join(
+            f"L{gen.level}:{gen.chunks}x(size={gen.size},offset={gen.offset})"
+            for gen in schedule.gens
+        )
+        return LatticeDecision(
+            verdict="proven",
+            detail=f"exact partition at every level ({steps})",
+        )
+    return None
+
+
+def decide_sliding(
+    axis: SlidingAxis,
+    in_schedule: DimSchedule,
+    k_schedule: DimSchedule,
+) -> Optional[LatticeDecision]:
+    """Symbolic decision for a sliding (output, kernel) coordinate pair."""
+    if k_schedule.gens:
+        return None
+    if any(gen.joint is not None for gen in in_schedule.gens):
+        return None
+    if not in_schedule.gens:
+        return LatticeDecision(
+            verdict="proven",
+            detail="untiled sliding axis: one window per output position",
+        )
+    span = axis.kernel_span
+    stride = axis.stride
+    innermost = in_schedule.gens[-1]
+    if innermost.size < span:
+        return LatticeDecision(
+            verdict="refuted",
+            detail=(
+                f"innermost {axis.in_dim} chunk size {innermost.size} is below "
+                f"the dilated kernel span {span}: no window ever fits"
+            ),
+            cell={axis.out_name: 0, axis.k_name: 0},
+        )
+    for gen in in_schedule.gens:
+        if gen.offset % stride != 0:
+            return None
+        if gen.size < span:
+            return None
+        if gen.offset != stride * windows(gen.size, span, stride):
+            return None
+    steps = " -> ".join(
+        f"L{gen.level}:{gen.chunks}x(size={gen.size},offset={gen.offset}"
+        f"={stride}*W({gen.size}))"
+        for gen in in_schedule.gens
+    )
+    return LatticeDecision(
+        verdict="proven",
+        detail=(
+            f"each level's offset advances exactly its windows-per-chunk "
+            f"({steps}; window span {span}, stride {stride})"
+        ),
+    )
+
+
+def trivial_axis(
+    axis: "PlainAxis | SlidingAxis", schedules: Dict[str, DimSchedule]
+) -> bool:
+    """True when no dimension of the axis has any non-trivial generator."""
+    return all(not schedules[dim].gens for dim in axis.dims if dim in schedules)
+
+
+__all__: Tuple[str, ...] = (
+    "LatticeDecision",
+    "decide_plain",
+    "decide_sliding",
+    "trivial_axis",
+    "windows",
+)

@@ -1,0 +1,190 @@
+"""Independent brute-force executor for differential validation.
+
+This module re-executes a bound schedule the *slow, obvious* way — a
+full odometer over every level's spatial and temporal chunks, clamping
+intervals as it descends, then enumerating each leaf step's MACs point
+by point — and tallies how often every compute-space coordinate runs.
+It deliberately shares nothing with :mod:`repro.verify.engine` beyond
+the binding itself (the semantics source): no generator extraction, no
+axis grouping, no lattice, no pruning. The differential tests require
+the verifier's verdicts to agree with these counts exactly.
+
+Coordinates are always the full 7-tuple ``(N, K, C, Y', R, X', S)``
+(unit extents for dimensions the operator does not use).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataflow.dataflow import Dataflow
+from repro.engines.binding import BoundLevel
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import Layer
+from repro.tensors import dims as D
+from repro.util.intmath import prod
+from repro.verify.schedule import bind_for_verification
+
+REFERENCE_DIMS: Tuple[str, ...] = (D.N, D.K, D.C, D.YP, D.R, D.XP, D.S)
+
+Coordinate = Tuple[int, int, int, int, int, int, int]
+Region = Dict[str, Tuple[int, int]]
+
+
+def brute_force_counts(
+    dataflow: Dataflow,
+    layer: Layer,
+    accelerator: Optional[Accelerator] = None,
+    limit: int = 20_000_000,
+) -> Dict[Coordinate, int]:
+    """Execute the schedule naively; count every MAC coordinate.
+
+    Raises :class:`ValueError` when the walk would exceed ``limit`` MAC
+    visits (differential tests must stick to small layers).
+    """
+    bound = bind_for_verification(dataflow, layer, accelerator)
+    dims = list(bound.levels[0].local_sizes.keys())
+    region: Region = {
+        dim: (0, bound.levels[0].local_sizes[dim]) for dim in dims
+    }
+    counts: Dict[Coordinate, int] = {}
+    budget = [limit]
+    _walk(bound.levels, 0, region, bound.row_rep, bound.col_rep, layer, counts, budget)
+    return counts
+
+
+def _walk(
+    levels: Tuple[BoundLevel, ...],
+    index: int,
+    region: Region,
+    row_rep: str,
+    col_rep: str,
+    layer: Layer,
+    counts: Dict[Coordinate, int],
+    budget: List[int],
+) -> None:
+    level = levels[index]
+    spatial = [d for d in level.directives if d.spatial]
+    temporal = [d for d in level.directives if not d.spatial]
+    joint_chunks = level.spatial_chunks if spatial else 1
+
+    temporal_ranges = [range(d.chunks) for d in temporal]
+    for sub in range(joint_chunks):
+        for combo in _odometer(temporal_ranges):
+            child: Region = dict(region)
+            empty = False
+            for directive, j in list(zip(spatial, [sub] * len(spatial))) + list(
+                zip(temporal, combo)
+            ):
+                if j >= directive.chunks:
+                    empty = True
+                    break
+                start, end = child[directive.dim]
+                new_start = start + j * directive.offset
+                if new_start >= end:
+                    empty = True
+                    break
+                child[directive.dim] = (
+                    new_start,
+                    min(new_start + directive.size, end),
+                )
+            if empty:
+                continue
+            if index + 1 < len(levels):
+                _walk(
+                    levels, index + 1, child, row_rep, col_rep, layer, counts, budget
+                )
+            else:
+                _emit(child, row_rep, col_rep, layer, counts, budget)
+
+
+def _odometer(ranges: List[range]) -> List[Tuple[int, ...]]:
+    result: List[Tuple[int, ...]] = [()]
+    for r in ranges:
+        result = [combo + (j,) for combo in result for j in r]
+    return result
+
+
+def _emit(
+    region: Region,
+    row_rep: str,
+    col_rep: str,
+    layer: Layer,
+    counts: Dict[Coordinate, int],
+    budget: List[int],
+) -> None:
+    row_pairs = _plane_pairs(
+        region,
+        rep=row_rep,
+        in_dim=D.Y,
+        out_dim=D.YP,
+        k_dim=D.R,
+        out_extent=layer.dim_size(D.YP),
+        stride=layer.stride[0],
+        dilation=layer.dilation[0],
+    )
+    if not row_pairs:
+        return
+    col_pairs = _plane_pairs(
+        region,
+        rep=col_rep,
+        in_dim=D.X,
+        out_dim=D.XP,
+        k_dim=D.S,
+        out_extent=layer.dim_size(D.XP),
+        stride=layer.stride[1],
+        dilation=layer.dilation[1],
+    )
+    if not col_pairs:
+        return
+    n_range = range(*region[D.N])
+    k_range = range(*region.get(D.K, (0, 1)))
+    c_range = range(*region[D.C])
+    visits = (
+        len(n_range) * len(k_range) * len(c_range) * len(row_pairs) * len(col_pairs)
+    )
+    budget[0] -= visits
+    if budget[0] < 0:
+        raise ValueError("brute-force reference exceeded its MAC visit limit")
+    for n in n_range:
+        for k in k_range:
+            for c in c_range:
+                for yp, r in row_pairs:
+                    for xp, s in col_pairs:
+                        key = (n, k, c, yp, r, xp, s)
+                        counts[key] = counts.get(key, 0) + 1
+
+
+def _plane_pairs(
+    region: Region,
+    rep: str,
+    in_dim: str,
+    out_dim: str,
+    k_dim: str,
+    out_extent: int,
+    stride: int,
+    dilation: int,
+) -> List[Tuple[int, int]]:
+    """(output, kernel) pairs one step executes on an activation plane."""
+    k_start, k_end = region[k_dim]
+    if rep == "output":
+        out_start, out_end = region[out_dim]
+        return [
+            (out, k)
+            for out in range(out_start, out_end)
+            for k in range(k_start, k_end)
+        ]
+    in_start, in_end = region[in_dim]
+    pairs: List[Tuple[int, int]] = []
+    for out in range(out_extent):
+        window_start = out * stride + k_start * dilation
+        window_end = out * stride + (k_end - 1) * dilation
+        if window_start >= in_start and window_end <= in_end - 1:
+            pairs.extend((out, k) for k in range(k_start, k_end))
+    return pairs
+
+
+def total_cells(layer: Layer) -> int:
+    """Size of the full 7-coordinate reference space."""
+    sizes = layer.all_dim_sizes()
+    return prod(sizes[dim] for dim in REFERENCE_DIMS)

@@ -1,0 +1,158 @@
+"""Result types for the iteration-space coverage verifier.
+
+A verification run classifies a (dataflow, layer) pair into one of four
+:class:`Verdict` values. ``REFUTED`` results always carry a
+:class:`Counterexample`: one concrete MAC coordinate together with the
+number of times the schedule executes it (0 for a missed MAC, >= 2 for a
+double-counted one). Coordinates are expressed in the *compute space* of
+the layer's operator: output rows/columns appear as ``Y'``/``X'`` and
+filter taps as ``R``/``S``, so a CONV MAC coordinate is
+``{N, K, C, Y', R, X', S}``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class Verdict(enum.Enum):
+    """Outcome of verifying one mapping against one layer."""
+
+    PROVEN = "proven"
+    """Every MAC in the compute space is executed exactly once."""
+
+    REFUTED = "refuted"
+    """A concrete MAC coordinate is missed or double-counted."""
+
+    UNDECIDED = "undecided"
+    """The lattice did not apply and enumeration exceeded its budget."""
+
+    INVALID = "invalid"
+    """The mapping could not be bound to the layer at all."""
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete MAC coordinate violating exactly-once coverage."""
+
+    kind: str
+    """``"missed"`` (count 0) or ``"double"`` (count >= 2)."""
+
+    coordinate: Dict[str, int]
+    """Compute-space coordinate, e.g. ``{"N": 0, "K": 1, "Y'": 3, ...}``."""
+
+    count: int
+    """How many times the schedule executes this MAC."""
+
+    def describe(self) -> str:
+        coord = ", ".join(f"{dim}={index}" for dim, index in self.coordinate.items())
+        if self.kind == "missed":
+            return f"MAC ({coord}) is never executed"
+        return f"MAC ({coord}) is executed {self.count} times"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "coordinate": dict(self.coordinate),
+            "count": self.count,
+        }
+
+
+@dataclass(frozen=True)
+class GroupReport:
+    """Per independent coordinate group: how its coverage was decided.
+
+    The verifier factorizes the compute space into groups of coordinates
+    whose tiling is independent (see ``docs/mapping-verification.md``);
+    total multiplicity is the product of per-group multiplicities, so
+    exactly-once coverage holds iff it holds for every group.
+    """
+
+    dims: Tuple[str, ...]
+    """Compute-space coordinates decided together (e.g. ``("Y'", "R")``)."""
+
+    verdict: Verdict
+    method: str
+    """``"lattice"``, ``"enumeration"``, or ``"trivial"``."""
+
+    cells: int
+    """Number of compute-space cells in this group."""
+
+    detail: str = ""
+    """Human-readable proof sketch or failure reason."""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "dims": list(self.dims),
+            "verdict": self.verdict.value,
+            "method": self.method,
+            "cells": self.cells,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """Full verdict for one (dataflow, layer) pair."""
+
+    dataflow_name: str
+    layer_name: str
+    verdict: Verdict
+    total_macs: int
+    """Size of the compute space (``layer.total_ops()``)."""
+
+    groups: Tuple[GroupReport, ...] = ()
+    counterexample: Optional[Counterexample] = None
+    message: str = ""
+    """Set for INVALID (the binding error) / UNDECIDED (the budget hit)."""
+
+    @property
+    def method(self) -> str:
+        """Overall decision procedure: worst method used across groups."""
+        methods = {group.method for group in self.groups}
+        methods.discard("trivial")
+        if not methods:
+            return "trivial"
+        if len(methods) == 1:
+            return next(iter(methods))
+        return "mixed"
+
+    @property
+    def proven(self) -> bool:
+        return self.verdict is Verdict.PROVEN
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"{self.dataflow_name} on {self.layer_name}: "
+            f"{self.verdict.value.upper()} ({self.method}, "
+            f"{self.total_macs} MACs)"
+        ]
+        for group in self.groups:
+            lines.append(
+                f"  [{' x '.join(group.dims)}] {group.verdict.value}"
+                f" via {group.method} ({group.cells} cells)"
+                + (f": {group.detail}" if group.detail else "")
+            )
+        if self.counterexample is not None:
+            lines.append(f"  counterexample: {self.counterexample.describe()}")
+        if self.message:
+            lines.append(f"  note: {self.message}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "dataflow": self.dataflow_name,
+            "layer": self.layer_name,
+            "verdict": self.verdict.value,
+            "method": self.method,
+            "total_macs": self.total_macs,
+            "groups": [group.to_dict() for group in self.groups],
+        }
+        if self.counterexample is not None:
+            payload["counterexample"] = self.counterexample.to_dict()
+        if self.message:
+            payload["message"] = self.message
+        return payload

@@ -31,22 +31,49 @@ def stock_mappings():
 #: zoo. DF009 (under-utilization) and DF018 (idle level) are expected:
 #: small layers cannot fill 256 PEs. DF008 fires for RS/YR-P/fig5-F whose
 #: cluster sizes track Sz(R), which rarely divides 256. The fig5 flows
-#: deliberately map only a subset of dims (DF006).
+#: deliberately map only a subset of dims (DF006). DF102 is the coverage
+#: verifier's proven-covered INFO and fires on every sound mapping.
 GOLDEN_WARNINGS = {
-    "C-P": {"DF009", "DF018"},
-    "X-P": {"DF009", "DF018"},
-    "YX-P": {"DF009", "DF018"},
-    "YR-P": {"DF008", "DF009", "DF018"},
-    "KC-P": {"DF009", "DF018"},
-    "RS": {"DF008", "DF009", "DF018"},
-    "WS-K": {"DF009", "DF018"},
-    "OS-YX": {"DF009", "DF018"},
-    "fig5-A": {"DF006", "DF009", "DF018"},
-    "fig5-B": {"DF006", "DF009", "DF018"},
-    "fig5-C": {"DF006", "DF009", "DF018"},
-    "fig5-D": {"DF006", "DF009", "DF018"},
-    "fig5-E": {"DF006", "DF009", "DF018"},
-    "fig5-F": {"DF006", "DF008", "DF009", "DF018"},
+    "C-P": {"DF009", "DF018", "DF102"},
+    "X-P": {"DF009", "DF018", "DF102"},
+    "YX-P": {"DF009", "DF018", "DF102"},
+    "YR-P": {"DF008", "DF009", "DF018", "DF101", "DF102"},
+    "KC-P": {"DF009", "DF018", "DF102"},
+    "RS": {"DF008", "DF009", "DF018", "DF101", "DF102"},
+    "WS-K": {"DF009", "DF018", "DF102"},
+    "OS-YX": {"DF009", "DF018", "DF102"},
+    "fig5-A": {"DF006", "DF009", "DF018", "DF102"},
+    "fig5-B": {"DF006", "DF009", "DF018", "DF102"},
+    "fig5-C": {"DF006", "DF009", "DF018", "DF102"},
+    "fig5-D": {"DF006", "DF009", "DF018", "DF102"},
+    "fig5-E": {"DF006", "DF009", "DF018", "DF102"},
+    "fig5-F": {"DF006", "DF008", "DF009", "DF018", "DF102"},
+}
+
+#: Latent coverage gaps the iteration-space verifier (repro.verify)
+#: uncovered in the stock library, confirmed by brute-force execution
+#: of the binding semantics. Each mapping is sound only inside its
+#: design envelope; outside it, DF101 (a *proven* error) may fire:
+#:
+#: * YR-P walks input rows diagonally with a unit Y offset. The binding
+#:   scales Y/X offsets by the layer stride at *every* level, so on
+#:   strided layers the inner walk advances ``stride`` rows per step
+#:   and skips input rows.
+#: * RS hardcodes Figure 6's 3x3 tile sizes, so kernels other than 3x3
+#:   are mis-tiled, and its inner row walk has the same stride-scaling
+#:   gap as YR-P.
+#:
+#: ``envelope(layer) == True`` means the layer is inside the mapping's
+#: design envelope and DF101 must NOT fire. Outside the envelope the
+#: mapping often still covers degenerate layers (1x1 kernels, FC), so
+#: only the implication "DF101 => outside envelope" is asserted.
+KNOWN_COVERAGE_GAPS = {
+    "YR-P": lambda layer: layer.stride == (1, 1),
+    "RS": lambda layer: (
+        layer.stride == (1, 1)
+        and layer.dim_size("R") == 3
+        and layer.dim_size("S") == 3
+    ),
 }
 
 
@@ -59,12 +86,18 @@ def test_golden_covers_every_stock_mapping():
 def test_library_mapping_is_error_free(model_name, flow_name):
     flow = stock_mappings()[flow_name]
     network = build(model_name)
+    envelope = KNOWN_COVERAGE_GAPS.get(flow_name)
     observed = set()
     for layer in network.layers:
         report = lint_dataflow(flow, layer, ACCELERATOR)
-        assert not report.has_errors, (
+        unexpected_errors = [
+            d
+            for d in report.errors
+            if not (d.code == "DF101" and envelope is not None and not envelope(layer))
+        ]
+        assert not unexpected_errors, (
             f"{flow_name} on {model_name}/{layer.name}: "
-            f"{[d.headline() for d in report.errors]}"
+            f"{[d.headline() for d in unexpected_errors]}"
         )
         observed |= set(report.codes())
     unexpected = observed - GOLDEN_WARNINGS[flow_name]

@@ -1,0 +1,45 @@
+"""Golden coverage check, mirroring the `verify-golden` CI job: every
+stock library mapping and every shipped example dataflow file must be
+proven covered exactly once on the default verification workload."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = sorted(
+    str(path) for path in Path("examples/dataflows").glob("*.df")
+)
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 4
+
+
+def test_library_all_proven(capsys):
+    assert main(["verify", "--library"]) == 0
+    out = capsys.readouterr().out
+    assert "proven covered exactly once" in out
+    assert "REFUTED" not in out
+
+
+def test_example_files_all_proven(capsys):
+    assert main(["verify", *EXAMPLES]) == 0
+    out = capsys.readouterr().out
+    assert "REFUTED" not in out
+
+
+def test_refuted_pair_exits_nonzero(capsys):
+    # The known YR-P stride gap: the golden job would catch any library
+    # regression the same way.
+    assert main(["verify", "YR-P", "--model", "alexnet", "--layer", "CONV1"]) == 1
+    out = capsys.readouterr().out
+    assert "counterexample" in out
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+def test_audit_renders(fmt, capsys):
+    assert main(["verify", "--audit", "--format", fmt]) == 0
+    out = capsys.readouterr().out
+    assert "DF101" in out

@@ -1,0 +1,169 @@
+"""Integration of the coverage verifier with lint, DSE, tuner, and the
+simulator.
+
+Soundness contracts under test:
+
+* with coverage pruning on, DSE/tuner optima are bit-identical when all
+  candidates are sound, and only provably-wrong mutants get pruned;
+* lint's DF101 fires exactly on refuted mappings (provenance "proven"),
+  DF102 on proven ones;
+* the simulator's dense ``macs_issued`` equals ``layer.total_ops()``
+  for proven mappings on edge-free configurations — a third independent
+  executor agreeing with the verifier.
+"""
+
+import pytest
+
+from repro.dataflow.dataflow import Dataflow
+from repro.dataflow.directives import spatial_map, temporal_map
+from repro.dataflow.library import table3_dataflows
+from repro.dse import explore
+from repro.dse.space import DesignSpace, kc_partitioned_variants
+from repro.hardware.accelerator import Accelerator, NoC
+from repro.lint import lint_dataflow
+from repro.model.layer import conv2d
+from repro.tensors import dims as D
+from repro.tuner import tune_layer
+from repro.verify import Verdict, verify_dataflow
+
+
+MUTANT = Dataflow(
+    name="mutant-missed-C",
+    directives=(spatial_map(1, 1, D.K), temporal_map(1, 2, D.C)),
+)
+
+
+@pytest.fixture(scope="module")
+def layer():
+    return conv2d("itg", k=16, c=16, y=12, x=12, r=3, s=3)
+
+
+# ----------------------------------------------------------------------
+# DSE: sound pruning
+# ----------------------------------------------------------------------
+class TestDSECoveragePruning:
+    def test_optima_bit_identical_when_all_sound(self, layer):
+        space = DesignSpace(
+            pe_counts=[16, 64],
+            noc_bandwidths=[4, 32],
+            dataflow_variants=kc_partitioned_variants(
+                c_tiles=(8, 16), spatial_tiles=((1, 1), (4, 4))
+            ),
+        )
+        plain = explore(layer, space, area_budget=16.0, power_budget=450.0)
+        checked = explore(
+            layer,
+            space,
+            area_budget=16.0,
+            power_budget=450.0,
+            verify_coverage=True,
+        )
+        assert checked.statistics.coverage_rejects == 0
+        assert checked.points == plain.points
+        assert checked.throughput_optimal == plain.throughput_optimal
+        assert checked.energy_optimal == plain.energy_optimal
+        assert checked.edp_optimal == plain.edp_optimal
+
+    def test_mutant_variant_is_pruned(self, layer):
+        variants = kc_partitioned_variants(c_tiles=(8,), spatial_tiles=((1, 1),))
+        variants.append(("mutant", MUTANT))
+        space = DesignSpace(
+            pe_counts=[16, 64],
+            noc_bandwidths=[4],
+            dataflow_variants=variants,
+        )
+        result = explore(
+            layer,
+            space,
+            area_budget=16.0,
+            power_budget=450.0,
+            verify_coverage=True,
+        )
+        # One refuted variant x every surviving grid point.
+        assert result.statistics.coverage_rejects == 2
+        assert all(point.tile_label != "mutant" for point in result.points)
+        # Without pruning the mutant evaluates and lands in the space.
+        unchecked = explore(layer, space, area_budget=16.0, power_budget=450.0)
+        assert any(point.tile_label == "mutant" for point in unchecked.points)
+        assert unchecked.statistics.coverage_rejects == 0
+
+
+# ----------------------------------------------------------------------
+# Tuner: sound pruning
+# ----------------------------------------------------------------------
+class TestTunerCoveragePruning:
+    def test_best_candidate_unchanged(self, layer):
+        accelerator = Accelerator(num_pes=64, noc=NoC(bandwidth=32, avg_latency=2))
+        plain = tune_layer(
+            layer, accelerator, strategy="random", budget=24, seed=3
+        )
+        checked = tune_layer(
+            layer,
+            accelerator,
+            strategy="random",
+            budget=24,
+            seed=3,
+            verify_coverage=True,
+        )
+        assert checked.best.spec == plain.best.spec
+        assert checked.best.score == plain.best.score
+        assert [c.spec for c in checked.top] == [c.spec for c in plain.top]
+
+
+# ----------------------------------------------------------------------
+# Lint: DF101/DF102/DF103 provenance-carrying diagnostics
+# ----------------------------------------------------------------------
+class TestLintIntegration:
+    def test_df102_on_proven_mapping(self, layer):
+        report = lint_dataflow(table3_dataflows()["KC-P"], layer)
+        infos = {d.code: d for d in report.infos}
+        assert "DF102" in infos
+        assert infos["DF102"].provenance == "proven"
+        assert "DF101" not in report.codes()
+
+    def test_df101_on_refuted_mapping(self, layer):
+        report = lint_dataflow(MUTANT, layer)
+        errors = {d.code: d for d in report.errors}
+        assert "DF101" in errors
+        diagnostic = errors["DF101"]
+        assert diagnostic.provenance == "proven"
+        assert "MAC" in diagnostic.message
+        assert diagnostic.fixit is not None
+        # Rendered reports surface the provenance note.
+        assert "provenance: proven" in report.render()
+
+    def test_no_coverage_codes_without_layer(self):
+        report = lint_dataflow(MUTANT, layer=None)
+        assert not {"DF101", "DF102", "DF103"} & set(report.codes())
+
+    def test_provenance_in_json(self, layer):
+        report = lint_dataflow(MUTANT, layer)
+        payload = report.to_dict()
+        by_code = {d["code"]: d for d in payload["diagnostics"]}
+        assert by_code["DF101"]["provenance"] == "proven"
+
+
+# ----------------------------------------------------------------------
+# Simulator: third independent executor
+# ----------------------------------------------------------------------
+class TestSimulatorMACs:
+    #: (flow name, layer) pairs whose bound schedules have no edge
+    #: tiles, so the steady-tile dense count must be exact.
+    EDGE_FREE_FLOWS = ["C-P", "X-P", "YR-P", "KC-P"]
+
+    @pytest.mark.parametrize("name", EDGE_FREE_FLOWS)
+    def test_macs_issued_matches_total_ops(self, name, small_conv, accelerator):
+        from repro.simulator import simulate_layer
+
+        flow = table3_dataflows()[name]
+        assert verify_dataflow(flow, small_conv).verdict is Verdict.PROVEN
+        sim = simulate_layer(small_conv, flow, accelerator)
+        assert sim.macs_issued == small_conv.total_ops()
+
+    def test_mutant_undercounts(self, small_conv, accelerator):
+        from repro.simulator import simulate_layer
+
+        # The missed-C mutant walks only every other input channel, so
+        # the schedule provably issues fewer MACs than the layer needs.
+        sim = simulate_layer(small_conv, MUTANT, accelerator)
+        assert sim.macs_issued < small_conv.total_ops()
