@@ -10,10 +10,21 @@ so when both reports contain the pure-Python calibration benchmark
 is first normalized by that machine's calibration time. Benchmarks
 present in only one report are listed but never fail the gate.
 
+``--only SUBSTR`` restricts the gate to matching benchmarks — how CI
+applies a tight tolerance to just the tracing-overhead kernel.
+
+``--phases BENCH_obs.json`` additionally compares the per-engine-phase
+time *shares* (fractions of summed phase self-time, machine-independent
+by construction) against ``--phases-baseline``; a phase whose share
+drifted by more than ``--phase-tolerance`` fails the gate.
+
 Usage::
 
     python benchmarks/check_regression.py current.json \
-        [--baseline benchmarks/baseline.json] [--tolerance 0.25]
+        [--baseline benchmarks/baseline.json] [--tolerance 0.25] \
+        [--only SUBSTR] \
+        [--phases BENCH_obs.json] [--phases-baseline baseline_obs.json] \
+        [--phase-tolerance 0.15]
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from pathlib import Path
 
 CALIBRATION = "test_bench_calibration"
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+DEFAULT_PHASES_BASELINE = Path(__file__).resolve().parent / "baseline_obs.json"
 
 
 def load_means(path: Path) -> dict:
@@ -42,6 +54,29 @@ def calibration_time(means: dict) -> float:
     return 1.0
 
 
+def phase_share_failures(
+    current_path: Path, baseline_path: Path, tolerance: float
+) -> list:
+    """Engine phases whose share of total time drifted beyond tolerance."""
+    current = json.loads(current_path.read_text())["phases"]
+    baseline = json.loads(baseline_path.read_text())["phases"]
+    failures = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline or name not in current:
+            print(f"  PHASE-NEW {name} (present in one report only, skipped)")
+            continue
+        delta = current[name]["share"] - baseline[name]["share"]
+        verdict = "ok"
+        if abs(delta) > tolerance:
+            verdict = "DRIFTED"
+            failures.append((name, delta))
+        print(
+            f"  {verdict:10s}{name}: share {baseline[name]['share']:.1%} -> "
+            f"{current[name]['share']:.1%} ({delta:+.1%})"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", type=Path, help="fresh --benchmark-json report")
@@ -49,6 +84,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--tolerance", type=float, default=0.25,
         help="allowed fractional slowdown (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--only", default=None, metavar="SUBSTR",
+        help="gate only benchmarks whose fullname contains SUBSTR",
+    )
+    parser.add_argument(
+        "--phases", type=Path, default=None, metavar="BENCH_obs.json",
+        help="also compare per-engine-phase time shares from obs_phases.py",
+    )
+    parser.add_argument(
+        "--phases-baseline", type=Path, default=DEFAULT_PHASES_BASELINE,
+    )
+    parser.add_argument(
+        "--phase-tolerance", type=float, default=0.15,
+        help="allowed absolute drift per phase share (default 0.15)",
     )
     args = parser.parse_args(argv)
 
@@ -61,6 +111,8 @@ def main(argv=None) -> int:
     failures = []
     for fullname in sorted(set(baseline) | set(current)):
         if CALIBRATION in fullname:
+            continue
+        if args.only is not None and args.only not in fullname:
             continue
         if fullname not in baseline:
             print(f"  NEW      {fullname} (no baseline, skipped)")
@@ -78,6 +130,13 @@ def main(argv=None) -> int:
             f"{current[fullname]:.6f}s (normalized x{ratio:.2f})"
         )
 
+    phase_failures = []
+    if args.phases is not None:
+        print("\nper-engine-phase time shares:")
+        phase_failures = phase_share_failures(
+            args.phases, args.phases_baseline, args.phase_tolerance
+        )
+
     if failures:
         print(
             f"\n{len(failures)} benchmark(s) regressed beyond "
@@ -85,6 +144,14 @@ def main(argv=None) -> int:
         )
         for fullname, ratio in failures:
             print(f"  {fullname}: x{ratio:.2f}", file=sys.stderr)
+    if phase_failures:
+        print(
+            f"\n{len(phase_failures)} phase share(s) drifted beyond "
+            f"{args.phase_tolerance:.0%}:", file=sys.stderr,
+        )
+        for name, delta in phase_failures:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+    if failures or phase_failures:
         return 1
     print("\nno benchmark regressions")
     return 0

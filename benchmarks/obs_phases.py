@@ -1,0 +1,94 @@
+"""Per-phase timing benchmark: one traced Figure-13 sweep.
+
+Runs a small KC-P design-space exploration with the observability
+subsystem enabled and writes:
+
+- ``BENCH_obs.json`` — per-engine-phase self time, CPU time, and share
+  of total (machine-independent fractions, compared against
+  ``baseline_obs.json`` by ``check_regression.py --phases``), plus the
+  headline sweep counters;
+- a Perfetto/Chrome trace (``--trace-out``) of the whole sweep,
+  uploadable as a CI artifact and loadable in https://ui.perfetto.dev.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_phases.py \
+        [--out BENCH_obs.json] [--trace-out obs-trace.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.dse import explore
+from repro.dse.space import (
+    DesignSpace,
+    default_pe_counts,
+    kc_partitioned_variants,
+)
+from repro.model.zoo import build
+from repro.obs.profile import phase_timings, write_trace
+
+#: Names beyond the engine phases worth tracking run over run.
+HEADLINE_COUNTERS = (
+    "engine.layers_analyzed",
+    "dse.mappings_evaluated",
+    "dse.pruned_by_lint",
+    "exec.cache_hits",
+    "cache.corrupt_entries",
+)
+
+
+def run_sweep() -> dict:
+    layer = build("vgg16").layer("CONV11")
+    space = DesignSpace(
+        pe_counts=default_pe_counts(max_pes=128, step=32),
+        noc_bandwidths=[8, 32],
+        dataflow_variants=kc_partitioned_variants(
+            c_tiles=(16,), spatial_tiles=((1, 1),)
+        ),
+    )
+    obs.configure(enabled=True, reset=True)
+    start = time.perf_counter()
+    result = explore(
+        layer, space, area_budget=16.0, power_budget=450.0, cache=False
+    )
+    wall = time.perf_counter() - start
+    assert result.statistics.explored == space.size
+    return {
+        "sweep": "fig13 KC-P CONV11 (128 PEs max, traced)",
+        "wall_seconds": wall,
+        "explored": result.statistics.explored,
+        "phases": phase_timings(),
+        "counters": {
+            name: obs.counter_value(name) for name in HEADLINE_COUNTERS
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_obs.json"))
+    parser.add_argument("--trace-out", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    report = run_sweep()
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for name, entry in report["phases"].items():
+        print(
+            f"  {name:24s} n={entry['count']:5d} "
+            f"self={entry['self_ns'] / 1e6:8.2f} ms share={entry['share']:.1%}"
+        )
+    if args.trace_out is not None:
+        write_trace(args.trace_out)
+        print(f"wrote {args.trace_out} — load it in https://ui.perfetto.dev")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

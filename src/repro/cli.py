@@ -17,6 +17,9 @@ Subcommands:
   simulator on a layer;
 - ``dse`` — run a small hardware design-space exploration for a layer;
 - ``tune`` — search the auto-tuner's template space for a layer;
+- ``profile`` — trace one layer's analysis (and optionally simulation)
+  through the observability subsystem and print/write the span tree,
+  per-phase timing table, and metrics;
 - ``dataflows`` / ``models`` — list what is available.
 
 ``dse`` and ``tune`` sweep through the batch-evaluation backend
@@ -24,6 +27,11 @@ Subcommands:
 worker processes, ``--executor`` pins the executor, and
 ``--cache``/``--no-cache`` toggle the memoization cache (see
 ``docs/evaluation-backend.md``). Results are bit-identical either way.
+
+``validate``, ``dse``, and ``tune`` also accept ``--trace-out FILE``
+(Perfetto/Chrome trace JSON, load in https://ui.perfetto.dev) and
+``--metrics-out FILE`` (Prometheus text) — either flag switches the
+observability subsystem on for the run (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -61,6 +69,28 @@ def _accelerator(args: argparse.Namespace) -> Accelerator:
         num_pes=args.pes,
         noc=NoC(bandwidth=args.bandwidth, avg_latency=args.latency),
     )
+
+
+def _obs_setup(args: argparse.Namespace) -> None:
+    """Switch tracing on when ``--trace-out``/``--metrics-out`` ask for it."""
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+        from repro import obs
+
+        obs.configure(enabled=True, reset=True)
+
+
+def _obs_finish(args: argparse.Namespace) -> None:
+    """Write the trace/metrics files a command was asked for."""
+    if getattr(args, "trace_out", None):
+        from repro.obs.profile import write_trace
+
+        path = write_trace(args.trace_out)
+        print(f"trace written to {path} — load it in https://ui.perfetto.dev")
+    if getattr(args, "metrics_out", None):
+        from repro.obs.profile import write_metrics
+
+        path = write_metrics(args.metrics_out)
+        print(f"metrics written to {path} (Prometheus text format)")
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -209,9 +239,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             [network.layer(args.layer)] if args.layer else list(network.layers)
         )
     else:
-        # A synthetic workload that exercises channels, sliding rows and
-        # columns, and edge tiles without being slow to enumerate.
-        layers = [conv2d("verify-default", k=8, c=8, y=18, x=18, r=3, s=3)]
+        # Synthetic workloads that exercise channels, sliding rows and
+        # columns, edge tiles, and — since the YR-P offset-propagation
+        # fix — a strided layer, without being slow to enumerate.
+        layers = [
+            conv2d("verify-default", k=8, c=8, y=18, x=18, r=3, s=3),
+            conv2d("verify-strided", k=8, c=8, y=19, x=19, r=3, s=3, stride=2),
+        ]
 
     results = []
     for name, flow in flows.items():
@@ -251,6 +285,7 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.simulator import simulate_layer
 
+    _obs_setup(args)
     network = build(args.model)
     layer = network.layer(args.layer)
     accelerator = _accelerator(args)
@@ -261,6 +296,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     print(f"analytical : {report.runtime:.4e} cycles")
     print(f"simulated  : {sim.runtime:.4e} cycles ({sim.steps_total} steps)")
     print(f"error      : {error:+.2f}%")
+    _obs_finish(args)
     return 0
 
 
@@ -274,6 +310,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         yr_partitioned_variants,
     )
 
+    _obs_setup(args)
     network = build(args.model)
     layer = network.layer(args.layer)
     variants = (
@@ -305,6 +342,18 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         f"{stats.cache_hits} cache hits, executor={stats.executor}) in "
         f"{stats.elapsed_seconds:.2f}s ({stats.effective_rate:.0f} designs/s)"
     )
+    from repro.obs.profile import digest_line
+
+    print(
+        digest_line(
+            evaluated=stats.evaluated,
+            cost_model_calls=stats.cost_model_calls,
+            cache_hits=stats.cache_hits,
+            pruned_lint=stats.static_rejects,
+            pruned_verify=stats.coverage_rejects,
+            wall_seconds=stats.elapsed_seconds,
+        )
+    )
     for label, point in (
         ("throughput-optimal", result.throughput_optimal),
         ("energy-optimal", result.energy_optimal),
@@ -318,12 +367,14 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             f"L1={point.l1_size}B L2={point.l2_size}B thpt={point.throughput:.1f} "
             f"energy={point.energy:.3e} area={point.area:.2f}mm2 power={point.power:.0f}mW"
         )
+    _obs_finish(args)
     return 0
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.tuner import tune_layer
 
+    _obs_setup(args)
     network = build(args.model)
     layer = network.layer(args.layer)
     accelerator = _accelerator(args)
@@ -361,6 +412,52 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         f"{result.coverage_rejected} coverage-refuted); "
         f"{result.cache_hits} cost-model answers served from cache"
     )
+    from repro.obs.profile import digest_line
+
+    print(
+        digest_line(
+            evaluated=result.evaluated,
+            cost_model_calls=result.cost_model_calls,
+            cache_hits=result.cache_hits,
+            pruned_lint=result.statically_rejected,
+            pruned_verify=result.coverage_rejected,
+            wall_seconds=result.elapsed_seconds,
+        )
+    )
+    _obs_finish(args)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.obs.exporters import metrics_table, span_summary_table, span_tree
+    from repro.obs.trace import spans as trace_spans
+
+    network = build(args.model)
+    layer = network.layer(args.layer) if args.layer else network.layers[0]
+    accelerator = _accelerator(args)
+    dataflow = _load_dataflow(args.dataflow)
+
+    obs.configure(enabled=True, reset=True)
+    for _ in range(args.repeat):
+        analyze_layer(layer, dataflow, accelerator)
+    if args.simulate:
+        from repro.simulator import simulate_layer
+
+        simulate_layer(layer, dataflow, accelerator)
+
+    recorded = trace_spans()
+    print(
+        span_summary_table(
+            recorded,
+            title=f"{layer.name} under {dataflow.name} (x{args.repeat})",
+        )
+    )
+    print()
+    print(span_tree(recorded, max_depth=args.depth))
+    print()
+    print(metrics_table(obs.metrics_snapshot()))
+    _obs_finish(args)
     return 0
 
 
@@ -418,6 +515,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             default=True,
             help="memoize cost-model results (--no-cache disables; "
             "set REPRO_CACHE_DIR to persist the cache on disk)",
+        )
+
+    def add_obs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            help="enable tracing and write a Perfetto/Chrome trace JSON "
+            "(load in https://ui.perfetto.dev)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            metavar="FILE",
+            help="enable tracing and write metrics in Prometheus text format",
         )
 
     p_analyze = sub.add_parser("analyze", help="run the cost model")
@@ -494,6 +604,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_validate.add_argument("--layer", required=True)
     p_validate.add_argument("--dataflow", default="KC-P")
     add_hw(p_validate)
+    add_obs(p_validate)
     p_validate.set_defaults(func=_cmd_validate)
 
     p_dse = sub.add_parser("dse", help="hardware design-space exploration")
@@ -506,6 +617,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_dse.add_argument("--pe-step", type=int, default=8)
     add_verify_coverage(p_dse)
     add_backend(p_dse)
+    add_obs(p_dse)
     p_dse.set_defaults(func=_cmd_dse)
 
     p_tune = sub.add_parser("tune", help="auto-tune a dataflow for a layer")
@@ -524,7 +636,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_hw(p_tune)
     add_verify_coverage(p_tune)
     add_backend(p_tune)
+    add_obs(p_tune)
     p_tune.set_defaults(func=_cmd_tune)
+
+    p_profile = sub.add_parser(
+        "profile", help="trace one layer's analysis through repro.obs"
+    )
+    p_profile.add_argument("--model", required=True, choices=sorted(MODELS))
+    p_profile.add_argument(
+        "--layer", help="layer name (default: first layer of --model)"
+    )
+    p_profile.add_argument("--dataflow", default="KC-P")
+    p_profile.add_argument(
+        "--simulate",
+        action="store_true",
+        help="also trace one reference-simulator run",
+    )
+    p_profile.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze the layer N times (averages out timer noise)",
+    )
+    p_profile.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        metavar="D",
+        help="limit the printed span tree to depth D",
+    )
+    add_hw(p_profile)
+    add_obs(p_profile)
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_models = sub.add_parser("models", help="list zoo models")
     p_models.set_defaults(func=_cmd_models)

@@ -12,10 +12,14 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Mapping, Union
+from functools import lru_cache
+from typing import Callable, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import DataflowError, DataflowParseError
 from repro.tensors.dims import validate_dim
+
+#: A compiled size expression: (dim_sizes, strides) -> value.
+_EvalFn = Callable[[Mapping[str, int], Mapping[str, int]], int]
 
 
 @dataclass(frozen=True)
@@ -38,12 +42,18 @@ class SizeExpr:
     raise :class:`DataflowParseError` carrying the 0-based character
     ``position`` of the error, instead of misparsing silently and
     failing only when (or if) the size is evaluated.
+
+    Parsing happens once per distinct expression text: construction
+    compiles the text to a closure tree memoized in a module-level
+    cache (never on the instance, which must stay picklable —
+    directives cross process boundaries in the batch backend), so the
+    binding engine's per-layer ``evaluate`` calls skip the tokenizer.
     """
 
     text: str
 
     def __post_init__(self) -> None:
-        _Parser(self.text, {}, syntax_only=True).parse()
+        _compiled(self.text)
 
     def evaluate(
         self,
@@ -51,7 +61,7 @@ class SizeExpr:
         strides: "Mapping[str, int] | None" = None,
     ) -> int:
         """Evaluate against concrete layer extents (and strides)."""
-        return _Parser(self.text, dim_sizes, strides or {}).parse()
+        return _compiled(self.text)(dim_sizes, strides or {})
 
     def __str__(self) -> str:
         return self.text
@@ -70,6 +80,11 @@ def St(dim: str) -> SizeExpr:
     return SizeExpr(f"St({validate_dim(dim)})")
 
 
+@lru_cache(maxsize=None)
+def _interned(text: str) -> SizeExpr:
+    return SizeExpr(text)
+
+
 def evaluate_size(
     size: SizeLike,
     dim_sizes: Mapping[str, int],
@@ -81,7 +96,7 @@ def evaluate_size(
     if isinstance(size, int):
         return size
     if isinstance(size, str):
-        size = SizeExpr(size)
+        size = _interned(size)
     if isinstance(size, SizeExpr):
         return size.evaluate(dim_sizes, strides)
     raise DataflowError(f"size must be an int or expression, got {size!r}")
@@ -91,31 +106,23 @@ _TOKEN_RE = re.compile(r"(?:(\d+)|(Sz|St)|([A-Z]'?)|([()+\-*]))")
 
 
 class _Parser:
-    """Recursive-descent evaluator for :class:`SizeExpr`.
+    """Recursive-descent compiler for :class:`SizeExpr`.
 
-    With ``syntax_only=True`` the parser validates structure (grammar and
-    dimension names) without requiring dimension bindings: ``Sz``/``St``
-    factors evaluate to 1. Every error carries the 0-based character
-    position of the offending token in ``position``.
+    Parsing validates structure (grammar and dimension names) without
+    requiring dimension bindings and produces a closure tree evaluating
+    the expression against ``(dim_sizes, strides)``; a missing ``Sz``
+    binding surfaces only at evaluation. Every parse error carries the
+    0-based character position of the offending token in ``position``.
     """
 
-    def __init__(
-        self,
-        text: str,
-        dim_sizes: Mapping[str, int],
-        strides: "Mapping[str, int] | None" = None,
-        syntax_only: bool = False,
-    ) -> None:
+    def __init__(self, text: str) -> None:
         self.text = text
-        self.dim_sizes = dim_sizes
-        self.strides = strides or {}
-        self.syntax_only = syntax_only
         self.tokens = self._tokenize(text)
         self.pos = 0
 
     @staticmethod
-    def _tokenize(text: str) -> "list[tuple[str, int]]":
-        tokens: "list[tuple[str, int]]" = []
+    def _tokenize(text: str) -> List[Tuple[str, int]]:
+        tokens: List[Tuple[str, int]] = []
         index = 0
         length = len(text)
         while index < length:
@@ -132,10 +139,10 @@ class _Parser:
             index = match.end()
         return tokens
 
-    def _peek(self) -> "str | None":
+    def _peek(self) -> Optional[str]:
         return self.tokens[self.pos][0] if self.pos < len(self.tokens) else None
 
-    def _next(self) -> "str | None":
+    def _next(self) -> Optional[str]:
         token = self._peek()
         self.pos += 1
         return token
@@ -147,12 +154,12 @@ class _Parser:
             return len(self.text)
         return self.tokens[index][1]
 
-    def parse(self) -> int:
+    def parse(self) -> _EvalFn:
         if not self.tokens:
             raise DataflowParseError(
                 f"empty size expression {self.text!r}", position=0
             )
-        value = self._expr()
+        fn = self._expr()
         if self._peek() is not None:
             position = self.tokens[self.pos][1]
             raise DataflowParseError(
@@ -160,25 +167,25 @@ class _Parser:
                 f" at position {position}",
                 position=position,
             )
-        return value
+        return fn
 
-    def _expr(self) -> int:
-        value = self._term()
+    def _expr(self) -> _EvalFn:
+        fn = self._term()
         while self._peek() in ("+", "-"):
             if self._next() == "+":
-                value += self._term()
+                fn = _add(fn, self._term())
             else:
-                value -= self._term()
-        return value
+                fn = _sub(fn, self._term())
+        return fn
 
-    def _term(self) -> int:
-        value = self._factor()
+    def _term(self) -> _EvalFn:
+        fn = self._factor()
         while self._peek() == "*":
             self._next()
-            value *= self._factor()
-        return value
+            fn = _mul(fn, self._factor())
+        return fn
 
-    def _factor(self) -> int:
+    def _factor(self) -> _EvalFn:
         token = self._next()
         if token is None:
             raise DataflowParseError(
@@ -186,7 +193,7 @@ class _Parser:
                 position=len(self.text),
             )
         if token.isdigit():
-            return int(token)
+            return _const(int(token))
         if token in ("Sz", "St"):
             func = token
             if self._next() != "(":
@@ -212,28 +219,65 @@ class _Parser:
                     f"expected ')' after {func}({dim} in {self.text!r}",
                     position=self._here(),
                 )
-            if self.syntax_only:
-                return 1
             if func == "St":
-                return self.strides.get(dim, 1)
-            try:
-                return self.dim_sizes[dim]
-            except KeyError:
-                raise DataflowParseError(
-                    f"Sz({dim}) has no binding; known dims: {sorted(self.dim_sizes)}"
-                ) from None
+                return _stride(dim)
+            return _extent(dim)
         if token == "(":
-            value = self._expr()
+            fn = self._expr()
             if self._next() != ")":
                 raise DataflowParseError(
                     f"unbalanced parentheses in {self.text!r}",
                     position=self._here(),
                 )
-            return value
+            return fn
         raise DataflowParseError(
             f"unexpected token {token!r} in {self.text!r}",
             position=self._here(),
         )
+
+
+def _const(value: int) -> _EvalFn:
+    return lambda dim_sizes, strides: value
+
+
+def _stride(dim: str) -> _EvalFn:
+    return lambda dim_sizes, strides: strides.get(dim, 1)
+
+
+def _extent(dim: str) -> _EvalFn:
+    def fn(dim_sizes: Mapping[str, int], strides: Mapping[str, int]) -> int:
+        try:
+            return dim_sizes[dim]
+        except KeyError:
+            raise DataflowParseError(
+                f"Sz({dim}) has no binding; known dims: {sorted(dim_sizes)}"
+            ) from None
+
+    return fn
+
+
+def _add(lhs: _EvalFn, rhs: _EvalFn) -> _EvalFn:
+    return lambda dim_sizes, strides: lhs(dim_sizes, strides) + rhs(
+        dim_sizes, strides
+    )
+
+
+def _sub(lhs: _EvalFn, rhs: _EvalFn) -> _EvalFn:
+    return lambda dim_sizes, strides: lhs(dim_sizes, strides) - rhs(
+        dim_sizes, strides
+    )
+
+
+def _mul(lhs: _EvalFn, rhs: _EvalFn) -> _EvalFn:
+    return lambda dim_sizes, strides: lhs(dim_sizes, strides) * rhs(
+        dim_sizes, strides
+    )
+
+
+@lru_cache(maxsize=None)
+def _compiled(text: str) -> _EvalFn:
+    """The compiled evaluator for ``text`` (one parse per distinct text)."""
+    return _Parser(text).parse()
 
 
 class Directive:
@@ -248,6 +292,14 @@ class MapDirective(Directive):
     spatial maps, time step for temporal maps) and consecutive units
     shift by ``offset`` indices. ``offset < size`` overlaps chunks —
     the paper's convolutional (halo) reuse.
+
+    Both quantities are expressed in the dimension's own index units at
+    every cluster level. On the input coordinates Y/X an offset of ``1``
+    therefore advances one *input* row/column (the spelling the diagonal
+    joint (Y, R) walks of row-stationary mappings need), while a
+    stride-portable "advance one output position" walk is written
+    explicitly as ``St(Y)``/``St(X)`` — mirroring how tile sizes already
+    spell ``(4-1)*St(Y)+Sz(R)``. Offsets are never scaled implicitly.
     """
 
     dim: str

@@ -10,7 +10,11 @@ Contains:
 - simple generic weight- and output-stationary dataflows for examples.
 
 All Table 3 dataflows are written with symbolic ``Sz(...)`` sizes so they
-bind to any convolution layer.
+bind to any convolution layer, and with explicit ``St(...)`` offsets on
+the input coordinates Y/X so they stay stride-portable: an offset of
+``St(Y)`` advances one *output* row per step, while a literal ``1``
+advances one *input* row — the spelling the diagonal (Y, R) walks of
+YR-P and row-stationary rely on.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.dataflow.dataflow import Dataflow
-from repro.dataflow.directives import ClusterDirective, Sz, spatial_map, temporal_map
+from repro.dataflow.directives import ClusterDirective, St, Sz, spatial_map, temporal_map
 from repro.tensors import dims as D
 
 
@@ -28,8 +32,8 @@ def c_partitioned() -> Dataflow:
         name="C-P",
         directives=(
             temporal_map(1, 1, D.K),
-            temporal_map(Sz(D.R), 1, D.Y),
-            temporal_map(Sz(D.S), 1, D.X),
+            temporal_map(Sz(D.R), St(D.Y), D.Y),
+            temporal_map(Sz(D.S), St(D.X), D.X),
             temporal_map(Sz(D.R), Sz(D.R), D.R),
             temporal_map(Sz(D.S), Sz(D.S), D.S),
             spatial_map(1, 1, D.C),
@@ -46,8 +50,8 @@ def x_partitioned() -> Dataflow:
             temporal_map(1, 1, D.C),
             temporal_map(Sz(D.R), Sz(D.R), D.R),
             temporal_map(Sz(D.S), Sz(D.S), D.S),
-            temporal_map(Sz(D.R), 1, D.Y),
-            spatial_map(Sz(D.S), 1, D.X),
+            temporal_map(Sz(D.R), St(D.Y), D.Y),
+            spatial_map(Sz(D.S), St(D.X), D.X),
         ),
     )
 
@@ -58,13 +62,13 @@ def yx_partitioned(tile_x: int = 8) -> Dataflow:
         name="YX-P",
         directives=(
             temporal_map(1, 1, D.K),
-            spatial_map(Sz(D.R), 1, D.Y),
-            temporal_map(f"({tile_x}-1)*St(X)+Sz(S)", tile_x, D.X),
+            spatial_map(Sz(D.R), St(D.Y), D.Y),
+            temporal_map(f"({tile_x}-1)*St(X)+Sz(S)", f"{tile_x}*St(X)", D.X),
             temporal_map(1, 1, D.C),
             temporal_map(Sz(D.R), Sz(D.R), D.R),
             temporal_map(Sz(D.S), Sz(D.S), D.S),
             ClusterDirective(tile_x),
-            spatial_map(Sz(D.S), 1, D.X),
+            spatial_map(Sz(D.S), St(D.X), D.X),
         ),
     )
 
@@ -80,6 +84,11 @@ def yr_partitioned(c_tile: int = 2, k_tile: int = 2, x_tile: int = 1) -> Dataflo
     ``c_tile``/``k_tile``/``x_tile`` are the mapping (tile) sizes the
     paper's DSE sweeps; larger tiles need larger buffers but expose more
     temporal reuse.
+
+    The outer Y/X offsets carry explicit ``St(...)`` factors (advance
+    whole output positions); the *inner* cluster's joint (Y, R) offsets
+    stay a literal 1 — adjacent input row paired with adjacent filter
+    row — which is what keeps the diagonal sound on strided layers.
     """
     x_size = Sz(D.S) if x_tile == 1 else f"({x_tile}-1)*St(X)+Sz(S)"
     return Dataflow(
@@ -87,8 +96,8 @@ def yr_partitioned(c_tile: int = 2, k_tile: int = 2, x_tile: int = 1) -> Dataflo
         directives=(
             temporal_map(c_tile, c_tile, D.C),
             temporal_map(k_tile, k_tile, D.K),
-            spatial_map(Sz(D.R), 1, D.Y),
-            temporal_map(x_size, x_tile, D.X),
+            spatial_map(Sz(D.R), St(D.Y), D.Y),
+            temporal_map(x_size, f"{x_tile}*St(X)", D.X),
             temporal_map(Sz(D.R), Sz(D.R), D.R),
             temporal_map(Sz(D.S), Sz(D.S), D.S),
             ClusterDirective(Sz(D.R)),
@@ -115,8 +124,8 @@ def kc_partitioned(c_tile: int = 64, y_tile: int = 1, x_tile: int = 1) -> Datafl
             temporal_map(c_tile, c_tile, D.C),
             temporal_map(Sz(D.R), Sz(D.R), D.R),
             temporal_map(Sz(D.S), Sz(D.S), D.S),
-            temporal_map(y_size, y_tile, D.Y),
-            temporal_map(x_size, x_tile, D.X),
+            temporal_map(y_size, f"{y_tile}*St(Y)", D.Y),
+            temporal_map(x_size, f"{x_tile}*St(X)", D.X),
             ClusterDirective(c_tile),
             spatial_map(1, 1, D.C),
         ),
@@ -185,15 +194,21 @@ def fig5_playground() -> Dict[str, Dataflow]:
 
 
 def row_stationary_fig6() -> Dataflow:
-    """The extended row-stationary example of Figure 6 (six PEs)."""
+    """The extended row-stationary example of Figure 6 (six PEs).
+
+    Hardcodes Figure 6's 3x3 tile sizes (the design envelope), but the
+    Y/X walks carry explicit ``St(...)`` offsets, and the inner (Y, R)
+    diagonal keeps unit input-row offsets, so the mapping stays sound on
+    strided 3x3 layers.
+    """
     return Dataflow(
         name="row-stationary-fig6",
         directives=(
             temporal_map(1, 1, D.N),
             temporal_map(3, 3, D.C),
             temporal_map(2, 2, D.K),
-            spatial_map(3, 1, D.Y),
-            temporal_map(3, 1, D.X),
+            spatial_map(3, St(D.Y), D.Y),
+            temporal_map(3, St(D.X), D.X),
             temporal_map(3, 3, D.R),
             temporal_map(3, 3, D.S),
             ClusterDirective(3),
@@ -202,7 +217,7 @@ def row_stationary_fig6() -> Dataflow:
             temporal_map(1, 1, D.K),
             spatial_map(1, 1, D.Y),
             spatial_map(1, 1, D.R),
-            temporal_map(3, 1, D.X),
+            temporal_map(3, St(D.X), D.X),
             temporal_map(3, 3, D.S),
         ),
     )
@@ -226,8 +241,8 @@ def weight_stationary_1level() -> Dataflow:
             temporal_map(1, 1, D.C),
             temporal_map(Sz(D.R), Sz(D.R), D.R),
             temporal_map(Sz(D.S), Sz(D.S), D.S),
-            temporal_map(Sz(D.R), 1, D.Y),
-            temporal_map(Sz(D.S), 1, D.X),
+            temporal_map(Sz(D.R), St(D.Y), D.Y),
+            temporal_map(Sz(D.S), St(D.X), D.X),
         ),
     )
 
@@ -239,8 +254,8 @@ def output_stationary_1level() -> Dataflow:
         directives=(
             temporal_map(1, 1, D.N),
             temporal_map(1, 1, D.K),
-            spatial_map(Sz(D.R), 1, D.Y),
-            temporal_map(Sz(D.S), 1, D.X),
+            spatial_map(Sz(D.R), St(D.Y), D.Y),
+            temporal_map(Sz(D.S), St(D.X), D.X),
             temporal_map(1, 1, D.C),
             temporal_map(Sz(D.R), Sz(D.R), D.R),
             temporal_map(Sz(D.S), Sz(D.S), D.S),

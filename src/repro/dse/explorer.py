@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
+from repro import obs
 from repro.dse.space import DesignPoint, DesignSpace
 from repro.errors import DataflowError
 from repro.exec import AnalysisCache, BatchEvaluator, EvalPoint
@@ -130,81 +131,85 @@ def explore(
     # PE demand of the cluster hierarchy (compared per PE count below).
     variant_lint: dict = {}
     if static_lint:
-        for label, dataflow in space.dataflow_variants:
-            try:
-                needed = required_pes(dataflow, layer)
-            except DataflowError:
-                variant_lint[(label, dataflow.name)] = (True, 0)
-                continue
-            errors = static_errors(dataflow, layer)
-            variant_lint[(label, dataflow.name)] = (bool(errors), needed)
+        with obs.span("dse.static_screen"):
+            for label, dataflow in space.dataflow_variants:
+                try:
+                    needed = required_pes(dataflow, layer)
+                except DataflowError:
+                    variant_lint[(label, dataflow.name)] = (True, 0)
+                    continue
+                errors = static_errors(dataflow, layer)
+                variant_lint[(label, dataflow.name)] = (bool(errors), needed)
 
     # One coverage verification per variant (the layer is fixed, so the
     # verdict is independent of the hardware grid): refuted variants are
     # pruned from every grid point they would have occupied.
     variant_refuted: dict = {}
     if verify_coverage:
-        from repro.verify import Verdict, verify_dataflow
+        with obs.span("dse.verify_screen"):
+            from repro.verify import Verdict, verify_dataflow
 
-        for label, dataflow in space.dataflow_variants:
-            key = (label, dataflow.name)
-            if static_lint and variant_lint.get(key, (False, 0))[0]:
-                continue  # already rejected statically
-            try:
-                result = verify_dataflow(dataflow, layer)
-            except Exception:
-                continue  # never let verification break the sweep
-            variant_refuted[key] = result.verdict is Verdict.REFUTED
+            for label, dataflow in space.dataflow_variants:
+                key = (label, dataflow.name)
+                if static_lint and variant_lint.get(key, (False, 0))[0]:
+                    continue  # already rejected statically
+                try:
+                    result = verify_dataflow(dataflow, layer)
+                except Exception:
+                    continue  # never let verification break the sweep
+                variant_refuted[key] = result.verdict is Verdict.REFUTED
 
     # ------------------------------------------------------------------
     # Phase 1 — enumerate: classify every grid point as budget-pruned,
     # statically rejected, or a candidate for the cost model.
     # ------------------------------------------------------------------
     candidates: List[Tuple[int, int, str, object]] = []  # (pes, bw, label, flow)
-    for num_pes in space.pe_counts:
-        # Prune the whole PE row if even the cheapest NoC busts the budget.
-        min_bw = min(space.noc_bandwidths)
-        if (
-            area_model.min_area(num_pes, min_bw) > area_budget
-            or area_model.min_power(num_pes, min_bw) > power_budget
-        ):
-            pruned += len(space.noc_bandwidths) * len(space.dataflow_variants)
-            explored += len(space.noc_bandwidths) * len(space.dataflow_variants)
-            continue
-        for bandwidth in space.noc_bandwidths:
+    with obs.span("dse.enumerate"):
+        for num_pes in space.pe_counts:
+            # Prune the whole PE row if even the cheapest NoC busts the budget.
+            min_bw = min(space.noc_bandwidths)
             if (
-                area_model.min_area(num_pes, bandwidth) > area_budget
-                or area_model.min_power(num_pes, bandwidth) > power_budget
+                area_model.min_area(num_pes, min_bw) > area_budget
+                or area_model.min_power(num_pes, min_bw) > power_budget
             ):
-                pruned += len(space.dataflow_variants)
-                explored += len(space.dataflow_variants)
+                pruned += len(space.noc_bandwidths) * len(space.dataflow_variants)
+                explored += len(space.noc_bandwidths) * len(space.dataflow_variants)
                 continue
-            for label, dataflow in space.dataflow_variants:
-                explored += 1
-                if static_lint:
-                    bad, needed = variant_lint[(label, dataflow.name)]
-                    if bad or needed > num_pes:
-                        pruned += 1
-                        static_rejects += 1
-                        continue
-                if verify_coverage and variant_refuted.get((label, dataflow.name)):
-                    pruned += 1
-                    coverage_rejects += 1
+            for bandwidth in space.noc_bandwidths:
+                if (
+                    area_model.min_area(num_pes, bandwidth) > area_budget
+                    or area_model.min_power(num_pes, bandwidth) > power_budget
+                ):
+                    pruned += len(space.dataflow_variants)
+                    explored += len(space.dataflow_variants)
                     continue
-                candidates.append((num_pes, bandwidth, label, dataflow))
+                for label, dataflow in space.dataflow_variants:
+                    explored += 1
+                    if static_lint:
+                        bad, needed = variant_lint[(label, dataflow.name)]
+                        if bad or needed > num_pes:
+                            pruned += 1
+                            static_rejects += 1
+                            continue
+                    if verify_coverage and variant_refuted.get((label, dataflow.name)):
+                        pruned += 1
+                        coverage_rejects += 1
+                        continue
+                    candidates.append((num_pes, bandwidth, label, dataflow))
 
     # ------------------------------------------------------------------
     # Phase 2 — evaluate the candidates through the batch backend.
     # ------------------------------------------------------------------
     evaluator = BatchEvaluator(executor=executor, jobs=jobs, cache=cache)
-    batch = evaluator.evaluate(
-        EvalPoint(
-            layer=layer,
-            dataflow=dataflow,
-            accelerator=Accelerator(
-                num_pes=num_pes,
-                noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
-            ),
+    with obs.span("dse.evaluate", candidates=len(candidates)):
+        batch = evaluator.evaluate(
+            EvalPoint(
+                layer=layer,
+                dataflow=dataflow,
+                accelerator=Accelerator(
+                    num_pes=num_pes,
+                    noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
+                ),
             energy_model=energy_model,
         )
         for num_pes, bandwidth, label, dataflow in candidates
@@ -216,38 +221,39 @@ def explore(
     points: List[DesignPoint] = []
     evaluated = 0
     best = {"throughput": None, "energy": None, "edp": None}
-    for (num_pes, bandwidth, label, dataflow), outcome in zip(candidates, batch):
-        if not outcome.ok:
-            continue
-        report = outcome.report
-        evaluated += 1
-        l1 = max(report.l1_buffer_req, 1)
-        l2 = max(report.l2_buffer_req, 1)
-        sized = Accelerator(
-            num_pes=num_pes,
-            l1_size=l1,
-            l2_size=l2,
-            noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
-        )
-        area = area_model.area(sized)
-        power = area_model.power(sized)
-        if area > area_budget or power > power_budget:
-            continue
-        point = DesignPoint(
-            num_pes=num_pes,
-            noc_bandwidth=bandwidth,
-            dataflow_name=dataflow.name,
-            tile_label=label,
-            l1_size=l1,
-            l2_size=l2,
-            area=area,
-            power=power,
-            throughput=report.throughput,
-            runtime=report.runtime,
-            energy=report.energy_total,
-        )
-        points.append(point)
-        _update_leaders(best, point)
+    with obs.span("dse.fold"):
+        for (num_pes, bandwidth, label, dataflow), outcome in zip(candidates, batch):
+            if not outcome.ok:
+                continue
+            report = outcome.report
+            evaluated += 1
+            l1 = max(report.l1_buffer_req, 1)
+            l2 = max(report.l2_buffer_req, 1)
+            sized = Accelerator(
+                num_pes=num_pes,
+                l1_size=l1,
+                l2_size=l2,
+                noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
+            )
+            area = area_model.area(sized)
+            power = area_model.power(sized)
+            if area > area_budget or power > power_budget:
+                continue
+            point = DesignPoint(
+                num_pes=num_pes,
+                noc_bandwidth=bandwidth,
+                dataflow_name=dataflow.name,
+                tile_label=label,
+                l1_size=l1,
+                l2_size=l2,
+                area=area,
+                power=power,
+                throughput=report.throughput,
+                runtime=report.runtime,
+                energy=report.energy_total,
+            )
+            points.append(point)
+            _update_leaders(best, point)
 
     # The ExploreResult invariant, explicit: every grid point is
     # accounted for exactly once — budget-pruned, lint-rejected, or
@@ -268,6 +274,10 @@ def explore(
     )
 
     elapsed = time.perf_counter() - start
+    obs.inc("dse.points_explored", explored)
+    obs.inc("dse.mappings_evaluated", evaluated)
+    obs.inc("dse.pruned_by_lint", static_rejects)
+    obs.inc("dse.pruned_by_verify", coverage_rejects)
     statistics = DSEStatistics(
         explored=explored,
         evaluated=evaluated,

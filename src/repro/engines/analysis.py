@@ -29,6 +29,7 @@ from repro.hardware.accelerator import Accelerator
 from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from repro.model.layer import Layer
 from repro.model.network import Network
+from repro.obs import inc, span
 
 
 @dataclass(frozen=True)
@@ -128,9 +129,12 @@ def analyze_layer(
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
 ) -> LayerAnalysis:
     """Analyze one layer under one dataflow on one accelerator."""
-    bound = bind_dataflow(dataflow, layer, accelerator)
-    tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
-    reuses = [analyze_level_reuse(level, tensors) for level in bound.levels]
+    with span("engine.binding", layer=layer.name, dataflow=dataflow.name):
+        bound = bind_dataflow(dataflow, layer, accelerator)
+    with span("engine.tensor_analysis"):
+        tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
+    with span("engine.reuse"):
+        reuses = [analyze_level_reuse(level, tensors) for level in bound.levels]
 
     input_density = 1.0
     for info in tensors.inputs:
@@ -139,175 +143,178 @@ def analyze_layer(
     # ------------------------------------------------------------------
     # Performance recursion, innermost level outward.
     # ------------------------------------------------------------------
-    innermost = bound.innermost()
-    ops_per_step = tensors.ops_per_chunk(innermost.chunk_sizes()) * input_density
-    # Spatial reduction hardware (adder tree / forwarding chain) is
-    # fully pipelined: its depth adds latency but does not reduce
-    # steady-state throughput, so no per-step penalty is modeled.
-    compute_delay = max(1.0, ops_per_step / accelerator.vector_width)
+    with span("engine.performance"):
+        innermost = bound.innermost()
+        ops_per_step = tensors.ops_per_chunk(innermost.chunk_sizes()) * input_density
+        # Spatial reduction hardware (adder tree / forwarding chain) is
+        # fully pipelined: its depth adds latency but does not reduce
+        # steady-state throughput, so no per-step penalty is modeled.
+        compute_delay = max(1.0, ops_per_step / accelerator.vector_width)
 
-    level_stats: List[LevelStats] = []
-    t_inner = compute_delay
-    for level, reuse in zip(reversed(bound.levels), reversed(reuses)):
-        if level.index == 0:
-            init_scale = None
-        else:
-            init_scale = _avg_step_change_ratio(reuses[level.index - 1])
-        stats = _analyze_level_performance(
-            level,
-            reuse,
-            accelerator,
-            t_inner,
-            serial_init=level.index == 0,
-            init_scale=init_scale,
-        )
-        level_stats.append(stats)
-        t_inner = stats.runtime_sweep
-    level_stats.reverse()
-    runtime = level_stats[0].runtime_sweep * layer.groups
+        level_stats: List[LevelStats] = []
+        t_inner = compute_delay
+        for level, reuse in zip(reversed(bound.levels), reversed(reuses)):
+            if level.index == 0:
+                init_scale = None
+            else:
+                init_scale = _avg_step_change_ratio(reuses[level.index - 1])
+            stats = _analyze_level_performance(
+                level,
+                reuse,
+                accelerator,
+                t_inner,
+                serial_init=level.index == 0,
+                init_scale=init_scale,
+            )
+            level_stats.append(stats)
+            t_inner = stats.runtime_sweep
+        level_stats.reverse()
+        runtime = level_stats[0].runtime_sweep * layer.groups
 
     # ------------------------------------------------------------------
     # Activity counts (whole layer, all groups).
     # ------------------------------------------------------------------
-    total_ops = layer.effective_ops()
+    with span("engine.accounting"):
+        total_ops = layer.effective_ops()
 
-    multipliers = _sweep_multipliers(bound)  # executions of each level's sweep
-    group_factor = layer.groups
+        multipliers = _sweep_multipliers(bound)  # executions of each level's sweep
+        group_factor = layer.groups
 
-    l2_reads: Dict[str, float] = {}
-    l2_writes: Dict[str, float] = {}
-    l1_reads: Dict[str, float] = {}
-    l1_writes: Dict[str, float] = {}
-    intermediate_reads = 0.0
-    intermediate_writes = 0.0
+        l2_reads: Dict[str, float] = {}
+        l2_writes: Dict[str, float] = {}
+        l1_reads: Dict[str, float] = {}
+        l1_writes: Dict[str, float] = {}
+        intermediate_reads = 0.0
+        intermediate_writes = 0.0
 
-    top = level_stats[0]
-    out_name = tensors.output.name
-    for name, volume in top.ingress_per_sweep.items():
-        l2_reads[name] = volume * group_factor
-    l2_reads[out_name] = (
-        l2_reads.get(out_name, 0.0) + top.psum_readback_per_sweep * group_factor
-    )
-    l2_writes[out_name] = top.egress_per_sweep * group_factor
-
-    # Writes into the innermost (PE L1) buffers: the innermost level's
-    # delivered ingress, once per execution of its sweep.
-    bottom = level_stats[-1]
-    bottom_multiplier = multipliers[-1] * group_factor
-    for name, volume in bottom.delivered_per_sweep.items():
-        l1_writes[name] = volume * bottom_multiplier
-    # Compute-side L1 activity: every op reads each input operand and
-    # (when the operator reduces) read-modify-writes a partial sum.
-    has_reduction = bool(tensors.reduction_dims)
-    for info in tensors.inputs:
-        l1_reads[info.name] = l1_reads.get(info.name, 0.0) + total_ops
-    l1_reads[out_name] = total_ops if has_reduction else 0.0
-    l1_writes[out_name] = l1_writes.get(out_name, 0.0) + total_ops
-
-    # Intermediate cluster buffers (multi-level dataflows): ingress reads
-    # at inner level boundaries, delivered writes from the level above,
-    # and pass-through output traffic.
-    for depth in range(1, len(level_stats)):
-        stats = level_stats[depth]
-        above = level_stats[depth - 1]
-        multiplier = multipliers[depth] * group_factor
-        multiplier_above = multipliers[depth - 1] * group_factor
-        intermediate_reads += (
-            sum(stats.ingress_per_sweep.values()) + stats.psum_readback_per_sweep
-        ) * multiplier
-        intermediate_writes += (
-            sum(above.delivered_per_sweep.values()) * multiplier_above
+        top = level_stats[0]
+        out_name = tensors.output.name
+        for name, volume in top.ingress_per_sweep.items():
+            l2_reads[name] = volume * group_factor
+        l2_reads[out_name] = (
+            l2_reads.get(out_name, 0.0) + top.psum_readback_per_sweep * group_factor
         )
-        intermediate_reads += stats.egress_per_sweep * multiplier
-        intermediate_writes += stats.egress_per_sweep * multiplier
+        l2_writes[out_name] = top.egress_per_sweep * group_factor
 
-    # ------------------------------------------------------------------
-    # Buffer requirements (double buffering).
-    # ------------------------------------------------------------------
-    element_bytes = accelerator.element_bytes
-    buffering = 2 if accelerator.double_buffered else 1
-    l1_req = buffering * sum(
-        info.volume(innermost.chunk_sizes()) for info in tensors.tensors
-    ) * element_bytes
-    l2_req = buffering * int(
-        sum(reuses[0].unique_chunk_volumes[t.name] / max(t.density, 1e-12)
-            for t in tensors.tensors)
-    ) * element_bytes
-    intermediate_reqs = tuple(
-        buffering
-        * sum(info.volume(level.chunk_sizes()) for info in tensors.tensors)
-        * element_bytes
-        for level in bound.levels[:-1]
-    )
+        # Writes into the innermost (PE L1) buffers: the innermost level's
+        # delivered ingress, once per execution of its sweep.
+        bottom = level_stats[-1]
+        bottom_multiplier = multipliers[-1] * group_factor
+        for name, volume in bottom.delivered_per_sweep.items():
+            l1_writes[name] = volume * bottom_multiplier
+        # Compute-side L1 activity: every op reads each input operand and
+        # (when the operator reduces) read-modify-writes a partial sum.
+        has_reduction = bool(tensors.reduction_dims)
+        for info in tensors.inputs:
+            l1_reads[info.name] = l1_reads.get(info.name, 0.0) + total_ops
+        l1_reads[out_name] = total_ops if has_reduction else 0.0
+        l1_writes[out_name] = l1_writes.get(out_name, 0.0) + total_ops
 
-    # ------------------------------------------------------------------
-    # DRAM traffic.
-    # ------------------------------------------------------------------
-    dram_reads: Dict[str, float] = {}
-    dram_writes: Dict[str, float] = {}
-    l2_fits = accelerator.l2_size is None or accelerator.l2_size >= l2_req
-    for info in tensors.inputs:
-        streamed = layer.touched_tensor_volume(info.name) * info.density
-        if not l2_fits:
-            streamed = max(streamed, l2_reads.get(info.name, 0.0))
-        dram_reads[info.name] = streamed
-    dram_writes[out_name] = layer.tensor_volume(out_name) * tensors.output.density
-    # Whatever enters L2 from DRAM is also written into L2 once.
-    for name, volume in dram_reads.items():
-        l2_writes[name] = l2_writes.get(name, 0.0) + volume
+        # Intermediate cluster buffers (multi-level dataflows): ingress reads
+        # at inner level boundaries, delivered writes from the level above,
+        # and pass-through output traffic.
+        for depth in range(1, len(level_stats)):
+            stats = level_stats[depth]
+            above = level_stats[depth - 1]
+            multiplier = multipliers[depth] * group_factor
+            multiplier_above = multipliers[depth - 1] * group_factor
+            intermediate_reads += (
+                sum(stats.ingress_per_sweep.values()) + stats.psum_readback_per_sweep
+            ) * multiplier
+            intermediate_writes += (
+                sum(above.delivered_per_sweep.values()) * multiplier_above
+            )
+            intermediate_reads += stats.egress_per_sweep * multiplier
+            intermediate_writes += stats.egress_per_sweep * multiplier
 
-    # ------------------------------------------------------------------
-    # Reuse factors and bandwidth requirement.
-    # ------------------------------------------------------------------
-    reuse_factors: Dict[str, float] = {}
-    max_reuse_factors: Dict[str, float] = {}
-    for info in tensors.inputs:
-        fetched = l2_reads.get(info.name, 0.0)
-        reuse_factors[info.name] = total_ops / fetched if fetched else float("inf")
-        volume = layer.touched_tensor_volume(info.name) * info.density
-        max_reuse_factors[info.name] = total_ops / volume if volume else float("inf")
+        # ------------------------------------------------------------------
+        # Buffer requirements (double buffering).
+        # ------------------------------------------------------------------
+        element_bytes = accelerator.element_bytes
+        buffering = 2 if accelerator.double_buffered else 1
+        l1_req = buffering * sum(
+            info.volume(innermost.chunk_sizes()) for info in tensors.tensors
+        ) * element_bytes
+        l2_req = buffering * int(
+            sum(reuses[0].unique_chunk_volumes[t.name] / max(t.density, 1e-12)
+                for t in tensors.tensors)
+        ) * element_bytes
+        intermediate_reqs = tuple(
+            buffering
+            * sum(info.volume(level.chunk_sizes()) for info in tensors.tensors)
+            * element_bytes
+            for level in bound.levels[:-1]
+        )
 
-    noc_bw_req = top.peak_bw_elems_per_cycle
-    noc_bw_req_gbps = noc_bw_req * element_bytes * accelerator.clock_ghz
+        # ------------------------------------------------------------------
+        # DRAM traffic.
+        # ------------------------------------------------------------------
+        dram_reads: Dict[str, float] = {}
+        dram_writes: Dict[str, float] = {}
+        l2_fits = accelerator.l2_size is None or accelerator.l2_size >= l2_req
+        for info in tensors.inputs:
+            streamed = layer.touched_tensor_volume(info.name) * info.density
+            if not l2_fits:
+                streamed = max(streamed, l2_reads.get(info.name, 0.0))
+            dram_reads[info.name] = streamed
+        dram_writes[out_name] = layer.tensor_volume(out_name) * tensors.output.density
+        # Whatever enters L2 from DRAM is also written into L2 once.
+        for name, volume in dram_reads.items():
+            l2_writes[name] = l2_writes.get(name, 0.0) + volume
 
-    # ------------------------------------------------------------------
-    # Energy.
-    # ------------------------------------------------------------------
-    l1_capacity = accelerator.l1_size if accelerator.l1_size is not None else max(
-        l1_req, 1
-    )
-    l2_capacity = accelerator.l2_size if accelerator.l2_size is not None else max(
-        l2_req, 1
-    )
-    e_l1_read = energy_model.sram_access(l1_capacity)
-    e_l1_write = energy_model.sram_write(l1_capacity)
-    e_l2_read = energy_model.sram_access(l2_capacity)
-    e_l2_write = energy_model.sram_write(l2_capacity)
-    noc_traffic = sum(l2_reads.values()) + top.egress_per_sweep * group_factor
-    energy_breakdown = {
-        "MAC": total_ops * energy_model.mac,
-        "L1 read": sum(l1_reads.values()) * e_l1_read,
-        "L1 write": sum(l1_writes.values()) * e_l1_write,
-        "L2 read": sum(l2_reads.values()) * e_l2_read,
-        "L2 write": sum(l2_writes.values()) * e_l2_write,
-        "intermediate": (intermediate_reads * e_l1_read + intermediate_writes * e_l1_write),
-        "NoC": noc_traffic * energy_model.noc_hop,
-        "DRAM": (sum(dram_reads.values()) + sum(dram_writes.values()))
-        * energy_model.dram,
-    }
+        # ------------------------------------------------------------------
+        # Reuse factors and bandwidth requirement.
+        # ------------------------------------------------------------------
+        reuse_factors: Dict[str, float] = {}
+        max_reuse_factors: Dict[str, float] = {}
+        for info in tensors.inputs:
+            fetched = l2_reads.get(info.name, 0.0)
+            reuse_factors[info.name] = total_ops / fetched if fetched else float("inf")
+            volume = layer.touched_tensor_volume(info.name) * info.density
+            max_reuse_factors[info.name] = total_ops / volume if volume else float("inf")
 
-    # Off-chip roofline: DRAM must stream the layer's working set within
-    # the runtime (only binding when `dram_bandwidth` is configured).
-    if accelerator.dram_bandwidth is not None:
-        dram_traffic = sum(dram_reads.values()) + sum(dram_writes.values())
-        runtime = max(runtime, dram_traffic / accelerator.dram_bandwidth)
+        noc_bw_req = top.peak_bw_elems_per_cycle
+        noc_bw_req_gbps = noc_bw_req * element_bytes * accelerator.clock_ghz
 
-    utilization = min(
-        1.0,
-        total_ops
-        / (runtime * accelerator.num_pes * accelerator.vector_width),
-    )
+        # ------------------------------------------------------------------
+        # Energy.
+        # ------------------------------------------------------------------
+        l1_capacity = accelerator.l1_size if accelerator.l1_size is not None else max(
+            l1_req, 1
+        )
+        l2_capacity = accelerator.l2_size if accelerator.l2_size is not None else max(
+            l2_req, 1
+        )
+        e_l1_read = energy_model.sram_access(l1_capacity)
+        e_l1_write = energy_model.sram_write(l1_capacity)
+        e_l2_read = energy_model.sram_access(l2_capacity)
+        e_l2_write = energy_model.sram_write(l2_capacity)
+        noc_traffic = sum(l2_reads.values()) + top.egress_per_sweep * group_factor
+        energy_breakdown = {
+            "MAC": total_ops * energy_model.mac,
+            "L1 read": sum(l1_reads.values()) * e_l1_read,
+            "L1 write": sum(l1_writes.values()) * e_l1_write,
+            "L2 read": sum(l2_reads.values()) * e_l2_read,
+            "L2 write": sum(l2_writes.values()) * e_l2_write,
+            "intermediate": (intermediate_reads * e_l1_read + intermediate_writes * e_l1_write),
+            "NoC": noc_traffic * energy_model.noc_hop,
+            "DRAM": (sum(dram_reads.values()) + sum(dram_writes.values()))
+            * energy_model.dram,
+        }
 
+        # Off-chip roofline: DRAM must stream the layer's working set within
+        # the runtime (only binding when `dram_bandwidth` is configured).
+        if accelerator.dram_bandwidth is not None:
+            dram_traffic = sum(dram_reads.values()) + sum(dram_writes.values())
+            runtime = max(runtime, dram_traffic / accelerator.dram_bandwidth)
+
+        utilization = min(
+            1.0,
+            total_ops
+            / (runtime * accelerator.num_pes * accelerator.vector_width),
+        )
+
+    inc("engine.layers_analyzed")
     return LayerAnalysis(
         layer_name=layer.name,
         dataflow_name=dataflow.name,

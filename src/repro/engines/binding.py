@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
 from repro.dataflow.dataflow import Dataflow
+from repro.obs import inc
 from repro.dataflow.directives import MapDirective, evaluate_size
 from repro.errors import BindingError
 from repro.hardware.accelerator import Accelerator
@@ -153,6 +154,7 @@ def bind_dataflow(
     dataflow: Dataflow, layer: Layer, accelerator: Accelerator
 ) -> BoundDataflow:
     """Bind ``dataflow`` to ``layer`` on ``accelerator``; see module doc."""
+    inc("binding.dataflows_bound")
     dims, row_rep, col_rep = _relevant_dims(dataflow, layer)
     full_sizes = layer.all_dim_sizes()
     level_specs = dataflow.levels()
@@ -176,11 +178,18 @@ def bind_dataflow(
     widths = [top_width] + cluster_sizes
     used_pes = top_width * pes_per_top_cluster
 
-    # Directive offsets on the *input* coordinates Y/X are written in
-    # output-pixel units (Table 3: "offset 1" means "next output
-    # position"); the cluster engine scales them by the layer stride,
-    # the paper's Figure 7 "apply stride" step.
-    offset_scale = {D.Y: layer.stride[0], D.X: layer.stride[1]}
+    # Sizes and offsets on the *input* coordinates Y/X are expressed in
+    # input-index units. Stride-portable mappings spell the layer stride
+    # explicitly with ``St(Y)``/``St(X)`` (the paper's Figure 7 "apply
+    # stride" step, made visible in the directive), exactly as tile
+    # sizes already do with ``(4-1)*St(Y)+Sz(R)``. Offsets used to be
+    # multiplied by the stride implicitly at *every* cluster level,
+    # which broke diagonal inner walks (YR-P/row-stationary map Y and R
+    # jointly with a unit offset meaning "next input row"): on strided
+    # layers the inner walk advanced ``stride`` rows per PE and skipped
+    # output rows — the coverage gap the iteration-space verifier
+    # refuted on all strided zoo layers.
+    strides = {D.Y: layer.stride[0], D.X: layer.stride[1]}
 
     local_sizes: Dict[str, int] = {dim: full_sizes[dim] for dim in dims}
     levels: List[BoundLevel] = []
@@ -192,7 +201,7 @@ def bind_dataflow(
             local_sizes=local_sizes,
             full_sizes=full_sizes,
             dims=dims,
-            offset_scale=offset_scale,
+            strides=strides,
             context=f"{dataflow.name} on {layer.name}, level {index}",
         )
         levels.append(level)
@@ -217,7 +226,7 @@ def _bind_level(
     local_sizes: Mapping[str, int],
     full_sizes: Mapping[str, int],
     dims: List[str],
-    offset_scale: Mapping[str, int],
+    strides: Mapping[str, int],
     context: str,
 ) -> BoundLevel:
     bound: List[BoundDirective] = []
@@ -236,10 +245,8 @@ def _bind_level(
                 f"{context}: dimension {directive.dim} mapped twice in one level"
             )
         local = local_sizes.get(directive.dim, 1)
-        size = min(evaluate_size(directive.size, full_sizes, offset_scale), local)
-        offset = evaluate_size(
-            directive.offset, full_sizes, offset_scale
-        ) * offset_scale.get(directive.dim, 1)
+        size = min(evaluate_size(directive.size, full_sizes, strides), local)
+        offset = evaluate_size(directive.offset, full_sizes, strides)
         if size < 1 or offset < 1:
             raise BindingError(
                 f"{context}: non-positive size/offset on {directive.dim} "

@@ -18,6 +18,7 @@ from repro.dataflow.dataflow import Dataflow
 from repro.engines.binding import bind_dataflow
 from repro.engines.reuse import LevelReuse, analyze_level_reuse
 from repro.engines.tensor_analysis import analyze_tensors
+from repro.obs import span
 from repro.hardware.accelerator import Accelerator
 from repro.model.layer import Layer
 
@@ -75,12 +76,13 @@ def summarize_reuse(
     layer: Layer, dataflow: Dataflow, accelerator: Accelerator
 ) -> ReuseSummary:
     """Classify the reuse each level of ``dataflow`` exposes on ``layer``."""
-    bound = bind_dataflow(dataflow, layer, accelerator)
-    tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
-    summaries: List[LevelReuseSummary] = []
-    for level in bound.levels:
-        reuse = analyze_level_reuse(level, tensors)
-        summaries.append(_summarize_level(reuse, tensors.output.name))
+    with span("engine.insight", layer=layer.name, dataflow=dataflow.name):
+        bound = bind_dataflow(dataflow, layer, accelerator)
+        tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
+        summaries: List[LevelReuseSummary] = []
+        for level in bound.levels:
+            reuse = analyze_level_reuse(level, tensors)
+            summaries.append(_summarize_level(reuse, tensors.output.name))
     return ReuseSummary(
         dataflow_name=dataflow.name,
         layer_name=layer.name,

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
 from repro.engines.binding import BoundLevel
+from repro.obs import inc
 from repro.engines.tensor_analysis import TensorAnalysis, TensorInfo
 
 
@@ -202,6 +203,7 @@ def _full_chunk_traffic(
 
 def analyze_level_reuse(level: BoundLevel, tensors: TensorAnalysis) -> LevelReuse:
     """Run reuse analysis for one bound level."""
+    inc("reuse.levels_analyzed")
     sizes = level.chunk_sizes()
     spatial_offsets = level.spatial_offsets
     active = level.avg_active

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Mapping, Tuple
 
 from repro.model.layer import Layer
+from repro.obs import inc
 from repro.tensors.axes import Axis
 from repro.tensors.operators import TensorRole
 from repro.util.intmath import prod
@@ -73,6 +74,7 @@ class TensorAnalysis:
 
 def analyze_tensors(layer: Layer, row_rep: str, col_rep: str) -> TensorAnalysis:
     """Resolve the layer's tensors for the given coordinate representation."""
+    inc("tensor_analysis.layers_resolved")
     operator = layer.operator
     infos = []
     for template in operator.tensors:

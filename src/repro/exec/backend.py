@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.engines.analysis import analyze_layer
+from repro import obs
 from repro.dataflow.dataflow import Dataflow
 from repro.errors import BindingError, DataflowError
 from repro.exec.cache import AnalysisCache, cache_key, resolve_cache
@@ -94,6 +95,19 @@ def _evaluate_chunk(points: Sequence[EvalPoint]) -> List[EvalOutcome]:
     return [_evaluate_one(point) for point in points]
 
 
+def _evaluate_chunk_traced(points: Sequence[EvalPoint]) -> Tuple[List[EvalOutcome], list, dict]:
+    """Tracing worker entry point: outcomes plus the worker's spans/metrics.
+
+    The buffer is reset first: under the fork start method the child
+    inherits the driver's spans, which must not be exported twice. The
+    driver re-parents the returned spans with :func:`repro.obs.adopt_spans`.
+    """
+    obs.configure(enabled=True, reset=True)
+    with obs.span("exec.worker_chunk", points=len(points)):
+        outcomes = [_evaluate_one(point) for point in points]
+    return outcomes, obs.export_spans(), obs.metrics_snapshot()
+
+
 def _chunked(items: Sequence, chunk_size: int) -> List[Sequence]:
     return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
 
@@ -146,46 +160,72 @@ class BatchEvaluator:
     def evaluate(self, points: Iterable[EvalPoint]) -> BatchResult:
         """Evaluate every point, cache-first, preserving input order."""
         points = list(points)
+        with obs.span("exec.evaluate", submitted=len(points)):
+            return self._evaluate(points)
+
+    def _evaluate(self, points: List[EvalPoint]) -> BatchResult:
         start = time.perf_counter()
         outcomes: List[Optional[EvalOutcome]] = [None] * len(points)
+        obs.inc("exec.points_submitted", len(points))
 
         # Cache pass: satisfy what we can, remember the miss positions.
         miss_indices: List[int] = []
         keys: List[Optional[str]] = [None] * len(points)
         if self._cache is not None:
-            for index, point in enumerate(points):
-                key = point.key()
-                keys[index] = key
-                hit = self._cache.get(key)
-                if hit is not None:
-                    outcomes[index] = hit
-                else:
-                    miss_indices.append(index)
+            with obs.span("exec.cache_lookup"):
+                for index, point in enumerate(points):
+                    key = point.key()
+                    keys[index] = key
+                    hit = self._cache.get(key)
+                    if hit is not None:
+                        outcomes[index] = hit
+                    else:
+                        miss_indices.append(index)
         else:
             miss_indices = list(range(len(points)))
 
         cache_hits = len(points) - len(miss_indices)
         executor, jobs = self._pick_executor(len(miss_indices))
+        obs.inc("exec.cache_hits", cache_hits)
+        obs.inc("exec.points_evaluated", len(miss_indices))
 
         if executor == "serial":
-            for index in miss_indices:
-                outcomes[index] = _evaluate_one(points[index])
+            with obs.span("exec.serial_evaluate", misses=len(miss_indices)):
+                for index in miss_indices:
+                    outcomes[index] = _evaluate_one(points[index])
         elif miss_indices:
             misses = [points[i] for i in miss_indices]
             # Chunked submission: a few chunks per worker amortizes
             # pickling without starving the pool on uneven chunks.
             chunk_size = max(1, -(-len(misses) // (jobs * 4)))
             chunks = _chunked(misses, chunk_size)
-            with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-                cursor = 0
-                for chunk_outcomes in pool.map(_evaluate_chunk, chunks):
-                    for outcome in chunk_outcomes:
-                        outcomes[miss_indices[cursor]] = outcome
-                        cursor += 1
+            obs.set_gauge("exec.chunk_queue_depth", len(chunks))
+            obs.inc("exec.chunks_submitted", len(chunks))
+            # With tracing on, workers capture their own spans/metrics
+            # and ship them back for re-parenting into this trace.
+            traced = obs.is_enabled()
+            worker_fn = _evaluate_chunk_traced if traced else _evaluate_chunk
+            with obs.span("exec.process_pool", chunks=len(chunks), jobs=jobs):
+                with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+                    cursor = 0
+                    pending = len(chunks)
+                    for result in pool.map(worker_fn, chunks):
+                        if traced:
+                            chunk_outcomes, worker_spans, worker_metrics = result
+                            obs.adopt_spans(worker_spans)
+                            obs.merge_metrics(worker_metrics)
+                            pending -= 1
+                            obs.set_gauge("exec.chunk_queue_depth", pending)
+                        else:
+                            chunk_outcomes = result
+                        for outcome in chunk_outcomes:
+                            outcomes[miss_indices[cursor]] = outcome
+                            cursor += 1
 
         if self._cache is not None:
-            for index in miss_indices:
-                self._cache.put(keys[index], outcomes[index])
+            with obs.span("exec.cache_store", misses=len(miss_indices)):
+                for index in miss_indices:
+                    self._cache.put(keys[index], outcomes[index])
 
         failures = sum(1 for outcome in outcomes if not outcome.ok)
         stats = BatchStats(

@@ -25,11 +25,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro import obs
 from repro.dataflow.dataflow import Dataflow
 from repro.dataflow.directives import ClusterDirective, evaluate_size
 from repro.errors import DataflowError
@@ -44,6 +46,8 @@ from repro.tensors import dims as D
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 _DEFAULT_DISK_DIR = Path.home() / ".cache" / "repro"
+
+logger = logging.getLogger(__name__)
 
 _salt_cache: Optional[str] = None
 
@@ -224,6 +228,7 @@ class AnalysisCache:
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        self.corrupt_entries = 0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -233,24 +238,51 @@ class AnalysisCache:
         return self.disk_dir / model_version_salt() / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[EvalOutcome]:
-        """The memoized outcome for ``key``, or ``None`` on a miss."""
+        """The memoized outcome for ``key``, or ``None`` on a miss.
+
+        A corrupt or truncated disk entry (interrupted writer, disk
+        fault, stale handwritten file) is never fatal and never a silent
+        permanent miss: it is logged, counted (``corrupt_entries`` and
+        the ``cache.corrupt_entries`` metric), deleted, and the point is
+        recomputed — the next ``put`` rewrites a good entry.
+        """
         outcome = self._memory.pop(key, None)
         if outcome is not None:
             self._memory[key] = outcome  # re-insert: most recently used
             self.hits += 1
+            obs.inc("cache.memory_hits")
             return outcome.as_cached()
         if self.disk_dir is not None:
             path = self._disk_path(key)
             try:
-                outcome = outcome_from_json(path.read_text())
+                text: Optional[str] = path.read_text()
             except OSError:
-                outcome = None
+                text = None
+            outcome = None
+            if text is not None:
+                try:
+                    outcome = outcome_from_json(text)
+                except (ValueError, KeyError, TypeError) as error:
+                    self.corrupt_entries += 1
+                    obs.inc("cache.corrupt_entries")
+                    logger.warning(
+                        "dropping corrupt cache entry %s (%s: %s); recomputing",
+                        path,
+                        type(error).__name__,
+                        error,
+                    )
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
             if outcome is not None:
                 self._remember(key, outcome)
                 self.hits += 1
                 self.disk_hits += 1
+                obs.inc("cache.disk_hits")
                 return outcome.as_cached()
         self.misses += 1
+        obs.inc("cache.misses")
         return None
 
     def put(self, key: str, outcome: EvalOutcome) -> None:
@@ -271,6 +303,7 @@ class AnalysisCache:
             oldest = next(iter(self._memory))
             del self._memory[oldest]
             self.evictions += 1
+            obs.inc("cache.evictions")
 
     def _write_disk(self, key: str, outcome: EvalOutcome) -> None:
         path = self._disk_path(key)

@@ -151,21 +151,25 @@ def outcome_to_json(outcome: EvalOutcome) -> str:
     return json.dumps(doc)
 
 
-def outcome_from_json(text: str) -> Optional[EvalOutcome]:
-    """Parse a disk-cache document; ``None`` for unreadable/stale docs."""
-    try:
-        doc = json.loads(text)
-    except (ValueError, TypeError):
-        return None
-    if not isinstance(doc, dict) or doc.get("format") != FORMAT_VERSION:
-        return None
-    try:
-        if doc["status"] == "ok":
-            return EvalOutcome(report=analysis_from_dict(doc["report"]))
-        return EvalOutcome(
-            report=None,
-            error_type=doc["error_type"],
-            error_message=doc["error_message"],
+def outcome_from_json(text: str) -> EvalOutcome:
+    """Parse a disk-cache document.
+
+    Raises ``ValueError``/``KeyError``/``TypeError`` on truncated,
+    malformed, or format-incompatible documents — the cache layer turns
+    that into a counted warning, deletes the bad file, and recomputes
+    (it must never be a silent permanent miss).
+    """
+    doc = json.loads(text)
+    if not isinstance(doc, dict):
+        raise ValueError(f"cache document is {type(doc).__name__}, not an object")
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"cache document format {doc.get('format')!r} != {FORMAT_VERSION!r}"
         )
-    except (KeyError, TypeError):
-        return None
+    if doc["status"] == "ok":
+        return EvalOutcome(report=analysis_from_dict(doc["report"]))
+    return EvalOutcome(
+        report=None,
+        error_type=doc["error_type"],
+        error_message=doc["error_message"],
+    )

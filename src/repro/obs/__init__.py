@@ -1,0 +1,66 @@
+"""repro.obs — observability: structured tracing, metrics, exporters.
+
+Zero-dependency instrumentation for the cost-model pipeline. Everything
+is off by default and becomes a no-op behind a single module-level flag;
+``configure(enabled=True)`` (or any ``--trace-out``/``--metrics-out``
+CLI flag, or ``repro profile``) turns it on.
+
+Typical use::
+
+    from repro import obs
+
+    obs.configure(enabled=True)
+    with obs.span("engine.reuse", layer="CONV2"):
+        ...
+    obs.inc("dse.mappings_evaluated", 128)
+
+    from repro.obs.profile import write_metrics, write_trace
+    write_trace("trace.json")      # load in https://ui.perfetto.dev
+    write_metrics("metrics.prom")  # Prometheus text format
+
+Cross-process: workers call :func:`export_spans` /
+:func:`metrics_snapshot` and ship the payloads home; the driver calls
+:func:`adopt_spans` / :func:`merge_metrics` to re-parent worker spans
+into its own trace (see :mod:`repro.exec.backend`).
+"""
+
+from repro.obs.core import configure, is_enabled
+from repro.obs.metrics import (
+    counter_value,
+    gauge_value,
+    inc,
+    observe,
+    set_gauge,
+)
+from repro.obs.metrics import merge as merge_metrics
+from repro.obs.metrics import snapshot as metrics_snapshot
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    SpanRecord,
+    adopt_spans,
+    current_span_id,
+    export_spans,
+    span,
+    spans,
+)
+
+__all__ = [
+    "configure",
+    "is_enabled",
+    "span",
+    "spans",
+    "Span",
+    "SpanRecord",
+    "NOOP_SPAN",
+    "current_span_id",
+    "export_spans",
+    "adopt_spans",
+    "inc",
+    "set_gauge",
+    "observe",
+    "counter_value",
+    "gauge_value",
+    "metrics_snapshot",
+    "merge_metrics",
+]

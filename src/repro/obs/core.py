@@ -1,0 +1,47 @@
+"""Observability switchboard: one flag gates every span and metric.
+
+The whole subsystem is off by default. ``configure(enabled=True)`` turns
+it on; until then every ``span()`` call returns a shared no-op object
+and every metric call is a single boolean check — no allocation, no
+locking, no I/O — so instrumented hot paths (the engines, the batch
+backend, the simulator) stay within noise of the uninstrumented code.
+
+The flag is process-local. Worker processes spawned by the batch
+backend re-enable tracing explicitly for the duration of a chunk and
+ship their buffers back to the driver (see
+:func:`repro.obs.trace.adopt_spans`).
+"""
+
+from __future__ import annotations
+
+
+class ObsState:
+    """Module-level observability state (one instance per process)."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+STATE = ObsState()
+
+
+def is_enabled() -> bool:
+    """Whether tracing and metrics collection are currently on."""
+    return STATE.enabled
+
+
+def configure(enabled: bool = True, reset: bool = False) -> None:
+    """Turn the observability subsystem on or off.
+
+    With ``reset`` the trace buffer and the metrics registry are cleared
+    first — what worker processes do at the start of each chunk so a
+    forked child never re-exports spans inherited from the driver.
+    """
+    if reset:
+        from repro.obs import metrics, trace
+
+        trace.clear()
+        metrics.clear()
+    STATE.enabled = enabled

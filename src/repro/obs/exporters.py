@@ -1,0 +1,280 @@
+"""Exporters: Chrome/Perfetto trace JSON, Prometheus text, text tables.
+
+Three consumers, three formats:
+
+- :func:`to_perfetto` — the Chrome ``trace_event`` JSON format
+  (complete ``"ph": "X"`` events, microsecond timestamps), loadable
+  directly in https://ui.perfetto.dev or ``chrome://tracing``;
+- :func:`to_prometheus` / :func:`parse_prometheus` — the Prometheus
+  text exposition format (the parser exists so tests can prove the
+  round trip and scripts can post-process gate output);
+- :func:`span_summary_table` / :func:`metrics_table` — human-readable
+  summaries built on :mod:`repro.util.text_table`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.obs.trace import SpanRecord
+from repro.util.text_table import format_table
+
+SpanLike = Union[SpanRecord, Mapping[str, Any]]
+
+
+def _span_dict(span: SpanLike) -> Mapping[str, Any]:
+    return span.to_dict() if isinstance(span, SpanRecord) else span
+
+
+def to_perfetto(spans: Iterable[SpanLike]) -> Dict[str, Any]:
+    """The span list as a Chrome ``trace_event`` JSON object.
+
+    Timestamps and durations are microseconds; ``pid``/``tid`` come
+    straight from the spans, so process-pool worker spans show up as
+    their own process tracks next to the driver's.
+    """
+    events: List[Dict[str, Any]] = []
+    for item in spans:
+        record = _span_dict(item)
+        name = record["name"]
+        events.append(
+            {
+                "name": name,
+                "cat": name.split(".", 1)[0],
+                "ph": "X",
+                "ts": record["start_ns"] / 1000.0,
+                "dur": record["dur_ns"] / 1000.0,
+                "pid": record["pid"],
+                "tid": record["tid"],
+                "args": {
+                    **record.get("attrs", {}),
+                    "span_id": record["span_id"],
+                    "parent_id": record.get("parent_id"),
+                    "cpu_us": record.get("cpu_ns", 0) / 1000.0,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str, prefix: str = "repro_") -> str:
+    """A dotted metric name as a legal Prometheus metric name."""
+    return prefix + _NAME_RE.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """A metrics snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(float(bound))}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_sum {_format_value(float(hist['sum']))}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r'(?:\{le="(?P<le>[^"]+)"\})?'
+    r"\s+(?P<value>\S+)$"
+)
+
+
+def parse_prometheus(text: str) -> Dict[str, Any]:
+    """Parse Prometheus text back into a snapshot-shaped dict.
+
+    Inverse of :func:`to_prometheus` for the subset it emits; the
+    round-trip property is asserted by the test suite.
+    """
+    types: Dict[str, str] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    raw_hist: Dict[str, Dict[str, Any]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"unparseable Prometheus sample: {line!r}")
+        sample = match.group("name")
+        value = float(match.group("value").replace("+Inf", "inf"))
+        bound = match.group("le")
+        if bound is not None:
+            base = sample[: -len("_bucket")]
+            hist = raw_hist.setdefault(base, {"buckets": [], "cumulative": []})
+            if bound != "+Inf":
+                hist["buckets"].append(float(bound))
+                hist["cumulative"].append(value)
+            continue
+        if sample.endswith("_sum") and types.get(sample[:-4]) == "histogram":
+            raw_hist.setdefault(sample[:-4], {})["sum"] = value
+            continue
+        if sample.endswith("_count") and types.get(sample[:-6]) == "histogram":
+            raw_hist.setdefault(sample[:-6], {})["count"] = int(value)
+            continue
+        if sample.endswith("_total") and types.get(sample[:-6]) == "counter":
+            counters[sample[:-6]] = value
+            continue
+        gauges[sample] = value
+
+    histograms: Dict[str, Any] = {}
+    for base, hist in raw_hist.items():
+        cumulative = hist.get("cumulative", [])
+        counts = [
+            int(value - (cumulative[index - 1] if index else 0))
+            for index, value in enumerate(cumulative)
+        ]
+        total = hist.get("count", int(cumulative[-1]) if cumulative else 0)
+        counts.append(total - (int(cumulative[-1]) if cumulative else 0))
+        histograms[base] = {
+            "buckets": hist.get("buckets", []),
+            "counts": counts,
+            "sum": hist.get("sum", 0.0),
+            "count": total,
+        }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+# ----------------------------------------------------------------------
+# Human-readable summaries
+# ----------------------------------------------------------------------
+def span_summary(spans: Iterable[SpanLike]) -> Dict[str, Dict[str, float]]:
+    """Aggregate spans by name: count, total/self wall time, CPU time.
+
+    ``self_ns`` is wall time minus the time spent in direct children —
+    the per-phase number BENCH_obs.json and the overhead gate report,
+    since nested phase totals would double-count.
+    """
+    records = [_span_dict(span) for span in spans]
+    child_time: Dict[Any, float] = {}
+    for record in records:
+        parent = record.get("parent_id")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + record["dur_ns"]
+    summary: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        entry = summary.setdefault(
+            record["name"],
+            {"count": 0, "total_ns": 0.0, "self_ns": 0.0, "cpu_ns": 0.0},
+        )
+        entry["count"] += 1
+        entry["total_ns"] += record["dur_ns"]
+        entry["self_ns"] += record["dur_ns"] - child_time.get(record["span_id"], 0.0)
+        entry["cpu_ns"] += record.get("cpu_ns", 0)
+    return summary
+
+
+def span_summary_table(spans: Iterable[SpanLike], title: str = "spans") -> str:
+    """The per-name span aggregate as an aligned text table."""
+    summary = span_summary(spans)
+    grand_total = sum(entry["self_ns"] for entry in summary.values()) or 1.0
+    rows = [
+        [
+            name,
+            int(entry["count"]),
+            f"{entry['total_ns'] / 1e6:.3f}",
+            f"{entry['self_ns'] / 1e6:.3f}",
+            f"{entry['cpu_ns'] / 1e6:.3f}",
+            f"{entry['self_ns'] / grand_total * 100:.1f}%",
+        ]
+        for name, entry in sorted(
+            summary.items(), key=lambda item: -item[1]["self_ns"]
+        )
+    ]
+    return format_table(
+        ["span", "count", "wall (ms)", "self (ms)", "cpu (ms)", "self share"],
+        rows,
+        title=title,
+    )
+
+
+def metrics_table(snapshot: Mapping[str, Any], title: str = "metrics") -> str:
+    """Counters and gauges as an aligned text table."""
+    rows: List[List[object]] = []
+    for name in sorted(snapshot.get("counters", {})):
+        rows.append([name, "counter", snapshot["counters"][name]])
+    for name in sorted(snapshot.get("gauges", {})):
+        rows.append([name, "gauge", snapshot["gauges"][name]])
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+        rows.append([name, "histogram", f"n={hist['count']} mean={mean:.3g}"])
+    if not rows:
+        rows.append(["(none)", "-", "-"])
+    return format_table(["metric", "kind", "value"], rows, title=title)
+
+
+def span_tree(spans: Iterable[SpanLike], max_depth: Optional[int] = None) -> str:
+    """Render the span forest as an indented tree with durations."""
+    records = [_span_dict(span) for span in spans]
+    ids = {record["span_id"] for record in records}
+    children: Dict[Any, List[Mapping[str, Any]]] = {}
+    roots: List[Mapping[str, Any]] = []
+    for record in records:
+        parent = record.get("parent_id")
+        if parent in ids:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+
+    lines: List[str] = []
+
+    def walk(record: Mapping[str, Any], depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        attrs = record.get("attrs", {})
+        suffix = (
+            " [" + " ".join(f"{k}={v}" for k, v in attrs.items()) + "]"
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{record['name']}  "
+            f"{record['dur_ns'] / 1e6:.3f} ms (pid {record['pid']}){suffix}"
+        )
+        for child in sorted(
+            children.get(record["span_id"], []), key=lambda r: r["start_ns"]
+        ):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda r: r["start_ns"]):
+        walk(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+A flat, process-local registry addressed by dotted metric names
+(``cache.hits``, ``dse.mappings_evaluated``). All writers are gated on
+the observability flag — when disabled every call is one boolean check.
+
+Snapshots are plain dicts, so worker processes can ship their registry
+back with their results; :func:`merge` folds a worker snapshot into the
+driver's registry (counters and histogram buckets add, gauges take the
+incoming value).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Sequence
+
+from repro.obs.core import STATE
+
+#: Default histogram bucket upper bounds (seconds-scale observations).
+DEFAULT_BUCKETS: Sequence[float] = (
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+)
+
+_counters: Dict[str, float] = {}
+_gauges: Dict[str, float] = {}
+_histograms: Dict[str, Dict[str, Any]] = {}
+
+
+def inc(name: str, value: float = 1) -> None:
+    """Add ``value`` to the named counter (no-op when disabled)."""
+    if not STATE.enabled:
+        return
+    _counters[name] = _counters.get(name, 0) + value
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set the named gauge to ``value`` (no-op when disabled)."""
+    if not STATE.enabled:
+        return
+    _gauges[name] = value
+
+
+def observe(
+    name: str, value: float, buckets: Sequence[float] = DEFAULT_BUCKETS
+) -> None:
+    """Record ``value`` into the named histogram (no-op when disabled).
+
+    Buckets are fixed at first observation; later calls reuse them.
+    """
+    if not STATE.enabled:
+        return
+    hist = _histograms.get(name)
+    if hist is None:
+        bounds = tuple(sorted(buckets))
+        hist = _histograms[name] = {
+            "buckets": list(bounds),
+            "counts": [0] * (len(bounds) + 1),  # last slot = +Inf
+            "sum": 0.0,
+            "count": 0,
+        }
+    index = bisect.bisect_left(hist["buckets"], value)
+    hist["counts"][index] += 1
+    hist["sum"] += value
+    hist["count"] += 1
+
+
+def counter_value(name: str) -> float:
+    """The current value of a counter (0 if never incremented)."""
+    return _counters.get(name, 0)
+
+
+def gauge_value(name: str) -> float:
+    """The current value of a gauge (0 if never set)."""
+    return _gauges.get(name, 0)
+
+
+def snapshot() -> Dict[str, Any]:
+    """A picklable copy of the whole registry."""
+    return {
+        "counters": dict(_counters),
+        "gauges": dict(_gauges),
+        "histograms": {
+            name: {
+                "buckets": list(hist["buckets"]),
+                "counts": list(hist["counts"]),
+                "sum": hist["sum"],
+                "count": hist["count"],
+            }
+            for name, hist in _histograms.items()
+        },
+    }
+
+
+def merge(incoming: Dict[str, Any]) -> None:
+    """Fold a snapshot from another process into this registry.
+
+    Counters and histogram bucket counts add up; gauges take the
+    incoming value (last writer wins). Unlike the writers this is not
+    gated: the driver merges worker payloads while it holds the data.
+    """
+    for name, value in incoming.get("counters", {}).items():
+        _counters[name] = _counters.get(name, 0) + value
+    for name, value in incoming.get("gauges", {}).items():
+        _gauges[name] = value
+    for name, theirs in incoming.get("histograms", {}).items():
+        mine = _histograms.get(name)
+        if mine is None or list(mine["buckets"]) != list(theirs["buckets"]):
+            _histograms[name] = {
+                "buckets": list(theirs["buckets"]),
+                "counts": list(theirs["counts"]),
+                "sum": theirs["sum"],
+                "count": theirs["count"],
+            }
+            continue
+        counts: List[int] = mine["counts"]
+        for index, count in enumerate(theirs["counts"]):
+            counts[index] += count
+        mine["sum"] += theirs["sum"]
+        mine["count"] += theirs["count"]
+
+
+def clear() -> None:
+    """Drop every counter, gauge, and histogram."""
+    _counters.clear()
+    _gauges.clear()
+    _histograms.clear()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
+from repro import obs
 from repro.dataflow.dataflow import Dataflow
 from repro.engines.analysis import LayerAnalysis, analyze_layer
 from repro.errors import BindingError, DataflowError
@@ -90,41 +91,46 @@ def schedule_network(
     set, in which case the best per layer under ``metric`` is selected
     (the Figure 10(f) adaptive approach).
     """
-    reports = _select_reports(network, dataflows, accelerator, energy_model, metric)
-
-    entries: List[LayerSchedule] = []
-    previous_output_elements: Optional[float] = None
-    l2_capacity = accelerator.l2_size  # None = unconstrained (fits)
-    for index, layer in enumerate(network.layers):
-        dataflow_name, report = reports[layer.name]
-        input_resident = False
-        saved = 0.0
-        if index > 0 and previous_output_elements is not None:
-            needed = (
-                previous_output_elements * accelerator.element_bytes
-                + report.l2_buffer_req
-            )
-            if l2_capacity is None or needed <= l2_capacity:
-                input_resident = True
-                # Skip the producer's DRAM write-back and this layer's
-                # DRAM fetch of the same tensor (element counts; the
-                # consumer may read a cropped/pooled subset, so take the
-                # smaller side).
-                consumed = min(
-                    previous_output_elements,
-                    sum(report.dram_reads.values()),
-                )
-                saved = previous_output_elements + consumed
-        entries.append(
-            LayerSchedule(
-                layer_name=layer.name,
-                dataflow_name=dataflow_name,
-                report=report,
-                input_resident=input_resident,
-                dram_bytes_saved=saved,
-            )
+    with obs.span("pipeline.select", network=network.name, metric=metric):
+        reports = _select_reports(
+            network, dataflows, accelerator, energy_model, metric
         )
-        previous_output_elements = sum(report.dram_writes.values())
+
+    with obs.span("pipeline.schedule", network=network.name):
+        entries: List[LayerSchedule] = []
+        previous_output_elements: Optional[float] = None
+        l2_capacity = accelerator.l2_size  # None = unconstrained (fits)
+        for index, layer in enumerate(network.layers):
+            dataflow_name, report = reports[layer.name]
+            input_resident = False
+            saved = 0.0
+            if index > 0 and previous_output_elements is not None:
+                needed = (
+                    previous_output_elements * accelerator.element_bytes
+                    + report.l2_buffer_req
+                )
+                if l2_capacity is None or needed <= l2_capacity:
+                    input_resident = True
+                    # Skip the producer's DRAM write-back and this layer's
+                    # DRAM fetch of the same tensor (element counts; the
+                    # consumer may read a cropped/pooled subset, so take the
+                    # smaller side).
+                    consumed = min(
+                        previous_output_elements,
+                        sum(report.dram_reads.values()),
+                    )
+                    saved = previous_output_elements + consumed
+            entries.append(
+                LayerSchedule(
+                    layer_name=layer.name,
+                    dataflow_name=dataflow_name,
+                    report=report,
+                    input_resident=input_resident,
+                    dram_bytes_saved=saved,
+                )
+            )
+            previous_output_elements = sum(report.dram_writes.values())
+    obs.inc("pipeline.layers_scheduled", len(entries))
     return NetworkSchedule(
         network_name=network.name,
         layers=tuple(entries),

@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping
 
+from repro import obs
 from repro.dataflow.dataflow import Dataflow
 from repro.engines.binding import bind_dataflow
 from repro.engines.reuse import build_odometer
@@ -117,6 +118,19 @@ def simulate_layer(
     odometer states; beyond it the runtime is extrapolated linearly and
     the result is flagged ``extrapolated``.
     """
+    with obs.span("simulator.layer", layer=layer.name, dataflow=dataflow.name):
+        result = _simulate_layer(layer, dataflow, accelerator, max_outer_states)
+    obs.inc("simulator.events_stepped", result.steps_simulated)
+    obs.inc("simulator.macs_issued", result.macs_issued)
+    return result
+
+
+def _simulate_layer(
+    layer: Layer,
+    dataflow: Dataflow,
+    accelerator: Accelerator,
+    max_outer_states: int,
+) -> SimulationResult:
     bound = bind_dataflow(dataflow, layer, accelerator)
     tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
     from repro.simulator.regions import array_union_box

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import time
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.dataflow.dataflow import Dataflow
 from repro.engines.analysis import LayerAnalysis
 from repro.errors import BindingError, DataflowError
@@ -55,6 +57,10 @@ class TunerResult:
     #: How many cost-model answers came from the memoization cache
     #: (free on tuner restarts and overlapping candidate grids).
     cache_hits: int = 0
+    #: Points that needed a cost-model answer, memoized or fresh.
+    cost_model_calls: int = 0
+    #: Wall-clock seconds the whole tuning run took.
+    elapsed_seconds: float = 0.0
 
     @property
     def best_dataflow(self) -> Dataflow:
@@ -104,6 +110,7 @@ def tune_layer(
     (:mod:`repro.exec`): ``executor``/``jobs``/``cache`` are pure
     performance knobs — every combination scores the identical set.
     """
+    start = time.perf_counter()
     try:
         score_fn = OBJECTIVES[objective]
     except KeyError:
@@ -118,74 +125,81 @@ def tune_layer(
         raise ValueError(f"unknown strategy {strategy!r}")
 
     # Phase 1 — enumerate: build + statically screen the candidates.
-    rejected = 0
-    statically_rejected = 0
-    runnable: List[Tuple[CandidateSpec, Dataflow]] = []
-    for spec in specs:
-        try:
-            dataflow = spec.build()
-        except (BindingError, DataflowError):
-            rejected += 1
-            continue
-        if static_lint and static_errors(dataflow, layer, accelerator):
-            rejected += 1
-            statically_rejected += 1
-            continue
-        runnable.append((spec, dataflow))
+    with obs.span("tuner.enumerate", specs=len(specs)):
+        rejected = 0
+        statically_rejected = 0
+        runnable: List[Tuple[CandidateSpec, Dataflow]] = []
+        for spec in specs:
+            try:
+                dataflow = spec.build()
+            except (BindingError, DataflowError):
+                rejected += 1
+                continue
+            if static_lint and static_errors(dataflow, layer, accelerator):
+                rejected += 1
+                statically_rejected += 1
+                continue
+            runnable.append((spec, dataflow))
 
     coverage_rejected = 0
     if verify_coverage:
-        from repro.verify import Verdict, verify_dataflow
+        with obs.span("tuner.verify_screen", candidates=len(runnable)):
+            from repro.verify import Verdict, verify_dataflow
 
-        survivors: List[Tuple[CandidateSpec, Dataflow]] = []
-        verdicts: Dict[str, bool] = {}  # dataflow name -> refuted
-        for spec, dataflow in runnable:
-            refuted = verdicts.get(dataflow.name)
-            if refuted is None:
-                try:
-                    result = verify_dataflow(dataflow, layer)
-                    refuted = result.verdict is Verdict.REFUTED
-                except Exception:
-                    refuted = False  # never let verification break tuning
-                verdicts[dataflow.name] = refuted
-            if refuted:
-                rejected += 1
-                coverage_rejected += 1
-                continue
-            survivors.append((spec, dataflow))
-        runnable = survivors
+            survivors: List[Tuple[CandidateSpec, Dataflow]] = []
+            verdicts: Dict[str, bool] = {}  # dataflow name -> refuted
+            for spec, dataflow in runnable:
+                refuted = verdicts.get(dataflow.name)
+                if refuted is None:
+                    try:
+                        result = verify_dataflow(dataflow, layer)
+                        refuted = result.verdict is Verdict.REFUTED
+                    except Exception:
+                        refuted = False  # never let verification break tuning
+                    verdicts[dataflow.name] = refuted
+                if refuted:
+                    rejected += 1
+                    coverage_rejected += 1
+                    continue
+                survivors.append((spec, dataflow))
+            runnable = survivors
 
     # Phase 2 — evaluate through the backend (memoized, parallelizable).
     evaluator = BatchEvaluator(executor=executor, jobs=jobs, cache=cache)
-    batch = evaluator.evaluate(
-        EvalPoint(
-            layer=layer,
-            dataflow=dataflow,
-            accelerator=accelerator,
-            energy_model=energy_model,
+    with obs.span("tuner.evaluate", candidates=len(runnable)):
+        batch = evaluator.evaluate(
+            EvalPoint(
+                layer=layer,
+                dataflow=dataflow,
+                accelerator=accelerator,
+                energy_model=energy_model,
+            )
+            for spec, dataflow in runnable
         )
-        for spec, dataflow in runnable
-    )
 
     # Phase 3 — filter and score, in enumeration order.
-    scored: List[ScoredCandidate] = []
-    for (spec, dataflow), outcome in zip(runnable, batch):
-        if not outcome.ok:
-            rejected += 1
-            continue
-        report = outcome.report
-        if max_l1_bytes is not None and report.l1_buffer_req > max_l1_bytes:
-            rejected += 1
-            continue
-        if max_l2_bytes is not None and report.l2_buffer_req > max_l2_bytes:
-            rejected += 1
-            continue
-        scored.append(
-            ScoredCandidate(spec=spec, dataflow=dataflow, report=report, score=score_fn(report))
-        )
-    if not scored:
-        raise DataflowError(f"no tuner candidate is feasible for layer {layer.name!r}")
-    scored.sort(key=lambda candidate: candidate.score)
+    with obs.span("tuner.score"):
+        scored: List[ScoredCandidate] = []
+        for (spec, dataflow), outcome in zip(runnable, batch):
+            if not outcome.ok:
+                rejected += 1
+                continue
+            report = outcome.report
+            if max_l1_bytes is not None and report.l1_buffer_req > max_l1_bytes:
+                rejected += 1
+                continue
+            if max_l2_bytes is not None and report.l2_buffer_req > max_l2_bytes:
+                rejected += 1
+                continue
+            scored.append(
+                ScoredCandidate(spec=spec, dataflow=dataflow, report=report, score=score_fn(report))
+            )
+        if not scored:
+            raise DataflowError(f"no tuner candidate is feasible for layer {layer.name!r}")
+        scored.sort(key=lambda candidate: candidate.score)
+    obs.inc("tuner.candidates_evaluated", len(scored))
+    obs.inc("tuner.pruned_by_lint", statically_rejected)
+    obs.inc("tuner.pruned_by_verify", coverage_rejected)
     return TunerResult(
         layer_name=layer.name,
         objective=objective,
@@ -196,6 +210,8 @@ def tune_layer(
         statically_rejected=statically_rejected,
         coverage_rejected=coverage_rejected,
         cache_hits=batch.stats.cache_hits,
+        cost_model_calls=batch.stats.submitted,
+        elapsed_seconds=time.perf_counter() - start,
     )
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dataflow.dataflow import dataflow
-from repro.dataflow.directives import Sz, spatial_map, temporal_map
+from repro.dataflow.directives import St, Sz, spatial_map, temporal_map
 from repro.dataflow.library import kc_partitioned, yr_partitioned, yx_partitioned
 from repro.engines.binding import bind_dataflow
 from repro.errors import BindingError
@@ -120,14 +120,25 @@ class TestSpatialFolding:
 
 
 class TestStrideHandling:
-    def test_input_dim_offsets_scale_by_stride(self):
+    def test_explicit_st_offset_advances_one_output_row(self):
         layer = conv2d("s", k=4, c=4, y=227, x=227, r=11, s=11, stride=4)
-        flow = dataflow("f", spatial_map(Sz(D.R), 1, D.Y), temporal_map(1, 1, D.K))
+        flow = dataflow(
+            "f", spatial_map(Sz(D.R), St(D.Y), D.Y), temporal_map(1, 1, D.K)
+        )
         bound = bind_dataflow(flow, layer, Accelerator(num_pes=8))
         directive = bound.levels[0].directive_for(D.Y)
         assert directive.offset == 4
         # chunks = output rows = 55
         assert directive.chunks == 55
+
+    def test_literal_offsets_stay_in_input_units(self):
+        # Offsets are never scaled implicitly: a literal 1 on Y advances
+        # one *input* row even on a strided layer (the diagonal-walk
+        # spelling YR-P's inner cluster relies on).
+        layer = conv2d("s", k=4, c=4, y=227, x=227, r=11, s=11, stride=4)
+        flow = dataflow("f", spatial_map(Sz(D.R), 1, D.Y), temporal_map(1, 1, D.K))
+        bound = bind_dataflow(flow, layer, Accelerator(num_pes=8))
+        assert bound.levels[0].directive_for(D.Y).offset == 1
 
     def test_output_dim_offsets_unscaled(self):
         layer = conv2d("s", k=4, c=4, y=227, x=227, r=11, s=11, stride=4)

@@ -188,6 +188,45 @@ class TestCache:
         assert result.stats.cache_hits == 0
         assert result.outcomes[0].ok
 
+    def test_corrupt_entry_is_counted_logged_deleted_and_rewritten(
+        self, tmp_path, points, caplog
+    ):
+        import logging
+
+        cache = AnalysisCache(disk_dir=tmp_path)
+        evaluate_batch(points[:1], cache=cache)
+        (path,) = list(tmp_path.rglob("*.json"))
+        path.write_text('{"report": {"layer_na')  # an interrupted writer
+        reader = AnalysisCache(disk_dir=tmp_path)
+        key = points[0].key()
+        with caplog.at_level(logging.WARNING, logger="repro.exec.cache"):
+            assert reader.get(key) is None  # corrupt = miss, not a crash
+        assert reader.corrupt_entries == 1
+        assert not path.exists()  # the bad file is dropped
+        assert any("corrupt cache entry" in r.message for r in caplog.records)
+        # The recompute rewrites a good entry at the same path.
+        result = evaluate_batch(points[:1], cache=reader)
+        assert result.outcomes[0].ok
+        fresh = AnalysisCache(disk_dir=tmp_path)
+        assert fresh.get(key) is not None
+        assert fresh.corrupt_entries == 0
+
+    def test_corrupt_entry_increments_the_obs_counter(self, tmp_path, points):
+        from repro import obs
+
+        cache = AnalysisCache(disk_dir=tmp_path)
+        evaluate_batch(points[:1], cache=cache)
+        (path,) = list(tmp_path.rglob("*.json"))
+        path.write_text("not json at all")
+        reader = AnalysisCache(disk_dir=tmp_path)
+        obs.configure(enabled=True, reset=True)
+        try:
+            assert reader.get(points[0].key()) is None
+            assert obs.counter_value("cache.corrupt_entries") == 1
+            assert obs.counter_value("cache.misses") == 1
+        finally:
+            obs.configure(enabled=False, reset=True)
+
     def test_resolve_cache(self):
         assert resolve_cache(False) is None
         assert resolve_cache(None) is None

@@ -37,7 +37,7 @@ GOLDEN_WARNINGS = {
     "C-P": {"DF009", "DF018", "DF102"},
     "X-P": {"DF009", "DF018", "DF102"},
     "YX-P": {"DF009", "DF018", "DF102"},
-    "YR-P": {"DF008", "DF009", "DF018", "DF101", "DF102"},
+    "YR-P": {"DF008", "DF009", "DF018", "DF102"},
     "KC-P": {"DF009", "DF018", "DF102"},
     "RS": {"DF008", "DF009", "DF018", "DF101", "DF102"},
     "WS-K": {"DF009", "DF018", "DF102"},
@@ -55,24 +55,25 @@ GOLDEN_WARNINGS = {
 #: of the binding semantics. Each mapping is sound only inside its
 #: design envelope; outside it, DF101 (a *proven* error) may fire:
 #:
-#: * YR-P walks input rows diagonally with a unit Y offset. The binding
-#:   scales Y/X offsets by the layer stride at *every* level, so on
-#:   strided layers the inner walk advances ``stride`` rows per step
-#:   and skips input rows.
 #: * RS hardcodes Figure 6's 3x3 tile sizes, so kernels other than 3x3
-#:   are mis-tiled, and its inner row walk has the same stride-scaling
-#:   gap as YR-P.
+#:   are mis-tiled.
+#:
+#: YR-P used to carry a stride envelope here: the binding scaled Y/X
+#: offsets by the layer stride at *every* cluster level, so the inner
+#: diagonal (Y, R) walk advanced ``stride`` input rows per PE and
+#: skipped output rows on all strided zoo layers. Offsets are now pure
+#: input-unit quantities (library mappings spell ``St(Y)``/``St(X)``
+#: explicitly where a walk advances output positions), which also
+#: removed the stride clause from RS's envelope — strided 3x3 layers
+#: are proven.
 #:
 #: ``envelope(layer) == True`` means the layer is inside the mapping's
 #: design envelope and DF101 must NOT fire. Outside the envelope the
-#: mapping often still covers degenerate layers (1x1 kernels, FC), so
-#: only the implication "DF101 => outside envelope" is asserted.
+#: mapping may still cover degenerate layers, so only the implication
+#: "DF101 => outside envelope" is asserted.
 KNOWN_COVERAGE_GAPS = {
-    "YR-P": lambda layer: layer.stride == (1, 1),
     "RS": lambda layer: (
-        layer.stride == (1, 1)
-        and layer.dim_size("R") == 3
-        and layer.dim_size("S") == 3
+        layer.dim_size("R") == 3 and layer.dim_size("S") == 3
     ),
 }
 

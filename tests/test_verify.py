@@ -126,16 +126,25 @@ class TestMutantsRefuted:
 # Library defects the verifier discovered (true positives)
 # ----------------------------------------------------------------------
 class TestKnownLibraryGaps:
-    def test_yrp_strided_skips_rows(self):
-        """YR-P's unit Y offset is stride-scaled at every level, so its
-        inner diagonal row walk skips input rows on strided layers."""
+    def test_yrp_strided_proven_after_offset_fix(self):
+        """YR-P's inner diagonal row walk used to be stride-scaled at
+        every level and skipped input rows on strided layers. Offsets
+        are input-unit quantities now (the outer walk spells St(Y)
+        explicitly), so strided layers are proven — and the brute-force
+        reference agrees: every MAC exactly once."""
         layer = conv2d("strided", k=2, c=2, y=13, x=13, r=3, s=3, stride=2)
         flow = table3_dataflows()["YR-P"]
         result = verify_dataflow(flow, layer)
-        assert result.verdict is Verdict.REFUTED
+        assert result.verdict is Verdict.PROVEN
         counts = brute_force_counts(flow, layer)
-        actual = reference_count_at(counts, result.counterexample.coordinate)
-        assert actual == result.counterexample.count == 0
+        assert set(counts.values()) == {1}
+
+    def test_rs_fig6_strided_3x3_proven_after_offset_fix(self):
+        """RS shares YR-P's diagonal walk; inside its 3x3 envelope the
+        stride no longer refutes it."""
+        layer = conv2d("strided3", k=2, c=3, y=13, x=13, r=3, s=3, stride=2)
+        result = verify_dataflow(row_stationary_fig6(), layer)
+        assert result.verdict is Verdict.PROVEN
 
     def test_rs_fig6_wrong_kernel_size(self):
         """RS hardcodes Figure 6's 3x3 tiles; a 5x5 kernel both misses

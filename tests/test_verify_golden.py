@@ -30,10 +30,19 @@ def test_example_files_all_proven(capsys):
     assert "REFUTED" not in out
 
 
+def test_previously_refuted_yrp_strided_pair_now_proven(capsys):
+    # The YR-P stride gap the verifier exposed (PR 3) is fixed: offsets
+    # are input-unit quantities, so the strided AlexNet CONV1 pair that
+    # used to refute with a skipped output row now proves.
+    assert main(["verify", "YR-P", "--model", "alexnet", "--layer", "CONV1"]) == 0
+    out = capsys.readouterr().out
+    assert "PROVEN" in out
+
+
 def test_refuted_pair_exits_nonzero(capsys):
-    # The known YR-P stride gap: the golden job would catch any library
-    # regression the same way.
-    assert main(["verify", "YR-P", "--model", "alexnet", "--layer", "CONV1"]) == 1
+    # RS outside its 3x3 design envelope: the golden job would catch any
+    # library regression the same way.
+    assert main(["verify", "RS", "--model", "alexnet", "--layer", "CONV2"]) == 1
     out = capsys.readouterr().out
     assert "counterexample" in out
 
