@@ -1,0 +1,123 @@
+"""Branch-and-bound pruning benchmark: Figure-13 sweep, two ways.
+
+Runs the Figure-13 KC-P design-space exploration exhaustively (the
+PR 2 batch-backend baseline) and again with ``symbolic_prune=True``,
+then writes ``BENCH_absint.json`` recording whether the three optima
+came back bit-identical, how many cost-model calls the abstract
+interpreter avoided, and the wall-clock of both sweeps. The skip
+fraction and the equality flag are machine-independent, so
+``check_regression.py --absint`` gates on them directly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_absint_pruning.py \
+        [--out BENCH_absint.json] [--max-pes 256] [--step 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.dse import explore
+from repro.dse.space import (
+    DesignSpace,
+    default_bandwidths,
+    default_pe_counts,
+    kc_partitioned_variants,
+)
+from repro.model.zoo import build
+
+AREA_BUDGET = 16.0
+POWER_BUDGET = 450.0
+
+
+def _point_dict(point) -> "dict | None":
+    if point is None:
+        return None
+    return {
+        "tile": point.tile_label,
+        "num_pes": point.num_pes,
+        "bandwidth": point.noc_bandwidth,
+        "throughput": point.throughput,
+        "energy": point.energy,
+        "edp": point.edp,
+    }
+
+
+def run_comparison(max_pes: int, step: int) -> dict:
+    layer = build("vgg16").layer("CONV11")
+    space = DesignSpace(
+        pe_counts=default_pe_counts(max_pes=max_pes, step=step),
+        noc_bandwidths=default_bandwidths(128),
+        dataflow_variants=kc_partitioned_variants(),
+    )
+
+    start = time.perf_counter()
+    exhaustive = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        cache=False,
+    )
+    exhaustive_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pruned = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        cache=False, symbolic_prune=True,
+    )
+    pruned_wall = time.perf_counter() - start
+
+    bit_identical = (
+        pruned.throughput_optimal == exhaustive.throughput_optimal
+        and pruned.energy_optimal == exhaustive.energy_optimal
+        and pruned.edp_optimal == exhaustive.edp_optimal
+    )
+    avoided = (
+        pruned.statistics.symbolic_rejects + pruned.statistics.bnb_pruned
+    )
+    baseline_calls = exhaustive.statistics.cost_model_calls
+    return {
+        "sweep": f"fig13 KC-P CONV11 ({max_pes} PEs max, step {step})",
+        "space_size": space.size,
+        "bit_identical": bit_identical,
+        "baseline_cost_model_calls": baseline_calls,
+        "pruned_cost_model_calls": pruned.statistics.cost_model_calls,
+        "symbolic_rejects": pruned.statistics.symbolic_rejects,
+        "bnb_pruned": pruned.statistics.bnb_pruned,
+        "calls_avoided": avoided,
+        "skip_fraction": avoided / baseline_calls if baseline_calls else 0.0,
+        "baseline_wall_seconds": exhaustive_wall,
+        "pruned_wall_seconds": pruned_wall,
+        "speedup": exhaustive_wall / pruned_wall if pruned_wall else 0.0,
+        "optima": {
+            "throughput": _point_dict(pruned.throughput_optimal),
+            "energy": _point_dict(pruned.energy_optimal),
+            "edp": _point_dict(pruned.edp_optimal),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_absint.json"))
+    parser.add_argument("--max-pes", type=int, default=256)
+    parser.add_argument("--step", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    report = run_comparison(args.max_pes, args.step)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"{report['sweep']}: bit_identical={report['bit_identical']}, "
+        f"{report['calls_avoided']}/{report['baseline_cost_model_calls']} "
+        f"cost-model calls avoided ({report['skip_fraction']:.1%}), "
+        f"{report['baseline_wall_seconds']:.2f}s -> "
+        f"{report['pruned_wall_seconds']:.2f}s"
+    )
+    print(f"[written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

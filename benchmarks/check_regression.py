@@ -18,13 +18,20 @@ time *shares* (fractions of summed phase self-time, machine-independent
 by construction) against ``--phases-baseline``; a phase whose share
 drifted by more than ``--phase-tolerance`` fails the gate.
 
+``--absint BENCH_absint.json`` gates the branch-and-bound pruning
+report from ``bench_absint_pruning.py``: the pruned sweep must return
+bit-identical optima and avoid at least ``--min-skip`` of the
+exhaustive sweep's cost-model calls. Both figures are deterministic
+counts, so no machine normalization is needed.
+
 Usage::
 
     python benchmarks/check_regression.py current.json \
         [--baseline benchmarks/baseline.json] [--tolerance 0.25] \
         [--only SUBSTR] \
         [--phases BENCH_obs.json] [--phases-baseline baseline_obs.json] \
-        [--phase-tolerance 0.15]
+        [--phase-tolerance 0.15] \
+        [--absint BENCH_absint.json] [--min-skip 0.30]
 """
 
 from __future__ import annotations
@@ -77,6 +84,31 @@ def phase_share_failures(
     return failures
 
 
+def absint_failures(path: Path, min_skip: float) -> list:
+    """Soundness and effectiveness gate for the symbolic pruning report."""
+    report = json.loads(path.read_text())
+    failures = []
+    if not report["bit_identical"]:
+        failures.append(
+            "pruned optima differ from exhaustive (soundness violation)"
+        )
+    skip = report["skip_fraction"]
+    verdict = "ok"
+    if skip < min_skip:
+        verdict = "TOO FEW"
+        failures.append(
+            f"only {skip:.1%} of cost-model calls avoided (need {min_skip:.0%})"
+        )
+    print(
+        f"  {verdict:10s}{report['sweep']}: bit_identical="
+        f"{report['bit_identical']}, {report['calls_avoided']}/"
+        f"{report['baseline_cost_model_calls']} calls avoided ({skip:.1%}), "
+        f"{report['baseline_wall_seconds']:.2f}s -> "
+        f"{report['pruned_wall_seconds']:.2f}s"
+    )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", type=Path, help="fresh --benchmark-json report")
@@ -99,6 +131,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--phase-tolerance", type=float, default=0.15,
         help="allowed absolute drift per phase share (default 0.15)",
+    )
+    parser.add_argument(
+        "--absint", type=Path, default=None, metavar="BENCH_absint.json",
+        help="also gate the symbolic-pruning report from bench_absint_pruning.py",
+    )
+    parser.add_argument(
+        "--min-skip", type=float, default=0.30,
+        help="minimum fraction of cost-model calls the pruning must avoid",
     )
     args = parser.parse_args(argv)
 
@@ -137,6 +177,11 @@ def main(argv=None) -> int:
             args.phases, args.phases_baseline, args.phase_tolerance
         )
 
+    absint_errors = []
+    if args.absint is not None:
+        print("\nsymbolic branch-and-bound pruning:")
+        absint_errors = absint_failures(args.absint, args.min_skip)
+
     if failures:
         print(
             f"\n{len(failures)} benchmark(s) regressed beyond "
@@ -151,7 +196,14 @@ def main(argv=None) -> int:
         )
         for name, delta in phase_failures:
             print(f"  {name}: {delta:+.1%}", file=sys.stderr)
-    if failures or phase_failures:
+    if absint_errors:
+        print(
+            f"\n{len(absint_errors)} symbolic-pruning gate failure(s):",
+            file=sys.stderr,
+        )
+        for message in absint_errors:
+            print(f"  {message}", file=sys.stderr)
+    if failures or phase_failures or absint_errors:
         return 1
     print("\nno benchmark regressions")
     return 0

@@ -1,0 +1,362 @@
+"""Abstract cluster analysis: binding lifted to interval semantics.
+
+This module mirrors :mod:`repro.engines.binding` statement by statement,
+replacing every concrete integer with an :class:`IntervalInt` and every
+data-dependent branch with a three-valued decision (hulling both arms
+when undecided). The correspondence is deliberately 1:1 — each formula
+here names its concrete counterpart — so the soundness argument reduces
+to the per-primitive monotonicity audit in
+:mod:`repro.absint.interval` plus standard interval composition.
+
+Failure semantics: :func:`abstract_bind` raises
+:class:`~repro.errors.BindingError` only when binding *provably* fails
+for every concretization (hardware point x member shape). When binding
+fails for only part of the range, the affected bound is clamped into
+the succeeding subdomain and a human-readable *caveat* is recorded —
+the result then soundly covers exactly the concretizations for which
+:func:`~repro.engines.binding.bind_dataflow` does not raise, which is
+the set every downstream consumer (lint certification, DSE pruning)
+quantifies over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.absint.interval import (
+    INT_ONE,
+    IntervalFloat,
+    IntervalInt,
+    f_min,
+    i_ceil_div,
+    i_floor_div,
+    i_max,
+    i_min,
+    i_num_chunks,
+    i_prod,
+    tri_gt,
+)
+from repro.absint.shapes import ShapeBox
+from repro.dataflow.dataflow import Dataflow
+from repro.dataflow.directives import MapDirective, SizeLike, evaluate_size
+from repro.errors import BindingError
+from repro.tensors import dims as D
+
+
+@dataclass(frozen=True)
+class AbstractDirective:
+    """Interval counterpart of :class:`~repro.engines.binding.BoundDirective`."""
+
+    dim: str
+    spatial: bool
+    size: IntervalInt
+    offset: IntervalInt
+    chunks: IntervalInt
+    steps: IntervalInt
+    edge_size: IntervalInt
+
+
+@dataclass(frozen=True)
+class AbstractLevel:
+    """Interval counterpart of :class:`~repro.engines.binding.BoundLevel`."""
+
+    index: int
+    width: IntervalInt
+    directives: Tuple[AbstractDirective, ...]
+    local_sizes: Mapping[str, IntervalInt]
+    spatial_offsets: Mapping[str, IntervalInt]
+    spatial_chunks: IntervalInt
+    folds: IntervalInt
+    avg_active: IntervalFloat
+    has_spatial: bool  # structural: any SpatialMap in the level's spec
+
+    @property
+    def sweep_steps(self) -> IntervalInt:
+        return i_prod(d.steps for d in self.directives)
+
+    def chunk_sizes(self) -> Dict[str, IntervalInt]:
+        return {d.dim: d.size for d in self.directives}
+
+    def directive_for(self, dim: str) -> AbstractDirective:
+        for directive in self.directives:
+            if directive.dim == dim:
+                return directive
+        raise KeyError(f"abstract level {self.index} has no directive for {dim}")
+
+
+@dataclass(frozen=True)
+class AbstractBinding:
+    """Interval counterpart of :class:`~repro.engines.binding.BoundDataflow`."""
+
+    dataflow: Dataflow
+    box: ShapeBox
+    levels: Tuple[AbstractLevel, ...]
+    row_rep: str
+    col_rep: str
+    used_pes: IntervalInt
+    num_pes: IntervalInt
+    caveats: Tuple[str, ...]
+
+    @property
+    def definite(self) -> bool:
+        """Whether binding provably succeeds on the entire range."""
+        return not self.caveats
+
+    def innermost(self) -> AbstractLevel:
+        return self.levels[-1]
+
+    def total_steps(self) -> IntervalInt:
+        return i_prod(level.sweep_steps for level in self.levels)
+
+    def average_utilization(self) -> IntervalFloat:
+        utilization = self.used_pes.to_float() / self.num_pes.to_float()
+        for level in self.levels:
+            utilization = utilization * (
+                level.avg_active / level.width.to_float()
+            )
+        return utilization
+
+
+def _abs_evaluate_size(
+    size: SizeLike,
+    dim_sizes: Mapping[str, IntervalInt],
+    strides: "Mapping[str, int] | None" = None,
+) -> IntervalInt:
+    """``evaluate_size`` over interval dimension bindings.
+
+    The :class:`~repro.dataflow.directives.SizeExpr` closure trees use
+    only ``+``/``-``/``*``, so feeding them ``IntervalInt`` dimension
+    values (whose dunders implement sound interval arithmetic) evaluates
+    the expression in the abstract domain with zero parser changes.
+    """
+    value = evaluate_size(size, dim_sizes, strides)  # type: ignore[arg-type]
+    if isinstance(value, IntervalInt):
+        return value
+    return IntervalInt.point(int(value))
+
+
+def _relevant_dims(dataflow: Dataflow) -> Tuple[List[str], str, str]:
+    """Mirror of ``binding._relevant_dims`` (structure only, no layer)."""
+    row_rep = "output" if dataflow.uses_output_coordinates("row") else "input"
+    col_rep = "output" if dataflow.uses_output_coordinates("col") else "input"
+    dims = [D.N, D.K, D.C]
+    dims.append(D.YP if row_rep == "output" else D.Y)
+    dims.append(D.XP if col_rep == "output" else D.X)
+    dims.extend([D.R, D.S])
+    return dims, row_rep, col_rep
+
+
+def abstract_bind(
+    dataflow: Dataflow, box: ShapeBox, num_pes: IntervalInt
+) -> AbstractBinding:
+    """Bind ``dataflow`` to the shape family ``box`` on ``num_pes`` PEs."""
+    caveats: List[str] = []
+    dims, row_rep, col_rep = _relevant_dims(dataflow)
+    full_sizes = box.all_dim_sizes()
+    level_specs = dataflow.levels()
+
+    cluster_sizes: List[IntervalInt] = []
+    for spec in level_specs[:-1]:
+        size = _abs_evaluate_size(spec.cluster_size, full_sizes)
+        if size.hi < 1:
+            raise BindingError(
+                f"{dataflow.name} on {box.name}: cluster size {size} < 1 "
+                f"for every shape in the range"
+            )
+        if size.lo < 1:
+            caveats.append(
+                f"cluster size {size} may be < 1 for part of the shape range"
+            )
+            size = size.clamp_low(1)
+        cluster_sizes.append(size)
+
+    pes_per_top_cluster = i_prod(cluster_sizes)
+    if pes_per_top_cluster.lo > num_pes.hi:
+        raise BindingError(
+            f"{dataflow.name} on {box.name}: cluster hierarchy needs "
+            f"{pes_per_top_cluster} PEs but only {num_pes} exist"
+        )
+    if pes_per_top_cluster.hi > num_pes.lo:
+        caveats.append(
+            f"cluster hierarchy ({pes_per_top_cluster} PEs) may exceed the "
+            f"PE range {num_pes} for part of the range"
+        )
+    top_width = i_floor_div(num_pes, pes_per_top_cluster)
+    if top_width.lo < 1:
+        top_width = top_width.clamp_low(1)
+    widths = [top_width] + cluster_sizes
+    used_pes = top_width * pes_per_top_cluster
+
+    strides = box.strides_map()
+
+    local_sizes: Dict[str, IntervalInt] = {dim: full_sizes[dim] for dim in dims}
+    levels: List[AbstractLevel] = []
+    for index, spec in enumerate(level_specs):
+        level = _abs_bind_level(
+            index=index,
+            spec_maps=spec.maps,
+            width=widths[index],
+            local_sizes=local_sizes,
+            full_sizes=full_sizes,
+            dims=dims,
+            strides=strides,
+            context=f"{dataflow.name} on {box.name}, level {index}",
+            caveats=caveats,
+        )
+        levels.append(level)
+        local_sizes = level.chunk_sizes()
+
+    return AbstractBinding(
+        dataflow=dataflow,
+        box=box,
+        levels=tuple(levels),
+        row_rep=row_rep,
+        col_rep=col_rep,
+        used_pes=used_pes,
+        num_pes=num_pes,
+        caveats=tuple(caveats),
+    )
+
+
+def _abs_bind_level(
+    index: int,
+    spec_maps: Tuple[MapDirective, ...],
+    width: IntervalInt,
+    local_sizes: Mapping[str, IntervalInt],
+    full_sizes: Mapping[str, IntervalInt],
+    dims: List[str],
+    strides: Mapping[str, int],
+    context: str,
+    caveats: List[str],
+) -> AbstractLevel:
+    bound: List[AbstractDirective] = []
+    seen: Dict[str, IntervalInt] = {}
+    spatial_offsets: Dict[str, IntervalInt] = {
+        dim: IntervalInt.point(0) for dim in dims
+    }
+    spatial_chunk_counts: List[IntervalInt] = []
+
+    for directive in spec_maps:
+        if directive.dim not in dims:
+            raise BindingError(
+                f"{context}: dimension {directive.dim} is not part of this "
+                f"binding's dimension set {dims}"
+            )
+        if directive.dim in seen:
+            raise BindingError(
+                f"{context}: dimension {directive.dim} mapped twice in one level"
+            )
+        local = local_sizes.get(directive.dim, INT_ONE)
+        size = i_min(_abs_evaluate_size(directive.size, full_sizes, strides), local)
+        offset = _abs_evaluate_size(directive.offset, full_sizes, strides)
+        if size.hi < 1 or offset.hi < 1:
+            raise BindingError(
+                f"{context}: non-positive size/offset on {directive.dim} "
+                f"(size={size}, offset={offset}) for every shape in the range"
+            )
+        if size.lo < 1 or offset.lo < 1:
+            caveats.append(
+                f"{context}: size/offset on {directive.dim} (size={size}, "
+                f"offset={offset}) may be non-positive for part of the range"
+            )
+            size = size.clamp_low(1)
+            offset = offset.clamp_low(1)
+        chunks = i_num_chunks(local, size, offset)
+        if directive.spatial:
+            spatial_offsets[directive.dim] = offset
+            spatial_chunk_counts.append(chunks)
+            steps = i_ceil_div(chunks, width)
+        else:
+            steps = chunks
+        # edge_size = local - (chunks - 1) * offset if chunks > 1 else size
+        gt_one = tri_gt(chunks, 1)
+        partial = local - (chunks - IntervalInt.point(1)) * offset
+        if gt_one is True:
+            edge = partial
+        elif gt_one is False:
+            edge = size
+        else:
+            edge = partial.hull(size)
+        edge = i_max(INT_ONE, edge)  # concrete: max(1, edge_size)
+        bound.append(
+            AbstractDirective(
+                dim=directive.dim,
+                spatial=directive.spatial,
+                size=size,
+                offset=offset,
+                chunks=chunks,
+                steps=steps,
+                edge_size=edge,
+            )
+        )
+        seen[directive.dim] = size
+
+    # Joint spatial distribution (aligned semantics): fold on the largest
+    # chunk count, exactly as the concrete engine does.
+    if spatial_chunk_counts:
+        spatial_chunks = spatial_chunk_counts[0]
+        for counts in spatial_chunk_counts[1:]:
+            spatial_chunks = i_max(spatial_chunks, counts)
+        folds = i_ceil_div(spatial_chunks, width)
+        bound = [
+            AbstractDirective(
+                dim=d.dim,
+                spatial=d.spatial,
+                size=d.size,
+                offset=d.offset,
+                chunks=d.chunks,
+                steps=folds if d.spatial else d.steps,
+                edge_size=d.edge_size,
+            )
+            for d in bound
+        ]
+    else:
+        spatial_chunks = INT_ONE
+        folds = INT_ONE
+
+    # avg_active: three-valued on ``width > 1`` (the only data branch).
+    has_spatial = bool(spatial_chunk_counts)
+    if has_spatial:
+        # Concretely folds = ceil(chunks / width) so chunks / folds >= 1
+        # always; the decorrelated interval quotient can dip below, so the
+        # clamp at 1 is a sound tightening.
+        active_wide = f_min(
+            width.to_float(),
+            (spatial_chunks.to_float() / folds.to_float()).clamp_low(1.0),
+        )
+    else:
+        active_wide = IntervalFloat.point(1.0)
+    width_gt1 = tri_gt(width, 1)
+    if width_gt1 is True:
+        avg_active = active_wide
+    elif width_gt1 is False:
+        avg_active = IntervalFloat.point(1.0)
+    else:
+        avg_active = active_wide.hull(IntervalFloat.point(1.0))
+
+    inferred = [
+        AbstractDirective(
+            dim=dim,
+            spatial=False,
+            size=local_sizes.get(dim, INT_ONE),
+            offset=local_sizes.get(dim, INT_ONE),
+            chunks=INT_ONE,
+            steps=INT_ONE,
+            edge_size=local_sizes.get(dim, INT_ONE),
+        )
+        for dim in dims
+        if dim not in seen
+    ]
+
+    return AbstractLevel(
+        index=index,
+        width=width,
+        directives=tuple(inferred) + tuple(bound),
+        local_sizes=dict(local_sizes),
+        spatial_offsets=spatial_offsets,
+        spatial_chunks=spatial_chunks,
+        folds=folds,
+        avg_active=avg_active,
+        has_spatial=has_spatial,
+    )

@@ -3,7 +3,12 @@
 Subcommands:
 
 - ``analyze`` — run the cost model for a zoo model (or one layer) under
-  a named dataflow and print the per-layer report table;
+  a named dataflow and print the per-layer report table; with
+  ``--symbolic`` (plus ``--range DIM=LO:HI``/``--widen``) it instead
+  abstract-interprets the mapping over symbolic shape intervals and
+  prints per-mapping validity envelopes — interval bounds on every
+  cost quantity plus the ``DF2xx`` range-certificate lints —
+  optionally cross-checked against concrete runs (``--crosscheck``);
 - ``lint`` — statically check a dataflow (DSL file or library entry),
   optionally against a layer and hardware config, and print a
   rustc-style diagnostic report (or ``--format json``); exits 1 when
@@ -15,8 +20,10 @@ Subcommands:
   mapping is not proven;
 - ``validate`` — compare the analytical model against the reference
   simulator on a layer;
-- ``dse`` — run a small hardware design-space exploration for a layer;
-- ``tune`` — search the auto-tuner's template space for a layer;
+- ``dse`` — run a small hardware design-space exploration for a layer
+  (``--symbolic-prune`` turns on the sound interval branch-and-bound);
+- ``tune`` — search the auto-tuner's template space for a layer
+  (``--symbolic-prune`` screens buffer-cap violations symbolically);
 - ``profile`` — trace one layer's analysis (and optionally simulation)
   through the observability subsystem and print/write the span tree,
   per-phase timing table, and metrics;
@@ -93,7 +100,85 @@ def _obs_finish(args: argparse.Namespace) -> None:
         print(f"metrics written to {path} (Prometheus text format)")
 
 
+def _parse_ranges(specs: "Optional[List[str]]") -> "dict":
+    """Parse repeatable ``--range DIM=LO:HI`` flags into a dict."""
+    from repro.tensors import dims as D
+
+    ranges: dict = {}
+    for spec in specs or []:
+        try:
+            dim, _, span = spec.partition("=")
+            lo_text, _, hi_text = span.partition(":")
+            lo, hi = int(lo_text), int(hi_text or lo_text)
+        except ValueError:
+            raise SystemExit(f"bad --range {spec!r}: expected DIM=LO:HI")
+        if dim not in D.CANONICAL_DIMS:
+            raise SystemExit(
+                f"bad --range {spec!r}: unknown dimension {dim!r} "
+                f"(choose from {sorted(D.CANONICAL_DIMS)})"
+            )
+        if lo < 1 or hi < lo:
+            raise SystemExit(f"bad --range {spec!r}: need 1 <= LO <= HI")
+        ranges[dim] = (lo, hi)
+    return ranges
+
+
+def _cmd_analyze_symbolic(args: argparse.Namespace) -> int:
+    """``analyze --symbolic``: per-mapping shape-validity envelopes."""
+    import json
+
+    from repro.absint.engine import HardwareBox
+    from repro.absint.report import ENVELOPE_HEADERS, envelope_row, symbolic_envelope
+    from repro.absint.shapes import ShapeBox
+
+    network = build(args.model)
+    accelerator = _accelerator(args)
+    dataflow = _load_dataflow(args.dataflow)
+    layers = [network.layer(args.layer)] if args.layer else list(network.layers)
+    ranges = _parse_ranges(args.range)
+    hw = HardwareBox.from_accelerator(accelerator)
+    envelopes = []
+    for layer in layers:
+        box = ShapeBox.from_layer(
+            layer,
+            ranges={d: r for d, r in ranges.items() if d in layer.dims} or None,
+            widen=args.widen,
+        )
+        envelopes.append(
+            symbolic_envelope(box, dataflow, hw, crosscheck=args.crosscheck)
+        )
+    if args.format == "json":
+        print(json.dumps(envelopes, indent=2, sort_keys=True))
+    else:
+        print(
+            format_table(
+                ENVELOPE_HEADERS,
+                [envelope_row(envelope) for envelope in envelopes],
+                title=(
+                    f"{network.name} under {dataflow.name}: symbolic envelopes "
+                    f"over {accelerator.num_pes} PEs"
+                ),
+            )
+        )
+        for envelope in envelopes:
+            for diagnostic in envelope.get("diagnostics") or []:
+                assert isinstance(diagnostic, dict)
+                print(
+                    f"  {diagnostic['severity']}[{diagnostic['code']}] "
+                    f"({diagnostic['provenance']}): {diagnostic['message']}"
+                )
+    failed = any(
+        envelope.get("crosscheck") and not envelope["crosscheck"]["ok"]  # type: ignore[index]
+        for envelope in envelopes
+    )
+    return 1 if failed else 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.symbolic:
+        return _cmd_analyze_symbolic(args)
+    if args.range or args.crosscheck or args.widen != 1.0:
+        raise SystemExit("--range/--widen/--crosscheck require --symbolic")
     network = build(args.model)
     accelerator = _accelerator(args)
     dataflow = _load_dataflow(args.dataflow)
@@ -332,12 +417,15 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         executor=args.executor,
         jobs=args.jobs,
         cache=args.cache,
+        symbolic_prune=args.symbolic_prune,
     )
     stats = result.statistics
     print(
         f"explored {stats.explored} designs ({stats.valid} valid, "
         f"{stats.pruned} pruned, {stats.static_rejects} lint-rejected, "
         f"{stats.coverage_rejects} coverage-refuted, "
+        f"{stats.symbolic_rejects} symbolically infeasible, "
+        f"{stats.bnb_pruned} branch-and-bound pruned, "
         f"{stats.cost_model_calls} cost-model calls, "
         f"{stats.cache_hits} cache hits, executor={stats.executor}) in "
         f"{stats.elapsed_seconds:.2f}s ({stats.effective_rate:.0f} designs/s)"
@@ -385,7 +473,10 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         budget=args.budget,
         top_k=args.top_k,
+        max_l1_bytes=args.max_l1,
+        max_l2_bytes=args.max_l2,
         verify_coverage=args.verify_coverage,
+        symbolic_prune=args.symbolic_prune,
         executor=args.executor,
         jobs=args.jobs,
         cache=args.cache,
@@ -409,7 +500,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     print(
         f"rejected {result.rejected} candidates "
         f"({result.statically_rejected} by the static analyzer, "
-        f"{result.coverage_rejected} coverage-refuted); "
+        f"{result.coverage_rejected} coverage-refuted, "
+        f"{result.symbolic_rejected} symbolically over buffer caps); "
         f"{result.cache_hits} cost-model answers served from cache"
     )
     from repro.obs.profile import digest_line
@@ -495,6 +587,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             "refutes (proven missed/double-counted MACs)",
         )
 
+    def add_symbolic_prune(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--symbolic-prune",
+            action="store_true",
+            help="soundly skip cost-model calls using interval bounds from "
+            "the symbolic abstract interpreter (optima are bit-identical)",
+        )
+
     def add_backend(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--jobs",
@@ -536,6 +636,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_analyze.add_argument("--layer", help="single layer name (default: all)")
     p_analyze.add_argument(
         "--detail", action="store_true", help="full per-layer report"
+    )
+    p_analyze.add_argument(
+        "--symbolic",
+        action="store_true",
+        help="abstract-interpret over symbolic shape ranges and print "
+        "per-mapping validity envelopes (interval bounds + DF2xx verdicts)",
+    )
+    p_analyze.add_argument(
+        "--range",
+        action="append",
+        metavar="DIM=LO:HI",
+        help="symbolic interval for a layer dimension (repeatable, e.g. "
+        "--range K=64:2048); requires --symbolic",
+    )
+    p_analyze.add_argument(
+        "--widen",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="widen every non-unit dimension by FACTOR down and up "
+        "(default 1.0 = point box); requires --symbolic",
+    )
+    p_analyze.add_argument(
+        "--crosscheck",
+        action="store_true",
+        help="differentially check the intervals against concrete "
+        "cost-model runs at the box corners; requires --symbolic",
+    )
+    p_analyze.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="symbolic envelope output format (with --symbolic)",
     )
     add_hw(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
@@ -616,6 +747,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_dse.add_argument("--max-pes", type=int, default=512)
     p_dse.add_argument("--pe-step", type=int, default=8)
     add_verify_coverage(p_dse)
+    add_symbolic_prune(p_dse)
     add_backend(p_dse)
     add_obs(p_dse)
     p_dse.set_defaults(func=_cmd_dse)
@@ -633,8 +765,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--budget", type=int, default=200, help="candidates for --strategy random"
     )
     p_tune.add_argument("--top-k", type=int, default=5, help="candidates to print")
+    p_tune.add_argument(
+        "--max-l1", type=int, default=None, help="reject candidates over this L1 bytes"
+    )
+    p_tune.add_argument(
+        "--max-l2", type=int, default=None, help="reject candidates over this L2 bytes"
+    )
     add_hw(p_tune)
     add_verify_coverage(p_tune)
+    add_symbolic_prune(p_tune)
     add_backend(p_tune)
     add_obs(p_tune)
     p_tune.set_defaults(func=_cmd_tune)

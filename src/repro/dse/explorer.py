@@ -44,11 +44,16 @@ class DSEStatistics:
     ``cost_model_calls`` counts the points that needed a cost-model
     answer — memoized (``cache_hits``) or freshly evaluated (including
     evaluations that were rejected by binding) — so the lint pruning win
-    stays measurable with the cache on. The sweep invariant checked by
+    stays measurable with the cache on. With ``symbolic_prune`` two more
+    buckets appear: ``symbolic_rejects`` (points in hardware regions the
+    abstract interpreter proved over-budget — they could never become
+    valid designs) and ``bnb_pruned`` (points in regions whose interval
+    bounds are dominated by the running incumbents on *all* objectives —
+    they could never become an optimum). The sweep invariant checked by
     :func:`explore`::
 
         explored == space.size
-        cost_model_calls + pruned == explored
+        cost_model_calls + pruned + symbolic_rejects + bnb_pruned == explored
         evaluated <= cost_model_calls  (failures are the difference)
     """
 
@@ -63,6 +68,12 @@ class DSEStatistics:
     cache_hits: int = 0
     executor: str = "serial"
     eval_wall_seconds: float = 0.0
+    #: Points inside hardware regions the symbolic branch-and-bound
+    #: proved infeasible (interval lower-bound area/power over budget).
+    symbolic_rejects: int = 0
+    #: Points inside hardware regions dominated by the incumbents on
+    #: every objective simultaneously (interval upper/lower bounds).
+    bnb_pruned: int = 0
 
     @property
     def effective_rate(self) -> float:
@@ -101,6 +112,8 @@ def explore(
     executor: str = "auto",
     jobs: Optional[int] = None,
     cache: Union[bool, AnalysisCache, None] = True,
+    symbolic_prune: bool = False,
+    symbolic_block: int = 8,
 ) -> DSEResult:
     """Sweep ``space`` for ``layer`` under the given budgets.
 
@@ -123,6 +136,22 @@ def explore(
     ``executor``/``jobs``/``cache`` configure the batch-evaluation
     backend (:mod:`repro.exec`); every combination returns bit-identical
     results, so they are pure performance knobs.
+
+    With ``symbolic_prune`` the sweep runs a sound branch-and-bound over
+    the hardware grid: candidates are grouped into regions of up to
+    ``symbolic_block`` consecutive PE counts per (variant, bandwidth),
+    each region is abstract-interpreted once with the PE count as an
+    interval (:mod:`repro.absint`), and the region is discarded without
+    any cost-model call when either (a) its interval *lower-bound*
+    area/power already busts the budget — no point inside could become
+    a valid design — or (b) its interval bounds are beaten by the
+    running incumbents on throughput, energy, *and* EDP simultaneously
+    — no point inside could become an optimum. Because the interval
+    bounds enclose every concrete outcome in the region (and dominance
+    is strict), the three reported optima are bit-identical to the
+    exhaustive sweep; only the Pareto set may lose dominated interior
+    points. Regions the abstract engine cannot certify (partial binding
+    failures) are never pruned.
     """
     start = time.perf_counter()
     explored = pruned = static_rejects = coverage_rejects = 0
@@ -197,79 +226,162 @@ def explore(
                         continue
                     candidates.append((num_pes, bandwidth, label, dataflow))
 
+    def fold_point(
+        num_pes: int, bandwidth: int, label: str, dataflow, report
+    ) -> Optional[DesignPoint]:
+        """Size the buffers, apply the budget, build the design point."""
+        l1 = max(report.l1_buffer_req, 1)
+        l2 = max(report.l2_buffer_req, 1)
+        sized = Accelerator(
+            num_pes=num_pes,
+            l1_size=l1,
+            l2_size=l2,
+            noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
+        )
+        area = area_model.area(sized)
+        power = area_model.power(sized)
+        if area > area_budget or power > power_budget:
+            return None
+        return DesignPoint(
+            num_pes=num_pes,
+            noc_bandwidth=bandwidth,
+            dataflow_name=dataflow.name,
+            tile_label=label,
+            l1_size=l1,
+            l2_size=l2,
+            area=area,
+            power=power,
+            throughput=report.throughput,
+            runtime=report.runtime,
+            energy=report.energy_total,
+        )
+
     # ------------------------------------------------------------------
-    # Phase 2 — evaluate the candidates through the batch backend.
+    # Phase 2 — evaluate the candidates through the batch backend,
+    # either exhaustively or region-by-region under the symbolic
+    # branch-and-bound. Valid points are collected with their original
+    # enumeration index so the final fold order is identical either way.
     # ------------------------------------------------------------------
     evaluator = BatchEvaluator(executor=executor, jobs=jobs, cache=cache)
-    with obs.span("dse.evaluate", candidates=len(candidates)):
-        batch = evaluator.evaluate(
-            EvalPoint(
-                layer=layer,
-                dataflow=dataflow,
-                accelerator=Accelerator(
-                    num_pes=num_pes,
-                    noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
-                ),
-            energy_model=energy_model,
-        )
-        for num_pes, bandwidth, label, dataflow in candidates
-    )
+    indexed_points: List[Tuple[int, DesignPoint]] = []
+    evaluated = 0
+    symbolic_rejects = bnb_pruned = 0
+    calls_submitted = cache_hits = 0
+    executor_name = "serial"
+    eval_wall = 0.0
+
+    if not symbolic_prune:
+        with obs.span("dse.evaluate", candidates=len(candidates)):
+            batch = evaluator.evaluate(
+                EvalPoint(
+                    layer=layer,
+                    dataflow=dataflow,
+                    accelerator=Accelerator(
+                        num_pes=num_pes,
+                        noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
+                    ),
+                    energy_model=energy_model,
+                )
+                for num_pes, bandwidth, label, dataflow in candidates
+            )
+        calls_submitted = batch.stats.submitted
+        cache_hits = batch.stats.cache_hits
+        executor_name = batch.stats.executor
+        eval_wall = batch.stats.wall_seconds
+        with obs.span("dse.fold"):
+            for index, ((num_pes, bandwidth, label, dataflow), outcome) in enumerate(
+                zip(candidates, batch)
+            ):
+                if not outcome.ok:
+                    continue
+                evaluated += 1
+                point = fold_point(num_pes, bandwidth, label, dataflow, outcome.report)
+                if point is not None:
+                    indexed_points.append((index, point))
+    else:
+        regions = _pe_regions(candidates, symbolic_block)
+        interim = {"throughput": None, "energy": None, "edp": None}
+        with obs.span("dse.bnb", regions=len(regions)):
+            for region in regions:
+                verdict = _region_bounds(
+                    layer,
+                    region,
+                    noc_latency,
+                    area_model,
+                    energy_model,
+                    area_budget,
+                    power_budget,
+                )
+                if verdict is _INFEASIBLE:
+                    symbolic_rejects += len(region)
+                    continue
+                if verdict is not None and _dominated(verdict, interim):
+                    bnb_pruned += len(region)
+                    continue
+                batch = evaluator.evaluate(
+                    EvalPoint(
+                        layer=layer,
+                        dataflow=dataflow,
+                        accelerator=Accelerator(
+                            num_pes=num_pes,
+                            noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
+                        ),
+                        energy_model=energy_model,
+                    )
+                    for _, (num_pes, bandwidth, label, dataflow) in region
+                )
+                calls_submitted += batch.stats.submitted
+                cache_hits += batch.stats.cache_hits
+                executor_name = batch.stats.executor
+                eval_wall += batch.stats.wall_seconds
+                for (index, (num_pes, bandwidth, label, dataflow)), outcome in zip(
+                    region, batch
+                ):
+                    if not outcome.ok:
+                        continue
+                    evaluated += 1
+                    point = fold_point(
+                        num_pes, bandwidth, label, dataflow, outcome.report
+                    )
+                    if point is not None:
+                        indexed_points.append((index, point))
+                        _update_leaders(interim, point)
 
     # ------------------------------------------------------------------
-    # Phase 3 — fold outcomes, in enumeration order, into the result.
+    # Phase 3 — fold the surviving valid points in their original
+    # enumeration order: the leaders are first-achiever-stable, so this
+    # reproduces the exhaustive sweep's optima exactly.
     # ------------------------------------------------------------------
+    indexed_points.sort(key=lambda pair: pair[0])
     points: List[DesignPoint] = []
-    evaluated = 0
     best = {"throughput": None, "energy": None, "edp": None}
-    with obs.span("dse.fold"):
-        for (num_pes, bandwidth, label, dataflow), outcome in zip(candidates, batch):
-            if not outcome.ok:
-                continue
-            report = outcome.report
-            evaluated += 1
-            l1 = max(report.l1_buffer_req, 1)
-            l2 = max(report.l2_buffer_req, 1)
-            sized = Accelerator(
-                num_pes=num_pes,
-                l1_size=l1,
-                l2_size=l2,
-                noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
-            )
-            area = area_model.area(sized)
-            power = area_model.power(sized)
-            if area > area_budget or power > power_budget:
-                continue
-            point = DesignPoint(
-                num_pes=num_pes,
-                noc_bandwidth=bandwidth,
-                dataflow_name=dataflow.name,
-                tile_label=label,
-                l1_size=l1,
-                l2_size=l2,
-                area=area,
-                power=power,
-                throughput=report.throughput,
-                runtime=report.runtime,
-                energy=report.energy_total,
-            )
-            points.append(point)
-            _update_leaders(best, point)
+    for _, point in indexed_points:
+        points.append(point)
+        _update_leaders(best, point)
 
     # The ExploreResult invariant, explicit: every grid point is
-    # accounted for exactly once — budget-pruned, lint-rejected, or
-    # answered by the cost model (evaluated successfully or failed).
-    failures = batch.stats.submitted - evaluated
+    # accounted for exactly once — budget-pruned, lint-rejected,
+    # symbolically discarded, or answered by the cost model (evaluated
+    # successfully or failed).
+    failures = calls_submitted - evaluated
     budget_pruned = pruned - static_rejects - coverage_rejects
     assert explored == space.size, (
         f"enumeration drift: walked {explored} of {space.size} grid points"
     )
     assert (
-        evaluated + failures + static_rejects + coverage_rejects + budget_pruned
+        evaluated
+        + failures
+        + static_rejects
+        + coverage_rejects
+        + budget_pruned
+        + symbolic_rejects
+        + bnb_pruned
         == space.size
     ), (
         f"statistics drift: evaluated={evaluated} failures={failures} "
         f"static_rejects={static_rejects} coverage_rejects={coverage_rejects} "
-        f"budget_pruned={budget_pruned} "
+        f"budget_pruned={budget_pruned} symbolic_rejects={symbolic_rejects} "
+        f"bnb_pruned={bnb_pruned} "
         f"do not partition the {space.size}-point grid"
     )
 
@@ -278,6 +390,7 @@ def explore(
     obs.inc("dse.mappings_evaluated", evaluated)
     obs.inc("dse.pruned_by_lint", static_rejects)
     obs.inc("dse.pruned_by_verify", coverage_rejects)
+    obs.inc("dse.pruned_by_symbolic", symbolic_rejects + bnb_pruned)
     statistics = DSEStatistics(
         explored=explored,
         evaluated=evaluated,
@@ -286,10 +399,12 @@ def explore(
         elapsed_seconds=elapsed,
         static_rejects=static_rejects,
         coverage_rejects=coverage_rejects,
-        cost_model_calls=batch.stats.submitted,
-        cache_hits=batch.stats.cache_hits,
-        executor=batch.stats.executor,
-        eval_wall_seconds=batch.stats.wall_seconds,
+        cost_model_calls=calls_submitted,
+        cache_hits=cache_hits,
+        executor=executor_name,
+        eval_wall_seconds=eval_wall,
+        symbolic_rejects=symbolic_rejects,
+        bnb_pruned=bnb_pruned,
     )
     return DSEResult(
         points=tuple(points),
@@ -297,6 +412,113 @@ def explore(
         throughput_optimal=best["throughput"],
         energy_optimal=best["energy"],
         edp_optimal=best["edp"],
+    )
+
+
+#: Region verdict sentinel: every point in the region is over budget.
+_INFEASIBLE = object()
+
+#: One enumerated candidate with its original index.
+_Indexed = Tuple[int, Tuple[int, int, str, object]]
+
+
+def _pe_regions(
+    candidates: "List[Tuple[int, int, str, object]]", block: int
+) -> "List[List[_Indexed]]":
+    """Group candidates into branch-and-bound regions.
+
+    A region holds up to ``block`` candidates that share a bandwidth and
+    a dataflow variant and differ only in PE count (the enumeration is
+    PE-major, so each region's PE counts are increasing). One abstract
+    interpretation with the PE count as an interval then bounds every
+    candidate in the region at once. Regions come back ordered by their
+    first candidate's enumeration index, so incumbents grow in a
+    deterministic order.
+    """
+    grouped: "dict" = {}
+    for index, candidate in enumerate(candidates):
+        _, bandwidth, label, dataflow = candidate
+        key = (bandwidth, label, id(dataflow))
+        blocks = grouped.setdefault(key, [])
+        if not blocks or len(blocks[-1]) >= max(1, block):
+            blocks.append([])
+        blocks[-1].append((index, candidate))
+    regions = [region for blocks in grouped.values() for region in blocks]
+    regions.sort(key=lambda region: region[0][0])
+    return regions
+
+
+def _region_bounds(
+    layer: Layer,
+    region: "List[_Indexed]",
+    noc_latency: int,
+    area_model: AreaModel,
+    energy_model: EnergyModel,
+    area_budget: float,
+    power_budget: float,
+):
+    """Abstract-interpret one region; classify it or return its bounds.
+
+    Returns ``_INFEASIBLE`` when the interval lower-bound area/power of
+    the cheapest configuration in the region already busts the budget
+    (so no point inside can pass the phase-3 check), the region's
+    :class:`~repro.absint.engine.AbstractAnalysis` when bounds are
+    available for the dominance test, or ``None`` when the abstract
+    engine cannot certify the region (it is then evaluated in full —
+    soundness over speed).
+    """
+    from repro.absint.engine import HardwareBox, abstract_analyze
+    from repro.absint.interval import IntervalInt
+    from repro.absint.shapes import ShapeBox
+
+    pes = [candidate[0] for _, candidate in region]
+    bandwidth = region[0][1][1]
+    dataflow = region[0][1][3]
+    try:
+        analysis = abstract_analyze(
+            ShapeBox.from_layer(layer),
+            dataflow,
+            HardwareBox(
+                num_pes=IntervalInt(min(pes), max(pes)),
+                bandwidth=IntervalInt.point(bandwidth),
+                avg_latency=noc_latency,
+            ),
+            energy_model=energy_model,
+        )
+    except Exception:
+        return None
+    if analysis.caveats:
+        return None  # partial binding failures: bounds cover only a subfamily
+    cheapest = Accelerator(
+        num_pes=min(pes),
+        l1_size=max(analysis.l1_buffer_req.lo, 1),
+        l2_size=max(analysis.l2_buffer_req.lo, 1),
+        noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
+    )
+    if (
+        area_model.area(cheapest) > area_budget
+        or area_model.power(cheapest) > power_budget
+    ):
+        return _INFEASIBLE
+    return analysis
+
+
+def _dominated(analysis, interim: dict) -> bool:
+    """Whether the incumbents beat the whole region on every objective.
+
+    Strict inequalities keep first-achiever tie-breaking intact: a
+    region containing a point that merely *ties* an incumbent is still
+    evaluated, so the final optima match the exhaustive sweep exactly.
+    """
+    best_tp = interim["throughput"]
+    best_en = interim["energy"]
+    best_edp = interim["edp"]
+    if best_tp is None or best_en is None or best_edp is None:
+        return False
+    return (
+        analysis.throughput.hi < best_tp.throughput
+        and analysis.energy_total.lo > best_en.energy
+        and analysis.edp.lo > best_edp.edp
     )
 
 

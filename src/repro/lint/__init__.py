@@ -35,6 +35,11 @@ from repro.lint.engine import (
     static_errors,
 )
 from repro.lint.rules import RULES, Rule
+from repro.lint.symbolic import (
+    SYMBOLIC_RULES,
+    SymbolicRule,
+    lint_symbolic,
+)
 
 __all__ = [
     "Diagnostic",
@@ -44,9 +49,12 @@ __all__ = [
     "SourceSpan",
     "RULES",
     "Rule",
+    "SYMBOLIC_RULES",
+    "SymbolicRule",
     "construction_diagnostics",
     "lint_dataflow",
     "lint_directives",
+    "lint_symbolic",
     "lint_text",
     "required_pes",
     "static_errors",

@@ -21,7 +21,7 @@ change which candidates survive a search.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lint.diagnostics import Diagnostic, LintReport, SourceSpan
 from repro.lint.rules import RULES, RuleContext, required_pes
@@ -40,6 +40,35 @@ __all__ = [
     "required_pes",
     "static_errors",
 ]
+
+
+def _dedupe(diagnostics: "Sequence[Diagnostic]") -> List[Diagnostic]:
+    """Collapse diagnostics that fire identically from more than one pass.
+
+    The same finding can be produced twice — once by the construction
+    pass (via scanner/``Dataflow.__post_init__`` replay, no source span)
+    and once by the regular rule pass (span attached). Two diagnostics
+    are duplicates when code, severity, message, and directive index all
+    match; the span-carrying copy wins, and the survivor keeps the list
+    position of the *first* occurrence so ordering stays stable.
+    """
+    keyed: Dict[Tuple[str, str, str, Optional[int]], int] = {}
+    result: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        key = (
+            diagnostic.code,
+            str(diagnostic.severity),
+            diagnostic.message,
+            diagnostic.directive_index,
+        )
+        if key in keyed:
+            index = keyed[key]
+            if result[index].span is None and diagnostic.span is not None:
+                result[index] = diagnostic
+            continue
+        keyed[key] = len(result)
+        result.append(diagnostic)
+    return result
 
 
 def lint_directives(
@@ -137,7 +166,7 @@ def lint_text(
             spans=scan.spans,
         )
     )
-    return LintReport.from_list(name, diagnostics, source=source)
+    return LintReport.from_list(name, _dedupe(diagnostics), source=source)
 
 
 def static_errors(
@@ -161,4 +190,4 @@ def static_errors(
         dataflow=dataflow,
         codes=codes,
     )
-    return [d for d in diagnostics if d.is_error]
+    return [d for d in _dedupe(diagnostics) if d.is_error]

@@ -54,6 +54,11 @@ class TunerResult:
     #: (proven missed/double-counted MACs) before evaluation; only
     #: counted when ``verify_coverage`` is enabled.
     coverage_rejected: int = 0
+    #: How many of ``rejected`` the symbolic abstract interpreter
+    #: screened out before evaluation (interval lower bound on a buffer
+    #: requirement already above the cap); only counted when
+    #: ``symbolic_prune`` is enabled and a buffer cap is set.
+    symbolic_rejected: int = 0
     #: How many cost-model answers came from the memoization cache
     #: (free on tuner restarts and overlapping candidate grids).
     cache_hits: int = 0
@@ -85,6 +90,7 @@ def tune_layer(
     seed: int = 0,
     static_lint: bool = True,
     verify_coverage: bool = False,
+    symbolic_prune: bool = False,
     executor: str = "auto",
     jobs: Optional[int] = None,
     cache: Union[bool, AnalysisCache, None] = True,
@@ -109,6 +115,15 @@ def tune_layer(
     Surviving candidates are scored through the batch-evaluation backend
     (:mod:`repro.exec`): ``executor``/``jobs``/``cache`` are pure
     performance knobs — every combination scores the identical set.
+
+    With ``symbolic_prune`` and a buffer cap
+    (``max_l1_bytes``/``max_l2_bytes``), candidates whose *interval
+    lower bound* on the corresponding buffer requirement — computed by
+    the abstract interpreter (:mod:`repro.absint`) without a cost-model
+    run — already exceeds the cap are rejected up front
+    (``symbolic_rejected``). The bound encloses the concrete
+    requirement, so exactly the candidates phase 3 would reject are
+    screened and the winning candidate is unchanged.
     """
     start = time.perf_counter()
     try:
@@ -164,6 +179,36 @@ def tune_layer(
                 survivors.append((spec, dataflow))
             runnable = survivors
 
+    symbolic_rejected = 0
+    if symbolic_prune and (max_l1_bytes is not None or max_l2_bytes is not None):
+        with obs.span("tuner.symbolic_screen", candidates=len(runnable)):
+            from repro.absint.engine import HardwareBox, abstract_analyze
+            from repro.absint.shapes import ShapeBox
+
+            box = ShapeBox.from_layer(layer)
+            hw = HardwareBox.from_accelerator(accelerator)
+            survivors = []
+            for spec, dataflow in runnable:
+                try:
+                    analysis = abstract_analyze(
+                        box, dataflow, hw, energy_model=energy_model
+                    )
+                except Exception:
+                    survivors.append((spec, dataflow))  # never prune uncertified
+                    continue
+                if (
+                    max_l1_bytes is not None
+                    and analysis.l1_buffer_req.lo > max_l1_bytes
+                ) or (
+                    max_l2_bytes is not None
+                    and analysis.l2_buffer_req.lo > max_l2_bytes
+                ):
+                    rejected += 1
+                    symbolic_rejected += 1
+                    continue
+                survivors.append((spec, dataflow))
+            runnable = survivors
+
     # Phase 2 — evaluate through the backend (memoized, parallelizable).
     evaluator = BatchEvaluator(executor=executor, jobs=jobs, cache=cache)
     with obs.span("tuner.evaluate", candidates=len(runnable)):
@@ -200,6 +245,7 @@ def tune_layer(
     obs.inc("tuner.candidates_evaluated", len(scored))
     obs.inc("tuner.pruned_by_lint", statically_rejected)
     obs.inc("tuner.pruned_by_verify", coverage_rejected)
+    obs.inc("tuner.pruned_by_symbolic", symbolic_rejected)
     return TunerResult(
         layer_name=layer.name,
         objective=objective,
@@ -209,6 +255,7 @@ def tune_layer(
         rejected=rejected,
         statically_rejected=statically_rejected,
         coverage_rejected=coverage_rejected,
+        symbolic_rejected=symbolic_rejected,
         cache_hits=batch.stats.cache_hits,
         cost_model_calls=batch.stats.submitted,
         elapsed_seconds=time.perf_counter() - start,

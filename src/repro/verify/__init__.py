@@ -9,6 +9,11 @@ the differential tests compare against.
 """
 
 from repro.verify.audit import RuleAudit, audit_rules
+from repro.verify.crosscheck import (
+    CrosscheckReport,
+    CrosscheckViolation,
+    crosscheck_abstract,
+)
 from repro.verify.engine import DEFAULT_BUDGET, count_group_point, verify_dataflow
 from repro.verify.reference import REFERENCE_DIMS, brute_force_counts, total_cells
 from repro.verify.result import (
@@ -23,6 +28,8 @@ __all__ = [
     "DEFAULT_BUDGET",
     "REFERENCE_DIMS",
     "Counterexample",
+    "CrosscheckReport",
+    "CrosscheckViolation",
     "GroupReport",
     "RuleAudit",
     "Verdict",
@@ -31,6 +38,7 @@ __all__ = [
     "bind_for_verification",
     "brute_force_counts",
     "count_group_point",
+    "crosscheck_abstract",
     "required_pes",
     "total_cells",
     "verify_dataflow",

@@ -1,0 +1,195 @@
+"""Differential cross-check of the symbolic abstract interpreter.
+
+The abstract engine (:mod:`repro.absint`) claims *soundness*: for every
+concrete layer inside a :class:`~repro.absint.shapes.ShapeBox` and every
+accelerator inside a :class:`~repro.absint.engine.HardwareBox`, the
+concrete cost model's answer lies inside the abstract interval. This
+module checks that claim empirically on sampled members — the corners
+of the box (where monotone corner evaluation is exercised hardest) plus
+the representative layer — and reports every violation with the
+offending quantity and sample. It backs the ``analyze --symbolic
+--crosscheck`` CLI flag and the Hypothesis soundness suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.absint.engine import AbstractAnalysis, HardwareBox
+    from repro.absint.shapes import ShapeBox
+    from repro.dataflow.dataflow import Dataflow
+    from repro.hardware.accelerator import Accelerator
+    from repro.hardware.energy import EnergyModel
+    from repro.model.layer import Layer
+
+__all__ = [
+    "CHECKED_QUANTITIES",
+    "CrosscheckReport",
+    "CrosscheckViolation",
+    "crosscheck_abstract",
+]
+
+#: (name, concrete extractor, abstract extractor) triples checked per sample.
+CHECKED_QUANTITIES: Tuple[str, ...] = (
+    "runtime",
+    "total_ops",
+    "utilization",
+    "throughput",
+    "l1_buffer_req",
+    "l2_buffer_req",
+    "noc_bw_req_elems",
+    "energy_total",
+    "edp",
+)
+
+#: Relative slack for float quantities: the abstract engine evaluates
+#: the *same* IEEE-754 operation trees at interval corners, so bounds
+#: hold exactly up to reassociation-free rounding; the slack only
+#: absorbs representation noise in the comparison itself.
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class CrosscheckViolation:
+    """One concrete sample escaping its abstract interval."""
+
+    quantity: str
+    layer_name: str
+    num_pes: int
+    bandwidth: int
+    concrete: float
+    lo: float
+    hi: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.quantity} = {self.concrete} outside [{self.lo}, {self.hi}] "
+            f"for {self.layer_name} @ {self.num_pes} PEs / bw {self.bandwidth}"
+        )
+
+
+@dataclass(frozen=True)
+class CrosscheckReport:
+    """Outcome of one differential cross-check run."""
+
+    samples: int
+    bind_failures: int
+    violations: Tuple[CrosscheckViolation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _hardware_samples(hw: "HardwareBox") -> "List[Accelerator]":
+    """The accelerator corners of a hardware box."""
+    from repro.hardware.accelerator import NoC, Accelerator
+
+    accelerators = []
+    for num_pes, bandwidth in itertools.product(
+        sorted({hw.num_pes.lo, hw.num_pes.hi}),
+        sorted({hw.bandwidth.lo, hw.bandwidth.hi}),
+    ):
+        accelerators.append(
+            Accelerator(
+                num_pes=num_pes,
+                l1_size=hw.l1_size,
+                l2_size=hw.l2_size,
+                noc=NoC(
+                    bandwidth=bandwidth,
+                    avg_latency=hw.avg_latency,
+                    multicast=hw.multicast,
+                ),
+                spatial_reduction=hw.spatial_reduction,
+                double_buffered=hw.double_buffered,
+                vector_width=hw.vector_width,
+                element_bytes=hw.element_bytes,
+                clock_ghz=hw.clock_ghz,
+                dram_bandwidth=hw.dram_bandwidth,
+            )
+        )
+    return accelerators
+
+
+def crosscheck_abstract(
+    box: "ShapeBox",
+    dataflow: "Dataflow",
+    hw: "HardwareBox",
+    abstract: "Optional[AbstractAnalysis]" = None,
+    layers: "Optional[List[Layer]]" = None,
+    energy_model: "Optional[EnergyModel]" = None,
+) -> CrosscheckReport:
+    """Check sampled concrete members against the abstract intervals.
+
+    ``abstract`` may be passed when already computed; ``layers``
+    overrides the default sample set (box corners + representative).
+    Concrete samples that fail to bind are counted, not treated as
+    violations — the abstract engine only promises its intervals cover
+    the members the concrete model can answer for.
+    """
+    from repro.absint.engine import abstract_analyze
+    from repro.engines.analysis import analyze_layer
+    from repro.hardware.energy import DEFAULT_ENERGY_MODEL
+
+    model = energy_model if energy_model is not None else DEFAULT_ENERGY_MODEL
+    if abstract is None:
+        abstract = abstract_analyze(box, dataflow, hw, energy_model=model)
+    if layers is None:
+        layers = list(box.corner_layers())
+        representative = box.representative_layer()
+        if all(layer.dims != representative.dims for layer in layers):
+            layers.append(representative)
+
+    samples = 0
+    bind_failures = 0
+    violations: List[CrosscheckViolation] = []
+    for layer in layers:
+        if not box.contains(layer):
+            raise ValueError(
+                f"cross-check sample {layer.name} is not a member of {box}"
+            )
+        for accelerator in _hardware_samples(hw):
+            samples += 1
+            try:
+                report = analyze_layer(layer, dataflow, accelerator, model)
+            except Exception:
+                bind_failures += 1
+                continue
+            pairs = (
+                ("runtime", report.runtime, abstract.runtime),
+                ("total_ops", report.total_ops, abstract.total_ops),
+                ("utilization", report.utilization, abstract.utilization),
+                ("throughput", report.throughput, abstract.throughput),
+                ("l1_buffer_req", report.l1_buffer_req, abstract.l1_buffer_req),
+                ("l2_buffer_req", report.l2_buffer_req, abstract.l2_buffer_req),
+                (
+                    "noc_bw_req_elems",
+                    report.noc_bw_req_elems,
+                    abstract.noc_bw_req_elems,
+                ),
+                ("energy_total", report.energy_total, abstract.energy_total),
+                ("edp", report.edp, abstract.edp),
+            )
+            for name, concrete, interval in pairs:
+                slack = _REL_TOL * max(abs(interval.lo), abs(interval.hi), 1.0)
+                if interval.lo - slack <= concrete <= interval.hi + slack:
+                    continue
+                violations.append(
+                    CrosscheckViolation(
+                        quantity=name,
+                        layer_name=layer.name,
+                        num_pes=accelerator.num_pes,
+                        bandwidth=accelerator.noc.bandwidth,
+                        concrete=float(concrete),
+                        lo=float(interval.lo),
+                        hi=float(interval.hi),
+                    )
+                )
+    return CrosscheckReport(
+        samples=samples,
+        bind_failures=bind_failures,
+        violations=tuple(violations),
+    )

@@ -63,6 +63,52 @@ def test_df002_syntax_errors_collected_leniently():
     assert {d.span.line for d in syntax} == {2, 3}
 
 
+def test_dedupe_keeps_span_copy_and_stable_order():
+    """Diagnostics firing identically from the construction and rule
+    passes collapse to one entry: the span-carrying copy survives, at
+    the position of the first occurrence."""
+    from repro.lint.diagnostics import Diagnostic, SourceSpan
+    from repro.lint.engine import _dedupe
+
+    span = SourceSpan(line=2, column=1, end_column=5, source="dup line")
+    first = Diagnostic(code="DF001", severity=Severity.ERROR, message="other")
+    spanless = Diagnostic(code="DF002", severity=Severity.ERROR, message="dup")
+    spanned = Diagnostic(
+        code="DF002", severity=Severity.ERROR, message="dup", span=span
+    )
+    tail = Diagnostic(code="DF009", severity=Severity.WARNING, message="last")
+
+    result = _dedupe([first, spanless, tail, spanned])
+    assert [d.code for d in result] == ["DF001", "DF002", "DF009"]
+    assert result[1].span is span  # span copy won, first-occurrence slot
+    # Same code but different message is NOT a duplicate.
+    other = Diagnostic(code="DF002", severity=Severity.ERROR, message="dup2")
+    assert len(_dedupe([spanless, other])) == 2
+
+
+def test_lint_text_has_no_duplicates_and_stable_order():
+    text = "SpatialMap(1,1) K\ngarbage line\nSpatialMap(1,1) K\nCluster(3)\n"
+    reports = [
+        lint_text(text, layer=LAYER, accelerator=ACC4) for _ in range(2)
+    ]
+    for report in reports:
+        keys = [
+            (d.code, str(d.severity), d.message, d.directive_index)
+            for d in report.diagnostics
+        ]
+        assert len(keys) == len(set(keys))
+    assert [d.headline() for d in reports[0].diagnostics] == [
+        d.headline() for d in reports[1].diagnostics
+    ]
+    errors = static_errors(
+        dataflow("d", spatial_map(1, 1, D.K), temporal_map(1, 1, D.C)),
+        LAYER,
+        ACC4,
+    )
+    keys = [(d.code, d.message, d.directive_index) for d in errors]
+    assert len(keys) == len(set(keys))
+
+
 def test_df003_trailing_cluster():
     with pytest.raises(DataflowError) as exc:
         dataflow("t", spatial_map(1, 1, D.K), ClusterDirective(4))
