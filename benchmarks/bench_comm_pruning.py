@@ -1,0 +1,140 @@
+"""Communication-capability pruning benchmark: Figure-13 sweep, two ways.
+
+Runs the Figure-13 KC-P design-space exploration twice per hardware
+capability setting and writes ``BENCH_comm.json``:
+
+1. **Soundness** — on reduction-capable hardware (the default), a sweep
+   with ``comm_prune=True`` must return optima bit-identical to the
+   plain sweep: the screen never runs there, by construction.
+2. **Effectiveness** — on hardware *without* spatial-reduction support,
+   the communication classifier proves every spatially-reduced KC-P
+   variant a DF300 write-race up front; the report records how many
+   cost-model calls that avoided versus the unpruned sweep on the same
+   hardware.
+
+Both figures are deterministic counts (no wall-clock in the gate), so
+``check_regression.py --comm`` gates on them directly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_comm_pruning.py \
+        [--out BENCH_comm.json] [--max-pes 256] [--step 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.dse import explore
+from repro.dse.space import (
+    DesignSpace,
+    default_bandwidths,
+    default_pe_counts,
+    kc_partitioned_variants,
+)
+from repro.model.zoo import build
+
+AREA_BUDGET = 16.0
+POWER_BUDGET = 450.0
+
+
+def _point_dict(point) -> "dict | None":
+    if point is None:
+        return None
+    return {
+        "tile": point.tile_label,
+        "num_pes": point.num_pes,
+        "bandwidth": point.noc_bandwidth,
+        "throughput": point.throughput,
+        "energy": point.energy,
+        "edp": point.edp,
+    }
+
+
+def run_comparison(max_pes: int, step: int) -> dict:
+    layer = build("vgg16").layer("CONV11")
+    space = DesignSpace(
+        pe_counts=default_pe_counts(max_pes=max_pes, step=step),
+        noc_bandwidths=default_bandwidths(128),
+        dataflow_variants=kc_partitioned_variants(),
+    )
+
+    # Soundness pair: reduction-capable hardware, screen must be inert.
+    plain = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        cache=False,
+    )
+    capable = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        cache=False, comm_prune=True,
+    )
+    bit_identical = (
+        capable.statistics.comm_rejects == 0
+        and capable.throughput_optimal == plain.throughput_optimal
+        and capable.energy_optimal == plain.energy_optimal
+        and capable.edp_optimal == plain.edp_optimal
+    )
+
+    # Effectiveness pair: no reduction tree, racy variants screened.
+    start = time.perf_counter()
+    baseline = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        cache=False, spatial_reduction=False,
+    )
+    baseline_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pruned = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        cache=False, spatial_reduction=False, comm_prune=True,
+    )
+    pruned_wall = time.perf_counter() - start
+
+    baseline_calls = baseline.statistics.cost_model_calls
+    avoided = baseline_calls - pruned.statistics.cost_model_calls
+    return {
+        "sweep": f"fig13 KC-P CONV11 ({max_pes} PEs max, step {step})",
+        "space_size": space.size,
+        "bit_identical": bit_identical,
+        "baseline_cost_model_calls": baseline_calls,
+        "pruned_cost_model_calls": pruned.statistics.cost_model_calls,
+        "comm_rejects": pruned.statistics.comm_rejects,
+        "calls_avoided": avoided,
+        "skip_fraction": avoided / baseline_calls if baseline_calls else 0.0,
+        "baseline_wall_seconds": baseline_wall,
+        "pruned_wall_seconds": pruned_wall,
+        "speedup": baseline_wall / pruned_wall if pruned_wall else 0.0,
+        "optima": {
+            "throughput": _point_dict(capable.throughput_optimal),
+            "energy": _point_dict(capable.energy_optimal),
+            "edp": _point_dict(capable.edp_optimal),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_comm.json"))
+    parser.add_argument("--max-pes", type=int, default=256)
+    parser.add_argument("--step", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    report = run_comparison(args.max_pes, args.step)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"{report['sweep']}: bit_identical={report['bit_identical']}, "
+        f"{report['calls_avoided']}/{report['baseline_cost_model_calls']} "
+        f"cost-model calls avoided ({report['skip_fraction']:.1%}) on "
+        f"reduction-free hardware, "
+        f"{report['baseline_wall_seconds']:.2f}s -> "
+        f"{report['pruned_wall_seconds']:.2f}s"
+    )
+    print(f"[written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

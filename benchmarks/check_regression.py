@@ -24,6 +24,12 @@ bit-identical optima and avoid at least ``--min-skip`` of the
 exhaustive sweep's cost-model calls. Both figures are deterministic
 counts, so no machine normalization is needed.
 
+``--comm BENCH_comm.json`` gates the communication-capability pruning
+report from ``bench_comm_pruning.py`` the same way: optima on
+reduction-capable hardware must be bit-identical with the screen on,
+and on reduction-free hardware at least ``--comm-min-skip`` of the
+baseline sweep's cost-model calls must be avoided.
+
 Usage::
 
     python benchmarks/check_regression.py current.json \
@@ -31,7 +37,8 @@ Usage::
         [--only SUBSTR] \
         [--phases BENCH_obs.json] [--phases-baseline baseline_obs.json] \
         [--phase-tolerance 0.15] \
-        [--absint BENCH_absint.json] [--min-skip 0.30]
+        [--absint BENCH_absint.json] [--min-skip 0.30] \
+        [--comm BENCH_comm.json] [--comm-min-skip 0.20]
 """
 
 from __future__ import annotations
@@ -109,6 +116,32 @@ def absint_failures(path: Path, min_skip: float) -> list:
     return failures
 
 
+def comm_failures(path: Path, min_skip: float) -> list:
+    """Soundness and effectiveness gate for the comm pruning report."""
+    report = json.loads(path.read_text())
+    failures = []
+    if not report["bit_identical"]:
+        failures.append(
+            "comm-pruned optima differ on reduction-capable hardware "
+            "(soundness violation)"
+        )
+    skip = report["skip_fraction"]
+    verdict = "ok"
+    if skip < min_skip:
+        verdict = "TOO FEW"
+        failures.append(
+            f"only {skip:.1%} of cost-model calls avoided on reduction-free "
+            f"hardware (need {min_skip:.0%})"
+        )
+    print(
+        f"  {verdict:10s}{report['sweep']}: bit_identical="
+        f"{report['bit_identical']}, {report['calls_avoided']}/"
+        f"{report['baseline_cost_model_calls']} calls avoided ({skip:.1%}), "
+        f"{report['comm_rejects']} comm-race rejects"
+    )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", type=Path, help="fresh --benchmark-json report")
@@ -139,6 +172,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-skip", type=float, default=0.30,
         help="minimum fraction of cost-model calls the pruning must avoid",
+    )
+    parser.add_argument(
+        "--comm", type=Path, default=None, metavar="BENCH_comm.json",
+        help="also gate the comm-capability pruning report from "
+        "bench_comm_pruning.py",
+    )
+    parser.add_argument(
+        "--comm-min-skip", type=float, default=0.20,
+        help="minimum fraction of cost-model calls comm pruning must avoid "
+        "on reduction-free hardware",
     )
     args = parser.parse_args(argv)
 
@@ -182,6 +225,11 @@ def main(argv=None) -> int:
         print("\nsymbolic branch-and-bound pruning:")
         absint_errors = absint_failures(args.absint, args.min_skip)
 
+    comm_errors = []
+    if args.comm is not None:
+        print("\ncommunication-capability pruning:")
+        comm_errors = comm_failures(args.comm, args.comm_min_skip)
+
     if failures:
         print(
             f"\n{len(failures)} benchmark(s) regressed beyond "
@@ -203,7 +251,14 @@ def main(argv=None) -> int:
         )
         for message in absint_errors:
             print(f"  {message}", file=sys.stderr)
-    if failures or phase_failures or absint_errors:
+    if comm_errors:
+        print(
+            f"\n{len(comm_errors)} comm-pruning gate failure(s):",
+            file=sys.stderr,
+        )
+        for message in comm_errors:
+            print(f"  {message}", file=sys.stderr)
+    if failures or phase_failures or absint_errors or comm_errors:
         return 1
     print("\nno benchmark regressions")
     return 0

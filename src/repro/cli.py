@@ -9,21 +9,31 @@ Subcommands:
   prints per-mapping validity envelopes — interval bounds on every
   cost quantity plus the ``DF2xx`` range-certificate lints —
   optionally cross-checked against concrete runs (``--crosscheck``);
+  with ``--comm`` it prints the static communication classification
+  (multicast/unicast/forwarding/reduction per level and tensor) from
+  :mod:`repro.comm` instead;
 - ``lint`` — statically check a dataflow (DSL file or library entry),
   optionally against a layer and hardware config, and print a
   rustc-style diagnostic report (or ``--format json``); exits 1 when
-  the mapping has errors;
+  the mapping has errors; ``--comm`` appends the communication detail
+  view, and ``lint --explain DFxxx`` documents any registered rule;
 - ``verify`` — prove (or refute with a concrete MAC counterexample)
   that a mapping covers a layer's compute space exactly once;
   ``--library`` checks every stock mapping, ``--audit`` classifies
-  which lint rules the verifier certifies as sound; exits 1 when any
-  mapping is not proven;
+  which lint rules the verifier certifies as sound, ``--comm``
+  differentially replays the communication classifier against the
+  reuse engine and brute-force PE access-set enumeration; exits 1 when
+  any mapping is not proven (or any classification disagrees);
 - ``validate`` — compare the analytical model against the reference
   simulator on a layer;
 - ``dse`` — run a small hardware design-space exploration for a layer
-  (``--symbolic-prune`` turns on the sound interval branch-and-bound);
+  (``--symbolic-prune`` turns on the sound interval branch-and-bound;
+  ``--comm-prune`` with ``--no-spatial-reduction`` skips mappings the
+  communication classifier proves write-racy on that hardware);
 - ``tune`` — search the auto-tuner's template space for a layer
-  (``--symbolic-prune`` screens buffer-cap violations symbolically);
+  (``--symbolic-prune`` screens buffer-cap violations symbolically,
+  ``--comm-prune`` screens DF300 write-races on reduction-free
+  hardware);
 - ``profile`` — trace one layer's analysis (and optionally simulation)
   through the observability subsystem and print/write the span tree,
   per-phase timing table, and metrics;
@@ -74,7 +84,12 @@ def _load_dataflow(name_or_path: str) -> Dataflow:
 def _accelerator(args: argparse.Namespace) -> Accelerator:
     return Accelerator(
         num_pes=args.pes,
-        noc=NoC(bandwidth=args.bandwidth, avg_latency=args.latency),
+        spatial_reduction=not getattr(args, "no_spatial_reduction", False),
+        noc=NoC(
+            bandwidth=args.bandwidth,
+            avg_latency=args.latency,
+            multicast=not getattr(args, "no_multicast", False),
+        ),
     )
 
 
@@ -174,11 +189,36 @@ def _cmd_analyze_symbolic(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_analyze_comm(args: argparse.Namespace) -> int:
+    """``analyze --comm``: static communication classification tables."""
+    import json
+
+    from repro.comm import classify_dataflow, render_comm_summary, render_comm_table
+
+    network = build(args.model)
+    accelerator = _accelerator(args)
+    dataflow = _load_dataflow(args.dataflow)
+    layers = [network.layer(args.layer)] if args.layer else list(network.layers)
+    analyses = [classify_dataflow(dataflow, layer, accelerator) for layer in layers]
+    if args.format == "json":
+        print(json.dumps([a.to_dict() for a in analyses], indent=2, sort_keys=True))
+        return 0
+    for analysis in analyses:
+        print(render_comm_table(analysis))
+        print(render_comm_summary(analysis))
+        print()
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.symbolic and args.comm:
+        raise SystemExit("--comm and --symbolic are mutually exclusive")
     if args.symbolic:
         return _cmd_analyze_symbolic(args)
     if args.range or args.crosscheck or args.widen != 1.0:
         raise SystemExit("--range/--widen/--crosscheck require --symbolic")
+    if args.comm:
+        return _cmd_analyze_comm(args)
     network = build(args.model)
     accelerator = _accelerator(args)
     dataflow = _load_dataflow(args.dataflow)
@@ -218,10 +258,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import lint_dataflow, lint_text
+    from repro.lint import explain_rule, lint_dataflow, lint_text
 
+    if args.explain:
+        try:
+            print(explain_rule(args.explain))
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+        return 0
+    if not args.dataflow:
+        raise SystemExit("lint: pass a dataflow name/path (or use --explain DFxxx)")
     if args.layer and not args.model:
         raise SystemExit("--layer requires --model")
+    if args.comm and not args.model:
+        raise SystemExit("--comm requires --model (a layer to bind against)")
     layer = None
     if args.model:
         network = build(args.model)
@@ -230,11 +280,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         num_pes=args.pes,
         l1_size=args.l1,
         l2_size=args.l2,
-        noc=NoC(bandwidth=args.bandwidth, avg_latency=args.latency),
+        spatial_reduction=not args.no_spatial_reduction,
+        noc=NoC(
+            bandwidth=args.bandwidth,
+            avg_latency=args.latency,
+            multicast=not args.no_multicast,
+        ),
     )
     catalog = table3_dataflows()
+    dataflow = None
     if args.dataflow in catalog:
-        report = lint_dataflow(catalog[args.dataflow], layer, accelerator)
+        dataflow = catalog[args.dataflow]
+        report = lint_dataflow(dataflow, layer, accelerator)
     else:
         try:
             with open(args.dataflow) as handle:
@@ -253,10 +310,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             layer=layer,
             accelerator=accelerator,
         )
+        if args.comm:
+            try:
+                dataflow = parse_dataflow(text, name=args.dataflow)
+            except Exception:
+                dataflow = None  # syntax errors: report covers it below
     if args.format == "json":
         print(report.to_json())
     else:
         print(report.render())
+    if args.comm and args.format == "text":
+        from repro.comm import classify_dataflow, render_comm_summary, render_comm_table
+
+        if dataflow is None:
+            print("comm: mapping does not parse; no communication analysis")
+        else:
+            assert layer is not None
+            try:
+                analysis = classify_dataflow(dataflow, layer, accelerator)
+            except Exception as error:
+                print(f"comm: mapping does not bind ({error}); no analysis")
+            else:
+                print()
+                print(render_comm_table(analysis))
+                print(render_comm_summary(analysis))
     return 1 if report.has_errors else 0
 
 
@@ -331,6 +408,30 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             conv2d("verify-default", k=8, c=8, y=18, x=18, r=3, s=3),
             conv2d("verify-strided", k=8, c=8, y=19, x=19, r=3, s=3, stride=2),
         ]
+
+    if args.comm:
+        from repro.verify import crosscheck_comm
+
+        reports = []
+        for name, flow in flows.items():
+            for layer in layers:
+                reports.append(crosscheck_comm(flow, layer))
+        all_ok = all(report.ok for report in reports)
+        if args.format == "json":
+            payload = {
+                "reports": [report.to_dict() for report in reports],
+                "all_ok": all_ok,
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            for report in reports:
+                print(report.render())
+            agree = sum(report.ok for report in reports)
+            print(
+                f"{agree}/{len(reports)} mapping-layer classifications agree "
+                "with both oracles (reuse engine + brute-force enumeration)"
+            )
+        return 0 if all_ok else 1
 
     results = []
     for name, flow in flows.items():
@@ -418,12 +519,16 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=args.cache,
         symbolic_prune=args.symbolic_prune,
+        spatial_reduction=not args.no_spatial_reduction,
+        noc_multicast=not args.no_multicast,
+        comm_prune=args.comm_prune,
     )
     stats = result.statistics
     print(
         f"explored {stats.explored} designs ({stats.valid} valid, "
         f"{stats.pruned} pruned, {stats.static_rejects} lint-rejected, "
         f"{stats.coverage_rejects} coverage-refuted, "
+        f"{stats.comm_rejects} comm-race pruned, "
         f"{stats.symbolic_rejects} symbolically infeasible, "
         f"{stats.bnb_pruned} branch-and-bound pruned, "
         f"{stats.cost_model_calls} cost-model calls, "
@@ -477,6 +582,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         max_l2_bytes=args.max_l2,
         verify_coverage=args.verify_coverage,
         symbolic_prune=args.symbolic_prune,
+        comm_prune=args.comm_prune,
         executor=args.executor,
         jobs=args.jobs,
         cache=args.cache,
@@ -501,6 +607,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         f"rejected {result.rejected} candidates "
         f"({result.statically_rejected} by the static analyzer, "
         f"{result.coverage_rejected} coverage-refuted, "
+        f"{result.comm_rejected} comm-race screened, "
         f"{result.symbolic_rejected} symbolically over buffer caps); "
         f"{result.cache_hits} cost-model answers served from cache"
     )
@@ -595,6 +702,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             "the symbolic abstract interpreter (optima are bit-identical)",
         )
 
+    def add_comm_caps(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--no-spatial-reduction",
+            action="store_true",
+            help="model hardware without an adder tree / psum accumulation "
+            "path (spatially-mapped reductions become DF300 write-races)",
+        )
+        p.add_argument(
+            "--no-multicast",
+            action="store_true",
+            help="model a unicast-only NoC without fan-out wiring "
+            "(multicast tensors trigger DF301 duplication warnings)",
+        )
+
+    def add_comm_prune(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--comm-prune",
+            action="store_true",
+            help="on hardware without spatial-reduction support, soundly "
+            "skip mappings the communication classifier proves write-racy "
+            "(DF300); on reduction-capable hardware the screen never runs, "
+            "so optima are bit-identical",
+        )
+
     def add_backend(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--jobs",
@@ -666,14 +797,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_analyze.add_argument(
         "--format", choices=["table", "json"], default="table",
-        help="symbolic envelope output format (with --symbolic)",
+        help="symbolic envelope / comm output format (with --symbolic/--comm)",
+    )
+    p_analyze.add_argument(
+        "--comm",
+        action="store_true",
+        help="print the static communication classification (multicast/"
+        "unicast/forwarding/reduction per level and tensor) instead of "
+        "the cost table",
     )
     add_hw(p_analyze)
+    add_comm_caps(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_lint = sub.add_parser("lint", help="statically check a dataflow")
     p_lint.add_argument(
-        "dataflow", help="library dataflow name or DSL file path"
+        "dataflow",
+        nargs="?",
+        help="library dataflow name or DSL file path (optional with --explain)",
+    )
+    p_lint.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print the full documentation of one lint rule (e.g. DF300) "
+        "and exit",
+    )
+    p_lint.add_argument(
+        "--comm",
+        action="store_true",
+        help="append the communication detail view (per-level/tensor "
+        "pattern table); requires --model and --format text",
     )
     p_lint.add_argument(
         "--model", choices=sorted(MODELS), help="zoo model to lint against"
@@ -687,6 +840,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_lint.add_argument("--l1", type=int, help="L1 scratchpad bytes per PE")
     p_lint.add_argument("--l2", type=int, help="shared L2 buffer bytes")
     add_hw(p_lint)
+    add_comm_caps(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
 
     p_verify = sub.add_parser(
@@ -706,6 +860,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--audit",
         action="store_true",
         help="classify which lint rules the verifier certifies as sound",
+    )
+    p_verify.add_argument(
+        "--comm",
+        action="store_true",
+        help="differentially verify the communication classifier against "
+        "the reuse engine and brute-force PE access-set enumeration; "
+        "exits 1 on any mismatch",
     )
     p_verify.add_argument(
         "--model", choices=sorted(MODELS), help="zoo model to verify against"
@@ -748,6 +909,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_dse.add_argument("--pe-step", type=int, default=8)
     add_verify_coverage(p_dse)
     add_symbolic_prune(p_dse)
+    add_comm_caps(p_dse)
+    add_comm_prune(p_dse)
     add_backend(p_dse)
     add_obs(p_dse)
     p_dse.set_defaults(func=_cmd_dse)
@@ -772,8 +935,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-l2", type=int, default=None, help="reject candidates over this L2 bytes"
     )
     add_hw(p_tune)
+    add_comm_caps(p_tune)
     add_verify_coverage(p_tune)
     add_symbolic_prune(p_tune)
+    add_comm_prune(p_tune)
     add_backend(p_tune)
     add_obs(p_tune)
     p_tune.set_defaults(func=_cmd_tune)

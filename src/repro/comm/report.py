@@ -1,0 +1,77 @@
+"""Human-readable rendering of communication classifications.
+
+The ``analyze --comm`` and ``lint --comm`` CLI views share this table:
+one row per non-degenerate (level, tensor) pair showing the certified
+pattern, its fan-in/fan-out degree, and the closed-form degree formula
+so the verdict stays auditable at a glance. JSON output goes through
+``CommAnalysis.to_dict`` directly; this module only owns the text view.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.comm.classify import CommAnalysis
+from repro.util.text_table import format_table
+
+__all__ = [
+    "comm_rows",
+    "render_comm_table",
+    "render_comm_summary",
+]
+
+_HEADERS = (
+    "level",
+    "tensor",
+    "pattern",
+    "fan-in",
+    "fan-out",
+    "chain",
+    "degree formula",
+)
+
+
+def comm_rows(analysis: CommAnalysis) -> List[Sequence[object]]:
+    """Table rows for every classified (level, tensor) pair."""
+    rows: List[Sequence[object]] = []
+    for level in analysis.levels:
+        for tensor in level.tensors:
+            rows.append(
+                (
+                    level.index,
+                    tensor.tensor,
+                    tensor.pattern.value,
+                    tensor.fan_in,
+                    tensor.fan_out,
+                    tensor.chain_length,
+                    tensor.degree_formula,
+                )
+            )
+    return rows
+
+
+def render_comm_table(analysis: CommAnalysis) -> str:
+    """The full per-tensor classification table for one mapping."""
+    title = (
+        f"communication: {analysis.dataflow_name} on {analysis.layer_name} "
+        f"({analysis.num_pes} PEs)"
+    )
+    rows = comm_rows(analysis)
+    if not rows:
+        return f"{title}\n  (no concurrent spatial levels: nothing to communicate)"
+    return format_table(_HEADERS, rows, title=title)
+
+
+def render_comm_summary(analysis: CommAnalysis) -> str:
+    """One-line demand summary: pattern counts plus hardware needs."""
+    counts = analysis.pattern_counts()
+    parts = [f"{name}={count}" for name, count in counts.items() if count]
+    if not parts:
+        parts = ["no concurrent spatial levels"]
+    needs = []
+    if analysis.requires_spatial_reduction:
+        needs.append("needs reduction tree")
+    if analysis.requires_multicast:
+        needs.append("needs multicast")
+    tail = f" [{', '.join(needs)}]" if needs else ""
+    return f"comm: {', '.join(parts)}{tail}"

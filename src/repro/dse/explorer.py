@@ -74,6 +74,10 @@ class DSEStatistics:
     #: Points inside hardware regions dominated by the incumbents on
     #: every objective simultaneously (interval upper/lower bounds).
     bnb_pruned: int = 0
+    #: Points whose mapping the communication classifier proved to race
+    #: (spatially mapped reduction on reduction-free hardware) under
+    #: ``comm_prune``; zero whenever the hardware supports reduction.
+    comm_rejects: int = 0
 
     @property
     def effective_rate(self) -> float:
@@ -114,6 +118,9 @@ def explore(
     cache: Union[bool, AnalysisCache, None] = True,
     symbolic_prune: bool = False,
     symbolic_block: int = 8,
+    spatial_reduction: bool = True,
+    noc_multicast: bool = True,
+    comm_prune: bool = False,
 ) -> DSEResult:
     """Sweep ``space`` for ``layer`` under the given budgets.
 
@@ -152,9 +159,29 @@ def explore(
     exhaustive sweep; only the Pareto set may lose dominated interior
     points. Regions the abstract engine cannot certify (partial binding
     failures) are never pruned.
+
+    ``spatial_reduction`` and ``noc_multicast`` set the communication
+    capabilities of every swept accelerator (the Table 5 switches). With
+    ``comm_prune`` on *reduction-free* hardware
+    (``spatial_reduction=False``), each variant is probe-classified once
+    by the communication analyzer (:mod:`repro.comm`) and grid points
+    where the mapping spatially maps a reduction-carried dimension —
+    i.e. would race its output writes, the DF300 hazard — are rejected
+    (``comm_rejects``) before any cost-model call. The screen factors
+    the classification by PE count (inner-level races are PE-count
+    independent; a top-level race needs two or more top clusters), so
+    one probe decides every grid point. On reduction-capable hardware
+    the screen is inert by construction, so optima are bit-identical
+    with or without ``comm_prune``; variants the classifier cannot bind
+    or classify are never pruned.
     """
     start = time.perf_counter()
-    explored = pruned = static_rejects = coverage_rejects = 0
+    explored = pruned = static_rejects = coverage_rejects = comm_rejects = 0
+
+    def make_noc(bandwidth: int) -> NoC:
+        return NoC(
+            bandwidth=bandwidth, avg_latency=noc_latency, multicast=noc_multicast
+        )
 
     # One static pass per variant: the layer-only lint verdict and the
     # PE demand of the cluster hierarchy (compared per PE count below).
@@ -187,6 +214,27 @@ def explore(
                 except Exception:
                     continue  # never let verification break the sweep
                 variant_refuted[key] = result.verdict is Verdict.REFUTED
+
+    # One communication probe per variant: only meaningful (and only
+    # run) when the swept hardware lacks spatial reduction, so the
+    # screen cannot touch a capable-hardware sweep. A probe that cannot
+    # classify (binding failure, exotic mapping) yields no demand and
+    # never prunes.
+    variant_demand: dict = {}
+    if comm_prune and not spatial_reduction:
+        with obs.span("dse.comm_screen"):
+            from repro.comm import reduction_demand
+
+            for label, dataflow in space.dataflow_variants:
+                key = (label, dataflow.name)
+                if static_lint and variant_lint.get(key, (False, 0))[0]:
+                    continue  # already rejected statically
+                if verify_coverage and variant_refuted.get(key):
+                    continue  # already rejected by the verifier
+                try:
+                    variant_demand[key] = reduction_demand(dataflow, layer)
+                except Exception:
+                    continue  # never let classification break the sweep
 
     # ------------------------------------------------------------------
     # Phase 1 — enumerate: classify every grid point as budget-pruned,
@@ -224,6 +272,11 @@ def explore(
                         pruned += 1
                         coverage_rejects += 1
                         continue
+                    demand = variant_demand.get((label, dataflow.name))
+                    if demand is not None and demand.races_on(num_pes):
+                        pruned += 1
+                        comm_rejects += 1
+                        continue
                     candidates.append((num_pes, bandwidth, label, dataflow))
 
     def fold_point(
@@ -236,7 +289,8 @@ def explore(
             num_pes=num_pes,
             l1_size=l1,
             l2_size=l2,
-            noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
+            noc=make_noc(bandwidth),
+            spatial_reduction=spatial_reduction,
         )
         area = area_model.area(sized)
         power = area_model.power(sized)
@@ -278,7 +332,8 @@ def explore(
                     dataflow=dataflow,
                     accelerator=Accelerator(
                         num_pes=num_pes,
-                        noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
+                        noc=make_noc(bandwidth),
+                        spatial_reduction=spatial_reduction,
                     ),
                     energy_model=energy_model,
                 )
@@ -324,7 +379,8 @@ def explore(
                         dataflow=dataflow,
                         accelerator=Accelerator(
                             num_pes=num_pes,
-                            noc=NoC(bandwidth=bandwidth, avg_latency=noc_latency),
+                            noc=make_noc(bandwidth),
+                            spatial_reduction=spatial_reduction,
                         ),
                         energy_model=energy_model,
                     )
@@ -364,7 +420,7 @@ def explore(
     # symbolically discarded, or answered by the cost model (evaluated
     # successfully or failed).
     failures = calls_submitted - evaluated
-    budget_pruned = pruned - static_rejects - coverage_rejects
+    budget_pruned = pruned - static_rejects - coverage_rejects - comm_rejects
     assert explored == space.size, (
         f"enumeration drift: walked {explored} of {space.size} grid points"
     )
@@ -373,6 +429,7 @@ def explore(
         + failures
         + static_rejects
         + coverage_rejects
+        + comm_rejects
         + budget_pruned
         + symbolic_rejects
         + bnb_pruned
@@ -380,6 +437,7 @@ def explore(
     ), (
         f"statistics drift: evaluated={evaluated} failures={failures} "
         f"static_rejects={static_rejects} coverage_rejects={coverage_rejects} "
+        f"comm_rejects={comm_rejects} "
         f"budget_pruned={budget_pruned} symbolic_rejects={symbolic_rejects} "
         f"bnb_pruned={bnb_pruned} "
         f"do not partition the {space.size}-point grid"
@@ -391,6 +449,7 @@ def explore(
     obs.inc("dse.pruned_by_lint", static_rejects)
     obs.inc("dse.pruned_by_verify", coverage_rejects)
     obs.inc("dse.pruned_by_symbolic", symbolic_rejects + bnb_pruned)
+    obs.inc("dse.pruned_by_comm", comm_rejects)
     statistics = DSEStatistics(
         explored=explored,
         evaluated=evaluated,
@@ -405,6 +464,7 @@ def explore(
         eval_wall_seconds=eval_wall,
         symbolic_rejects=symbolic_rejects,
         bnb_pruned=bnb_pruned,
+        comm_rejects=comm_rejects,
     )
     return DSEResult(
         points=tuple(points),

@@ -105,6 +105,31 @@ class Accelerator:
         """A copy with NoC fields replaced (e.g. ``multicast=False``)."""
         return replace(self, noc=replace(self.noc, **kwargs))
 
+    # ------------------------------------------------------------------
+    # Communication capabilities — the one source of truth the comm
+    # rules (DF300/DF301), the capability pruning screens, and the cost
+    # engines all read. The backing switches are ``spatial_reduction``
+    # (the array-level adder tree / reduce-and-forward of Table 2) and
+    # ``noc.multicast`` (fan-out wiring); these properties are the
+    # canonical spelling so callers never reach into the NoC directly.
+    # ------------------------------------------------------------------
+    @property
+    def reduction_support(self) -> bool:
+        """Whether partial sums can be reduced spatially across PEs."""
+        return self.spatial_reduction
+
+    @property
+    def multicast_support(self) -> bool:
+        """Whether the NoC can fan one datum out to many PEs at once."""
+        return self.noc.multicast
+
+    def capabilities(self) -> dict:
+        """The communication capability flags as a plain dict."""
+        return {
+            "reduction_support": self.reduction_support,
+            "multicast_support": self.multicast_support,
+        }
+
     def bytes_per_cycle(self) -> int:
         """NoC bandwidth in bytes per cycle."""
         return self.noc.bandwidth * self.element_bytes

@@ -16,9 +16,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import HardwareError
 from repro.hardware.accelerator import NoC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.accelerator import Accelerator
 
 
 class Topology:
@@ -33,6 +37,19 @@ class Topology:
     def supports_multicast(self) -> bool:
         raise NotImplementedError
 
+    def supports_reduction(self) -> bool:
+        """Whether the topology can combine partial sums in the network.
+
+        The preset defaults make the implicit assumptions of the NoC
+        cost formulas explicit: store-and-forward fabrics (systolic
+        chains) and hierarchical buses with per-tensor channels
+        (Eyeriss-style, with local psum accumulation) reduce in the
+        network; plain buses, crossbars, and corner-injected meshes
+        only move data — partial sums must round-trip through the
+        upper buffer.
+        """
+        raise NotImplementedError
+
     def as_noc(self) -> NoC:
         """The equivalent pipe-model NoC."""
         return NoC(
@@ -40,6 +57,18 @@ class Topology:
             avg_latency=self.avg_latency(),
             multicast=self.supports_multicast(),
         )
+
+    def as_accelerator(self, num_pes: int, **overrides) -> "Accelerator":
+        """An :class:`Accelerator` with this topology's NoC and capabilities.
+
+        ``spatial_reduction`` defaults to :meth:`supports_reduction` so
+        the accelerator's capability flags and the topology stay one
+        source of truth; any field can still be overridden.
+        """
+        from repro.hardware.accelerator import Accelerator
+
+        overrides.setdefault("spatial_reduction", self.supports_reduction())
+        return Accelerator(num_pes=num_pes, noc=self.as_noc(), **overrides)
 
 
 @dataclass(frozen=True)
@@ -61,6 +90,9 @@ class Bus(Topology):
 
     def supports_multicast(self) -> bool:
         return True
+
+    def supports_reduction(self) -> bool:
+        return False  # a shared wire moves data; it cannot add
 
 
 @dataclass(frozen=True)
@@ -89,6 +121,9 @@ class HierarchicalBus(Topology):
     def supports_multicast(self) -> bool:
         return True
 
+    def supports_reduction(self) -> bool:
+        return True  # dedicated psum channel accumulates on the way up
+
 
 @dataclass(frozen=True)
 class Crossbar(Topology):
@@ -109,6 +144,9 @@ class Crossbar(Topology):
 
     def supports_multicast(self) -> bool:
         return True
+
+    def supports_reduction(self) -> bool:
+        return False  # switches route; partial sums pass through whole
 
 
 @dataclass(frozen=True)
@@ -135,6 +173,9 @@ class Mesh2D(Topology):
     def supports_multicast(self) -> bool:
         return True  # path-based multicast along rows/columns
 
+    def supports_reduction(self) -> bool:
+        return False  # corner-injected mesh has no in-network adders
+
 
 @dataclass(frozen=True)
 class SystolicChain(Topology):
@@ -160,6 +201,9 @@ class SystolicChain(Topology):
 
     def supports_multicast(self) -> bool:
         return True  # forwarding realizes multicast over time
+
+    def supports_reduction(self) -> bool:
+        return True  # accumulate-and-forward along the chain
 
 
 def eyeriss_like_noc(channel_width: int = 4) -> NoC:

@@ -28,6 +28,7 @@ from repro.lint.diagnostics import (
 )
 from repro.lint.engine import (
     construction_diagnostics,
+    explain_rule,
     lint_dataflow,
     lint_directives,
     lint_text,
@@ -52,6 +53,7 @@ __all__ = [
     "SYMBOLIC_RULES",
     "SymbolicRule",
     "construction_diagnostics",
+    "explain_rule",
     "lint_dataflow",
     "lint_directives",
     "lint_symbolic",

@@ -34,12 +34,74 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "construction_diagnostics",
+    "explain_rule",
     "lint_dataflow",
     "lint_directives",
     "lint_text",
     "required_pes",
     "static_errors",
 ]
+
+#: Provenance family per rule-code prefix, for ``explain_rule``.
+_FAMILIES = {
+    "DF0": "concrete heuristic/cost rules over one (mapping, layer, hardware)",
+    "DF1": "coverage verdicts emitted from the repro.verify enumeration engine",
+    "DF2": "symbolic range certificates from the abstract interpreter",
+    "DF3": "certified communication classifications from repro.comm",
+}
+
+
+def explain_rule(code: str) -> str:
+    """Human-readable explanation of one registered rule.
+
+    Looks ``code`` up in both registries (concrete ``RULES`` and the
+    symbolic ``SYMBOLIC_RULES``), and renders its title, severity,
+    category flags, requirements, provenance family, and the check
+    function's full docstring. Raises ``KeyError`` for unknown codes.
+    """
+    import inspect
+
+    from repro.lint.rules import RULES as concrete
+
+    code = code.upper()
+    lines: List[str] = []
+    rule = concrete.get(code)
+    if rule is not None:
+        category = []
+        if rule.construction:
+            category.append("construction-time")
+        if rule.binding_equivalent:
+            category.append("binding-equivalent")
+        lines = [
+            f"{rule.code}: {rule.title}",
+            f"  severity:   {rule.default_severity}",
+            f"  category:   {', '.join(category) or 'lint-time'}",
+            f"  requires:   {', '.join(sorted(rule.requires)) or 'directives only'}",
+        ]
+        check = rule.check
+    else:
+        from repro.lint.symbolic import SYMBOLIC_RULES
+
+        symbolic = SYMBOLIC_RULES.get(code)
+        if symbolic is None:
+            known = sorted(set(concrete) | set(SYMBOLIC_RULES))
+            raise KeyError(
+                f"unknown lint rule {code!r}; known rules: {', '.join(known)}"
+            )
+        lines = [
+            f"{symbolic.code}: {symbolic.title}",
+            f"  severity:   {symbolic.default_severity}",
+            "  category:   symbolic (shape-range)",
+            "  requires:   shape box + hardware box",
+        ]
+        check = symbolic.check
+    family = _FAMILIES.get(code[:3], "unknown family")
+    lines.append(f"  provenance: {family}")
+    doc = inspect.getdoc(check)
+    if doc:
+        lines.append("")
+        lines.extend(f"  {line}".rstrip() for line in doc.splitlines())
+    return "\n".join(lines)
 
 
 def _dedupe(diagnostics: "Sequence[Diagnostic]") -> List[Diagnostic]:

@@ -357,6 +357,11 @@ def required_pes(dataflow: "Dataflow", layer: "Layer") -> int:
     construction=True,
 )
 def _check_empty(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A dataflow with no directives describes no schedule at all.
+
+    Construction-time: ``Dataflow(...)`` raises, so no downstream engine
+    ever sees an empty mapping.
+    """
     if not ctx.directives:
         yield ctx.diag("DF001", f"{ctx.name}: a dataflow needs at least one directive")
 
@@ -368,6 +373,11 @@ def _check_empty(ctx: RuleContext) -> Iterator[Diagnostic]:
     construction=True,
 )
 def _check_directive_kinds(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Every directive must be a map or a Cluster.
+
+    Construction-time: anything else (a typo'd kind, a raw string, a
+    foreign object) is rejected before it can corrupt level splitting.
+    """
     for index, directive in enumerate(ctx.directives):
         if not isinstance(directive, (MapDirective, ClusterDirective)):
             yield ctx.diag(
@@ -382,6 +392,11 @@ def _check_directive_kinds(ctx: RuleContext) -> Iterator[Diagnostic]:
     construction=True,
 )
 def _check_trailing_cluster(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A ``Cluster`` opens a sub-level, so it cannot be the last directive.
+
+    Construction-time: a trailing Cluster would create a level with no
+    maps — sub-units with nothing to execute.
+    """
     if ctx.directives and isinstance(ctx.directives[-1], ClusterDirective):
         yield ctx.diag(
             "DF003",
@@ -398,6 +413,12 @@ def _check_trailing_cluster(ctx: RuleContext) -> Iterator[Diagnostic]:
     construction=True,
 )
 def _check_coordinate_mixing(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """One axis must use either input (Y/X) or output (Y'/X') coordinates.
+
+    Construction-time: mixing both on the same axis makes the tensor
+    access relations ambiguous — there is no single row/column
+    representation the analysis engines could bind.
+    """
     for in_dim, out_dim in ((D.Y, D.YP), (D.X, D.XP)):
         first_style: Optional[str] = None
         for index, directive in ctx.map_entries:
@@ -429,6 +450,12 @@ def _check_coordinate_mixing(ctx: RuleContext) -> Iterator[Diagnostic]:
     binding_equivalent=True,
 )
 def _check_duplicate_dims(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A dimension may appear at most once per cluster level.
+
+    Binding-equivalent: the cluster analysis engine raises on duplicate
+    dimensions within a level, so an error here implies the mapping
+    cannot bind at all.
+    """
     for level in ctx.levels:
         seen: Dict[str, int] = {}
         for index, directive in level.maps:
@@ -451,6 +478,12 @@ def _check_duplicate_dims(ctx: RuleContext) -> Iterator[Diagnostic]:
     requires=("layer",),
 )
 def _check_dimension_coverage(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Informational: a used layer dimension is never mapped.
+
+    Unmapped dimensions are handled as one full-size chunk per step —
+    legal, but often an oversight that forfeits tiling freedom along
+    that dimension.
+    """
     mapped = {D.base_dim(d.dim) for _, d in ctx.map_entries}
     for dim in D.CANONICAL_DIMS:
         extent = ctx.layer.dims.get(dim, 1)
@@ -475,6 +508,11 @@ def _check_dimension_coverage(ctx: RuleContext) -> Iterator[Diagnostic]:
     binding_equivalent=True,
 )
 def _check_cluster_fits(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """The product of cluster sizes must not exceed the PE count.
+
+    Binding-equivalent: binding raises when the hierarchy needs more
+    sub-units than the accelerator provides.
+    """
     sizes = [ctx.eval_cluster_size(c.size) for _, c in ctx.cluster_entries]
     if not sizes or any(s is None for s in sizes) or any(s < 1 for s in sizes):
         return  # symbolic without a layer, or reported by DF011/DF012
@@ -500,6 +538,11 @@ def _check_cluster_fits(ctx: RuleContext) -> Iterator[Diagnostic]:
     requires=("accelerator",),
 )
 def _check_cluster_divisibility(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """PEs that do not divide into whole clusters sit permanently idle.
+
+    Heuristic cost warning: the mapping still binds and runs, but the
+    remainder PEs never receive work.
+    """
     sizes = [ctx.eval_cluster_size(c.size) for _, c in ctx.cluster_entries]
     if not sizes or any(s is None or s < 1 for s in sizes):
         return
@@ -544,6 +587,12 @@ def _suggest_spatial_size(extent: int, size: int, width: int) -> Optional[int]:
     requires=("layer", "accelerator"),
 )
 def _check_spatial_utilization(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Spatial chunk counts that do not fill every fold waste PEs.
+
+    Heuristic: computed from the bound schedule's average active
+    sub-units; the fix-it proposes a nearby size whose chunk count
+    fills each fold exactly.
+    """
     bound = ctx.bound
     if bound is None:
         return
@@ -589,6 +638,14 @@ def _check_spatial_utilization(ctx: RuleContext) -> Iterator[Diagnostic]:
     Severity.WARNING,
 )
 def _check_halo_misuse(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Overlapping chunks (offset < size) only pay off on sliding dims.
+
+    On Y/X the halo is convolutional reuse; on any other dimension it
+    re-fetches the same indices for nothing. Coverage-refutable: the
+    verifier refutes the canonical triggers with counterexamples (see
+    ``repro.verify.audit``), though benign clamped inner-level variants
+    exist — hence a warning, not an error.
+    """
     for index, directive in ctx.map_entries:
         if directive.dim in _SLIDING_DIMS:
             continue  # halo on Y/X is convolutional reuse, the point of it
@@ -619,6 +676,11 @@ def _check_halo_misuse(ctx: RuleContext) -> Iterator[Diagnostic]:
     binding_equivalent=True,
 )
 def _check_positive_sizes(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Sizes and offsets must evaluate to >= 1.
+
+    Binding-equivalent: the engine rejects non-positive chunk sizes and
+    offsets for the same mapping.
+    """
     for index, directive in ctx.map_entries:
         size = ctx.eval_size(directive.size)
         offset = ctx.eval_size(directive.offset)
@@ -653,6 +715,11 @@ def _check_positive_sizes(ctx: RuleContext) -> Iterator[Diagnostic]:
     binding_equivalent=True,
 )
 def _check_size_expressions(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Symbolic sizes (``Sz``, ``St`` expressions) must be resolvable.
+
+    Binding-equivalent: an expression that cannot be evaluated against
+    the layer's extents makes binding raise.
+    """
     for index, directive in enumerate(ctx.directives):
         if isinstance(directive, MapDirective):
             values = (("size", directive.size), ("offset", directive.offset))
@@ -677,6 +744,12 @@ def _check_size_expressions(ctx: RuleContext) -> Iterator[Diagnostic]:
     Severity.WARNING,
 )
 def _check_coverage_gaps(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """An offset larger than the size skips indices on non-sliding dims.
+
+    Part of the computation is then never mapped. Coverage-refutable:
+    the verifier refutes the canonical triggers with concrete missed
+    coordinates (see ``repro.verify.audit``).
+    """
     for index, directive in ctx.map_entries:
         if directive.dim in _SLIDING_DIMS:
             continue  # strided windows legitimately skip input pixels
@@ -712,6 +785,12 @@ def _check_coverage_gaps(ctx: RuleContext) -> Iterator[Diagnostic]:
     requires=("layer", "accelerator"),
 )
 def _check_l1_footprint(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """The innermost tile (double-buffered) must fit the per-PE L1.
+
+    Heuristic capacity check against the bound chunk sizes and tensor
+    volumes; an overflow means the mapping cannot be buffered as
+    scheduled.
+    """
     if ctx.accelerator.l1_size is None:
         return
     bound, tensors = ctx.bound, ctx.tensors
@@ -744,6 +823,11 @@ def _check_l1_footprint(ctx: RuleContext) -> Iterator[Diagnostic]:
     requires=("layer", "accelerator"),
 )
 def _check_l2_footprint(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """The level-0 working set should fit the shared L2.
+
+    Heuristic capacity warning: an overflow does not break the
+    schedule, but every excess byte spills to DRAM traffic.
+    """
     if ctx.accelerator.l2_size is None:
         return
     bound, tensors = ctx.bound, ctx.tensors
@@ -789,6 +873,14 @@ def _check_l2_footprint(ctx: RuleContext) -> Iterator[Diagnostic]:
     requires=("layer", "accelerator"),
 )
 def _check_spatial_reduction_support(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Spatial reduction without a reduction tree costs buffer round-trips.
+
+    The paper's Table 5 cost warning: when every output axis shift is
+    zero across a level's sub-units, partial sums must be combined; a
+    machine without spatial-reduction hardware serializes them through
+    the upper buffer. The concurrency *hazard* version of this (an
+    actual write-write race) is DF300.
+    """
     if ctx.accelerator.spatial_reduction:
         return
     bound, tensors = ctx.bound, ctx.tensors
@@ -817,6 +909,12 @@ def _check_spatial_reduction_support(ctx: RuleContext) -> Iterator[Diagnostic]:
     requires=("layer", "accelerator"),
 )
 def _check_multicast_support(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Broadcast-identical tensors on a unicast NoC duplicate every fetch.
+
+    The paper's Table 5 cost warning, based on zero axis shifts across
+    sub-units. DF301 is the certified-classifier version carrying the
+    exact duplication factor.
+    """
     if ctx.accelerator.noc.multicast:
         return
     bound, tensors = ctx.bound, ctx.tensors
@@ -850,6 +948,11 @@ def _check_multicast_support(ctx: RuleContext) -> Iterator[Diagnostic]:
     requires=("layer", "accelerator"),
 )
 def _check_idle_levels(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A level whose joint spatial distribution has one chunk wastes PEs.
+
+    All sub-units but one execute nothing; the per-directive variant
+    (one degenerate SpatialMap among productive ones) is DF302.
+    """
     bound = ctx.bound
     if bound is None:
         return
@@ -882,6 +985,11 @@ def _check_idle_levels(ctx: RuleContext) -> Iterator[Diagnostic]:
     requires=("layer",),
 )
 def _check_coverage_refuted(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """The verifier found a MAC executed zero or multiple times.
+
+    Provenance "proven": the diagnostic carries a concrete
+    counterexample coordinate from ``repro.verify``.
+    """
     result = ctx.coverage
     if result is None:
         return
@@ -909,6 +1017,11 @@ def _check_coverage_refuted(ctx: RuleContext) -> Iterator[Diagnostic]:
     requires=("layer",),
 )
 def _check_coverage_proven(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Positive certificate: every MAC executes exactly once.
+
+    Provenance "proven": emitted directly from a ``repro.verify``
+    PROVEN verdict (decomposition or enumeration).
+    """
     result = ctx.coverage
     if result is None:
         return
@@ -931,6 +1044,11 @@ def _check_coverage_proven(ctx: RuleContext) -> Iterator[Diagnostic]:
     requires=("layer",),
 )
 def _check_coverage_undecided(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """The lint-time verification budget ran out before a verdict.
+
+    The honest "don't know" signal: neither DF101 nor DF102 applies;
+    run ``repro verify`` with a larger budget for a decision.
+    """
     result = ctx.coverage
     if result is None:
         return
@@ -943,3 +1061,208 @@ def _check_coverage_undecided(ctx: RuleContext) -> Iterator[Diagnostic]:
         f"{ctx.name}: coverage on {result.layer_name} undecided: "
         f"{result.message or 'enumeration budget exhausted'}",
     )
+
+
+# ======================================================================
+# Spatial communication & concurrency, backed by repro.comm (DF300-DF303)
+#
+# These rules read the *certified* communication classification (the
+# Table 2 closed form, differentially validated against brute-force PE
+# access-set enumeration) instead of re-deriving shift patterns, and
+# carry its provenance. DF015/DF016 remain as the Table-5 *cost*
+# warnings; DF300/DF301 are the hazard/blow-up statements with exact
+# fan-in / duplication numbers.
+# ======================================================================
+def _comm_levels(ctx: RuleContext) -> "List[Tuple[object, LevelView, object]]":
+    """(bound level, level view, LevelComm) triples, or ``[]`` if unbound."""
+    bound, tensors = ctx.bound, ctx.tensors
+    if bound is None or tensors is None:
+        return []
+    try:
+        from repro.comm.classify import classify_level
+
+        return [
+            (level, view, classify_level(level, tensors))
+            for level, view in zip(bound.levels, ctx.levels)
+        ]
+    except Exception:
+        return []
+
+
+def _first_spatial_index(view: LevelView) -> Optional[int]:
+    spatial = [(i, d) for i, d in view.maps if d.spatial]
+    return spatial[0][0] if spatial else None
+
+
+@rule(
+    "DF300",
+    "write-write race: spatial reduction on hardware without a reduction tree",
+    Severity.ERROR,
+    requires=("layer", "accelerator"),
+)
+def _check_write_race(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Concurrent sub-units write the same output elements with nothing
+    to combine them.
+
+    The communication classifier certifies a level as ``REDUCTION``
+    when its spatial offsets leave every (or some, for partial
+    overlaps) output axis shared across concurrently active sub-units:
+    a reduction-carried dimension is spatially mapped. On hardware
+    whose ``reduction_support`` capability is off, those concurrent
+    partial-sum writes race (or silently serialize) — a correctness
+    hazard, not a cost trade-off, hence an error where DF015 only
+    warns. Fix by mapping the reduction dimension temporally or by
+    choosing reduction-capable hardware.
+    """
+    if ctx.accelerator.reduction_support:
+        return
+    from repro.comm.classify import STATIC_PROVENANCE
+
+    for level, view, comm in _comm_levels(ctx):
+        if not getattr(comm, "requires_reduction", False):
+            continue
+        output = comm.output_comm
+        exact = "all" if output.exact_overlap else "some"
+        yield ctx.diag(
+            "DF300",
+            f"{ctx.name}: level {comm.index} spatially maps a reduction-carried "
+            f"dimension — {output.fan_in} concurrent sub-units write {exact} "
+            f"elements of {output.tensor} ({output.degree_formula}), but the "
+            f"hardware has no reduction tree: a write-write race",
+            index=_first_spatial_index(view),
+            provenance=STATIC_PROVENANCE,
+            fixit=FixIt(
+                "map the reduction-carried dimension with TemporalMap (or pick "
+                "hardware with reduction_support)"
+            ),
+        )
+
+
+@rule(
+    "DF301",
+    "multicast required on unicast-only hardware",
+    Severity.WARNING,
+    requires=("layer", "accelerator"),
+)
+def _check_multicast_duplication(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Each multicast-classified tensor is fetched once per receiver.
+
+    When the classifier certifies a tensor as ``MULTICAST`` (identical
+    across every concurrently active sub-unit) but the hardware's
+    ``multicast_support`` capability is off, the NoC delivers one copy
+    per receiver: the statically computed duplication factor is exactly
+    the multicast fan-out. A cost blow-up, not a hazard — hence a
+    warning, with the factor in the message.
+    """
+    if ctx.accelerator.multicast_support:
+        return
+    from repro.comm.classify import STATIC_PROVENANCE, CommPattern
+
+    for level, view, comm in _comm_levels(ctx):
+        factors = [
+            (t.tensor, t.fan_out)
+            for t in getattr(comm, "tensors", ())
+            if t.pattern is CommPattern.MULTICAST
+        ]
+        if not factors:
+            continue
+        detail = ", ".join(f"{name} x{factor}" for name, factor in factors)
+        yield ctx.diag(
+            "DF301",
+            f"{ctx.name}: level {comm.index} multicasts {detail} but the NoC is "
+            f"unicast-only; every delivery is duplicated per receiver",
+            index=_first_spatial_index(view),
+            provenance=STATIC_PROVENANCE,
+        )
+
+
+@rule(
+    "DF302",
+    "degenerate SpatialMap: fan-out 1, no spatial reuse",
+    Severity.WARNING,
+    requires=("layer", "accelerator"),
+)
+def _check_degenerate_spatial_map(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A SpatialMap whose dimension yields a single chunk distributes
+    nothing.
+
+    The directive spends the level's spatial slot on a dimension with
+    one chunk (extent <= size): fan-out 1, zero inter-PE reuse, while a
+    TemporalMap of the same size is semantically identical and keeps
+    the intent honest. The whole-level version (nothing distributed at
+    all) is DF018; this rule fires per directive when *another* mapped
+    dimension still carries the distribution.
+    """
+    bound = ctx.bound
+    if bound is None:
+        return
+    from repro.comm.classify import STATIC_PROVENANCE
+
+    for level, view in zip(bound.levels, ctx.levels):
+        if level.width <= 1 or level.spatial_chunks <= 1:
+            continue  # whole-level degeneracy is DF018's business
+        degenerate_dims = {
+            d.dim for d in level.directives if d.spatial and d.chunks <= 1
+        }
+        for index, directive in view.maps:
+            if not directive.spatial or directive.dim not in degenerate_dims:
+                continue
+            size = ctx.eval_size(directive.size)
+            offset = ctx.eval_size(directive.offset)
+            replacement = None
+            if size is not None and offset is not None:
+                replacement = f"TemporalMap({size},{offset}) {directive.dim}"
+            yield ctx.diag(
+                "DF302",
+                f"{ctx.name}: SpatialMap on {directive.dim} at level "
+                f"{level.index} produces a single chunk (fan-out 1): nothing "
+                f"is distributed along it",
+                index=index,
+                provenance=STATIC_PROVENANCE,
+                fixit=FixIt(
+                    f"map {directive.dim} temporally; the spatial slot adds "
+                    f"nothing here",
+                    replacement=replacement,
+                ),
+            )
+
+
+@rule(
+    "DF303",
+    "forwarding chain longer than the PE row",
+    Severity.WARNING,
+    requires=("layer", "accelerator"),
+)
+def _check_forwarding_chain(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A store-and-forward chain should fit one physical PE row.
+
+    ``FORWARDING``-classified tensors (partial overlaps, offset <
+    size) ride neighbor-to-neighbor links; a chain spanning more
+    sub-units than the PE array's row length (``isqrt(num_pes)`` for
+    the square arrays the cost model assumes) must hop across rows,
+    where nearest-neighbor forwarding no longer exists.
+    """
+    import math as _math
+
+    from repro.comm.classify import STATIC_PROVENANCE, CommPattern
+
+    row = max(1, _math.isqrt(ctx.accelerator.num_pes))
+    for level, view, comm in _comm_levels(ctx):
+        chains = [
+            t
+            for t in getattr(comm, "tensors", ())
+            if t.pattern is CommPattern.FORWARDING and t.chain_length > row
+        ]
+        for tensor in chains:
+            yield ctx.diag(
+                "DF303",
+                f"{ctx.name}: level {comm.index} forwards {tensor.tensor} along "
+                f"a {tensor.chain_length}-unit chain, longer than the "
+                f"{row}-PE row of a {ctx.accelerator.num_pes}-PE array",
+                index=_first_spatial_index(view),
+                provenance=STATIC_PROVENANCE,
+                fixit=FixIt(
+                    f"shrink the spatial extent so the chain fits {row} "
+                    f"sub-units, or tile it with a Cluster"
+                ),
+            )

@@ -155,6 +155,11 @@ def symbolic_rule(
 def _check_definitely_unbindable(
     ctx: SymbolicRuleContext,
 ) -> Iterator[Diagnostic]:
+    """Binding fails for every concretization of the shape box.
+
+    The abstract engine only raises when no member of the box can
+    bind, so this failure is itself a range-wide theorem.
+    """
     if ctx.failure is not None:
         yield ctx.diag(
             "DF200",
@@ -169,6 +174,12 @@ def _check_definitely_unbindable(
     Severity.ERROR,
 )
 def _check_l1_fit_symbolic(ctx: SymbolicRuleContext) -> Iterator[Diagnostic]:
+    """L1 fit decided for the whole shape range by interval bounds.
+
+    Lower bound above capacity: every member overflows (error). Upper
+    bound within capacity: every member fits (info certificate).
+    Straddling intervals warn with range-dependent provenance.
+    """
     analysis = ctx.analysis
     if analysis is None or ctx.hw.l1_size is None:
         return
@@ -212,6 +223,11 @@ def _check_l1_fit_symbolic(ctx: SymbolicRuleContext) -> Iterator[Diagnostic]:
 def _check_utilization_symbolic(
     ctx: SymbolicRuleContext,
 ) -> Iterator[Diagnostic]:
+    """PE utilization bounded over the range: under-use or full, proven.
+
+    Warns when even the optimistic corner under-utilizes; certifies
+    full utilization when even the pessimistic corner is full.
+    """
     analysis = ctx.analysis
     if analysis is None:
         return
@@ -244,6 +260,12 @@ def _check_utilization_symbolic(
 def _check_noc_bandwidth_symbolic(
     ctx: SymbolicRuleContext,
 ) -> Iterator[Diagnostic]:
+    """NoC demand vs. provisioned bandwidth over the whole range.
+
+    Warns when the least demanding shape already exceeds the most
+    generous provisioning; certifies fit when the peak demand fits the
+    minimum provisioning.
+    """
     analysis = ctx.analysis
     if analysis is None:
         return

@@ -59,6 +59,11 @@ class TunerResult:
     #: requirement already above the cap); only counted when
     #: ``symbolic_prune`` is enabled and a buffer cap is set.
     symbolic_rejected: int = 0
+    #: How many of ``rejected`` the communication classifier screened
+    #: out (spatially mapped reduction on reduction-free hardware —
+    #: the DF300 race); only counted when ``comm_prune`` is enabled
+    #: and the accelerator lacks ``reduction_support``.
+    comm_rejected: int = 0
     #: How many cost-model answers came from the memoization cache
     #: (free on tuner restarts and overlapping candidate grids).
     cache_hits: int = 0
@@ -91,6 +96,7 @@ def tune_layer(
     static_lint: bool = True,
     verify_coverage: bool = False,
     symbolic_prune: bool = False,
+    comm_prune: bool = False,
     executor: str = "auto",
     jobs: Optional[int] = None,
     cache: Union[bool, AnalysisCache, None] = True,
@@ -124,6 +130,15 @@ def tune_layer(
     (``symbolic_rejected``). The bound encloses the concrete
     requirement, so exactly the candidates phase 3 would reject are
     screened and the winning candidate is unchanged.
+
+    With ``comm_prune`` and an accelerator *without*
+    ``reduction_support``, each candidate is classified once by the
+    communication analyzer (:mod:`repro.comm`) and rejected when it
+    spatially maps a reduction-carried dimension — the DF300 write-race
+    hazard — before any cost-model call (``comm_rejected``). On
+    reduction-capable hardware the screen never runs, so the result is
+    bit-identical with or without the flag; candidates the classifier
+    cannot bind or classify are never pruned.
     """
     start = time.perf_counter()
     try:
@@ -175,6 +190,30 @@ def tune_layer(
                 if refuted:
                     rejected += 1
                     coverage_rejected += 1
+                    continue
+                survivors.append((spec, dataflow))
+            runnable = survivors
+
+    comm_rejected = 0
+    if comm_prune and not accelerator.reduction_support:
+        with obs.span("tuner.comm_screen", candidates=len(runnable)):
+            from repro.comm import classify_dataflow
+
+            survivors = []
+            races: Dict[str, bool] = {}  # dataflow name -> races
+            for spec, dataflow in runnable:
+                racy = races.get(dataflow.name)
+                if racy is None:
+                    try:
+                        racy = classify_dataflow(
+                            dataflow, layer, accelerator
+                        ).requires_spatial_reduction
+                    except Exception:
+                        racy = False  # never let classification break tuning
+                    races[dataflow.name] = racy
+                if racy:
+                    rejected += 1
+                    comm_rejected += 1
                     continue
                 survivors.append((spec, dataflow))
             runnable = survivors
@@ -246,6 +285,7 @@ def tune_layer(
     obs.inc("tuner.pruned_by_lint", statically_rejected)
     obs.inc("tuner.pruned_by_verify", coverage_rejected)
     obs.inc("tuner.pruned_by_symbolic", symbolic_rejected)
+    obs.inc("tuner.pruned_by_comm", comm_rejected)
     return TunerResult(
         layer_name=layer.name,
         objective=objective,
@@ -256,6 +296,7 @@ def tune_layer(
         statically_rejected=statically_rejected,
         coverage_rejected=coverage_rejected,
         symbolic_rejected=symbolic_rejected,
+        comm_rejected=comm_rejected,
         cache_hits=batch.stats.cache_hits,
         cost_model_calls=batch.stats.submitted,
         elapsed_seconds=time.perf_counter() - start,

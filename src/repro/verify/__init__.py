@@ -8,6 +8,11 @@ classifies which lint rules the verifier certifies as sound, and
 the differential tests compare against.
 """
 
+from repro.comm.crosscheck import (
+    CommCrosscheckReport,
+    CommMismatch,
+    crosscheck_comm,
+)
 from repro.verify.audit import RuleAudit, audit_rules
 from repro.verify.crosscheck import (
     CrosscheckReport,
@@ -27,6 +32,8 @@ from repro.verify.schedule import bind_for_verification, required_pes
 __all__ = [
     "DEFAULT_BUDGET",
     "REFERENCE_DIMS",
+    "CommCrosscheckReport",
+    "CommMismatch",
     "Counterexample",
     "CrosscheckReport",
     "CrosscheckViolation",
@@ -39,6 +46,7 @@ __all__ = [
     "brute_force_counts",
     "count_group_point",
     "crosscheck_abstract",
+    "crosscheck_comm",
     "required_pes",
     "total_cells",
     "verify_dataflow",

@@ -33,21 +33,24 @@ def stock_mappings():
 #: cluster sizes track Sz(R), which rarely divides 256. The fig5 flows
 #: deliberately map only a subset of dims (DF006). DF102 is the coverage
 #: verifier's proven-covered INFO and fires on every sound mapping.
+#: DF303 fires for the sliding-window flows whose input forwarding chain
+#: outgrows a 16-PE row on large layers; RS adds DF302 on 1x1-kernel
+#: layers where its joint SpatialMap over R degenerates to one chunk.
 GOLDEN_WARNINGS = {
     "C-P": {"DF009", "DF018", "DF102"},
-    "X-P": {"DF009", "DF018", "DF102"},
-    "YX-P": {"DF009", "DF018", "DF102"},
-    "YR-P": {"DF008", "DF009", "DF018", "DF102"},
+    "X-P": {"DF009", "DF018", "DF102", "DF303"},
+    "YX-P": {"DF009", "DF018", "DF102", "DF303"},
+    "YR-P": {"DF008", "DF009", "DF018", "DF102", "DF303"},
     "KC-P": {"DF009", "DF018", "DF102"},
-    "RS": {"DF008", "DF009", "DF018", "DF101", "DF102"},
+    "RS": {"DF008", "DF009", "DF018", "DF101", "DF102", "DF302", "DF303"},
     "WS-K": {"DF009", "DF018", "DF102"},
-    "OS-YX": {"DF009", "DF018", "DF102"},
+    "OS-YX": {"DF009", "DF018", "DF102", "DF303"},
     "fig5-A": {"DF006", "DF009", "DF018", "DF102"},
     "fig5-B": {"DF006", "DF009", "DF018", "DF102"},
     "fig5-C": {"DF006", "DF009", "DF018", "DF102"},
     "fig5-D": {"DF006", "DF009", "DF018", "DF102"},
     "fig5-E": {"DF006", "DF009", "DF018", "DF102"},
-    "fig5-F": {"DF006", "DF008", "DF009", "DF018", "DF102"},
+    "fig5-F": {"DF006", "DF008", "DF009", "DF018", "DF102", "DF303"},
 }
 
 #: Latent coverage gaps the iteration-space verifier (repro.verify)
