@@ -30,6 +30,15 @@ reduction-capable hardware must be bit-identical with the screen on,
 and on reduction-free hardware at least ``--comm-min-skip`` of the
 baseline sweep's cost-model calls must be avoided.
 
+``--vector BENCH_vector.json`` gates the vector-engine report from
+``bench_vector.py``: zero parity violations against the scalar engines,
+at least ``--vector-min-speedup`` points/sec over them (a same-machine
+ratio, so no normalization is needed), and a fallback rate within
+``--vector-max-fallback``.
+
+A missing or malformed report file fails with a one-line error, not a
+stack trace.
+
 Usage::
 
     python benchmarks/check_regression.py current.json \
@@ -38,7 +47,9 @@ Usage::
         [--phases BENCH_obs.json] [--phases-baseline baseline_obs.json] \
         [--phase-tolerance 0.15] \
         [--absint BENCH_absint.json] [--min-skip 0.30] \
-        [--comm BENCH_comm.json] [--comm-min-skip 0.20]
+        [--comm BENCH_comm.json] [--comm-min-skip 0.20] \
+        [--vector BENCH_vector.json] [--vector-min-speedup 20] \
+        [--vector-max-fallback 0.0]
 """
 
 from __future__ import annotations
@@ -53,12 +64,45 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 DEFAULT_PHASES_BASELINE = Path(__file__).resolve().parent / "baseline_obs.json"
 
 
+def load_report(path: Path, what: str) -> dict:
+    """Read and parse one JSON report, failing with a one-line error.
+
+    A missing or malformed report is an operator mistake (wrong path,
+    interrupted bench run), not a bug in this gate — so it exits with a
+    single clear message instead of a stack trace.
+    """
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise SystemExit(
+            f"error: cannot read {what} report {path}: "
+            f"{error.strerror or error}"
+        )
+    try:
+        document = json.loads(text)
+    except ValueError as error:
+        raise SystemExit(f"error: malformed JSON in {what} report {path}: {error}")
+    if not isinstance(document, dict):
+        raise SystemExit(
+            f"error: malformed {what} report {path}: expected a JSON object, "
+            f"got {type(document).__name__}"
+        )
+    return document
+
+
 def load_means(path: Path) -> dict:
     """Map benchmark fullname -> mean seconds from a benchmark-json report."""
-    report = json.loads(path.read_text())
-    return {
-        bench["fullname"]: bench["stats"]["mean"] for bench in report["benchmarks"]
-    }
+    report = load_report(path, "benchmark")
+    try:
+        return {
+            bench["fullname"]: bench["stats"]["mean"]
+            for bench in report["benchmarks"]
+        }
+    except (KeyError, TypeError) as error:
+        raise SystemExit(
+            f"error: malformed benchmark report {path}: "
+            f"missing or mistyped key {error}"
+        )
 
 
 def calibration_time(means: dict) -> float:
@@ -72,8 +116,8 @@ def phase_share_failures(
     current_path: Path, baseline_path: Path, tolerance: float
 ) -> list:
     """Engine phases whose share of total time drifted beyond tolerance."""
-    current = json.loads(current_path.read_text())["phases"]
-    baseline = json.loads(baseline_path.read_text())["phases"]
+    current = load_report(current_path, "phase-share").get("phases", {})
+    baseline = load_report(baseline_path, "phase-share baseline").get("phases", {})
     failures = []
     for name in sorted(set(baseline) | set(current)):
         if name not in baseline or name not in current:
@@ -93,7 +137,7 @@ def phase_share_failures(
 
 def absint_failures(path: Path, min_skip: float) -> list:
     """Soundness and effectiveness gate for the symbolic pruning report."""
-    report = json.loads(path.read_text())
+    report = load_report(path, "symbolic-pruning")
     failures = []
     if not report["bit_identical"]:
         failures.append(
@@ -118,7 +162,7 @@ def absint_failures(path: Path, min_skip: float) -> list:
 
 def comm_failures(path: Path, min_skip: float) -> list:
     """Soundness and effectiveness gate for the comm pruning report."""
-    report = json.loads(path.read_text())
+    report = load_report(path, "comm-pruning")
     failures = []
     if not report["bit_identical"]:
         failures.append(
@@ -138,6 +182,52 @@ def comm_failures(path: Path, min_skip: float) -> list:
         f"{report['bit_identical']}, {report['calls_avoided']}/"
         f"{report['baseline_cost_model_calls']} calls avoided ({skip:.1%}), "
         f"{report['comm_rejects']} comm-race rejects"
+    )
+    return failures
+
+
+def vector_failures(path: Path, min_speedup: float, max_fallback: float) -> list:
+    """Parity and throughput gate for the vector-engine report.
+
+    Parity violations are deterministic and always fatal; the speedup is
+    a same-machine ratio of best-of-N timings (machine-independent by
+    construction), so it is gated directly against ``--vector-min-speedup``.
+    """
+    report = load_report(path, "vector-engine")
+    try:
+        sweep = report["sweep"]
+        speedup = report["speedup"]
+        violations = report["parity_violations"]
+        checked = report["parity_points_checked"]
+        fallback = report["fallback_rate"]
+    except KeyError as error:
+        raise SystemExit(
+            f"error: malformed vector-engine report {path}: missing key {error}"
+        )
+    failures = []
+    verdict = "ok"
+    if violations:
+        verdict = "MISMATCH"
+        failures.append(
+            f"{violations} parity violation(s) between the vector and scalar "
+            f"engines over {checked} grid points"
+        )
+    if speedup < min_speedup:
+        verdict = "TOO SLOW"
+        failures.append(
+            f"vector engine only x{speedup:.1f} over scalar "
+            f"(need x{min_speedup:.0f})"
+        )
+    if fallback > max_fallback:
+        verdict = "FALLBACKS"
+        failures.append(
+            f"{fallback:.1%} of points fell back to the scalar engines "
+            f"(cap {max_fallback:.0%})"
+        )
+    print(
+        f"  {verdict:10s}{sweep}: x{speedup:.1f} speedup, "
+        f"{violations}/{checked} parity violations, "
+        f"fallback rate {fallback:.1%}"
     )
     return failures
 
@@ -182,6 +272,21 @@ def main(argv=None) -> int:
         "--comm-min-skip", type=float, default=0.20,
         help="minimum fraction of cost-model calls comm pruning must avoid "
         "on reduction-free hardware",
+    )
+    parser.add_argument(
+        "--vector", type=Path, default=None, metavar="BENCH_vector.json",
+        help="also gate the vector-engine parity + throughput report from "
+        "bench_vector.py",
+    )
+    parser.add_argument(
+        "--vector-min-speedup", type=float, default=20.0,
+        help="minimum points/sec speedup of the vector engine over the "
+        "scalar engines (default 20)",
+    )
+    parser.add_argument(
+        "--vector-max-fallback", type=float, default=0.0,
+        help="maximum fraction of points allowed to fall back to the "
+        "scalar engines (default 0)",
     )
     args = parser.parse_args(argv)
 
@@ -230,6 +335,13 @@ def main(argv=None) -> int:
         print("\ncommunication-capability pruning:")
         comm_errors = comm_failures(args.comm, args.comm_min_skip)
 
+    vector_errors = []
+    if args.vector is not None:
+        print("\nvector-engine parity + throughput:")
+        vector_errors = vector_failures(
+            args.vector, args.vector_min_speedup, args.vector_max_fallback
+        )
+
     if failures:
         print(
             f"\n{len(failures)} benchmark(s) regressed beyond "
@@ -258,7 +370,14 @@ def main(argv=None) -> int:
         )
         for message in comm_errors:
             print(f"  {message}", file=sys.stderr)
-    if failures or phase_failures or absint_errors or comm_errors:
+    if vector_errors:
+        print(
+            f"\n{len(vector_errors)} vector-engine gate failure(s):",
+            file=sys.stderr,
+        )
+        for message in vector_errors:
+            print(f"  {message}", file=sys.stderr)
+    if failures or phase_failures or absint_errors or comm_errors or vector_errors:
         return 1
     print("\nno benchmark regressions")
     return 0

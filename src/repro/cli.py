@@ -41,9 +41,11 @@ Subcommands:
 
 ``dse`` and ``tune`` sweep through the batch-evaluation backend
 (:mod:`repro.exec`): ``--jobs N`` fans cost-model evaluations out over
-worker processes, ``--executor`` pins the executor, and
-``--cache``/``--no-cache`` toggle the memoization cache (see
-``docs/evaluation-backend.md``). Results are bit-identical either way.
+worker processes, ``--executor`` pins the executor (``vector`` runs
+whole hardware grids through the NumPy engine in ``repro.vector``; see
+``docs/vectorized-engine.md``), and ``--cache``/``--no-cache`` toggle
+the memoization cache (see ``docs/evaluation-backend.md``). Results are
+bit-identical either way.
 
 ``validate``, ``dse``, and ``tune`` also accept ``--trace-out FILE``
 (Perfetto/Chrome trace JSON, load in https://ui.perfetto.dev) and
@@ -736,9 +738,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         p.add_argument(
             "--executor",
-            choices=["auto", "serial", "process"],
+            choices=["auto", "serial", "process", "vector"],
             default="auto",
-            help="evaluation executor (default: auto-select by workload size)",
+            help="evaluation executor (default: auto-select by workload "
+            "shape; grid-style sweeps use the vectorized whole-grid engine)",
         )
         p.add_argument(
             "--cache",

@@ -142,7 +142,11 @@ def explore(
 
     ``executor``/``jobs``/``cache`` configure the batch-evaluation
     backend (:mod:`repro.exec`); every combination returns bit-identical
-    results, so they are pure performance knobs.
+    results, so they are pure performance knobs. Grid-shaped sweeps
+    auto-select the ``vector`` executor, which evaluates a whole
+    hardware grid per (layer, dataflow) through the NumPy engine
+    (:mod:`repro.vector`); pruning passes compose with it by shrinking
+    the groups before they reach the backend.
 
     With ``symbolic_prune`` the sweep runs a sound branch-and-bound over
     the hardware grid: candidates are grouped into regions of up to

@@ -1,11 +1,11 @@
-"""The batch evaluator: cache lookup + serial/process execution of misses.
+"""The batch evaluator: cache lookup + serial/process/vector execution.
 
 The contract that makes the backend a drop-in replacement for a serial
 sweep loop: outcomes come back *in input order*, and every
 :class:`~repro.engines.analysis.LayerAnalysis` is bit-identical to what
 ``analyze_layer`` would have returned inline — dict iteration order
-included — whether it was computed serially, in a worker process, or
-replayed from the cache.
+included — whether it was computed serially, in a worker process, by the
+vectorized whole-grid engine, or replayed from the cache.
 """
 
 from __future__ import annotations
@@ -14,7 +14,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.engines.analysis import analyze_layer
 from repro import obs
@@ -25,13 +25,26 @@ from repro.exec.serialize import EvalOutcome
 from repro.hardware.accelerator import Accelerator
 from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from repro.model.layer import Layer
+from repro.vector.engine import evaluate_grid
+from repro.vector.lower import GroupKey, VectorLoweringError, group_key, lower_group
 
 #: Executor names accepted everywhere.
-EXECUTORS = ("auto", "serial", "process")
+EXECUTORS = ("auto", "serial", "process", "vector")
 
 #: Below this many cache misses, ``auto`` stays serial: process start-up
 #: and pickling would dominate the analytical model's microsecond scale.
 AUTO_PROCESS_THRESHOLD = 256
+
+#: Under the ``vector`` executor, groups smaller than this run through
+#: the scalar engines instead: lowering + array set-up costs more than a
+#: handful of point evaluations.
+VECTOR_MIN_GROUP = 8
+
+#: ``auto`` switches to the vector executor when the largest
+#: same-template miss group reaches this size — the shape of a
+#: grid-style sweep, where the whole-grid engine beats both the serial
+#: loop and process workers by an order of magnitude.
+VECTOR_AUTO_MIN_GROUP = 64
 
 
 @dataclass(frozen=True)
@@ -50,7 +63,13 @@ class EvalPoint:
 
 @dataclass(frozen=True)
 class BatchStats:
-    """Per-batch accounting, surfaced next to the sweep counters."""
+    """Per-batch accounting, surfaced next to the sweep counters.
+
+    ``vector_points`` counts misses evaluated by the whole-grid vector
+    engine; ``vector_fallbacks`` counts misses that ran through the
+    scalar engines while the vector executor was active (group too
+    small, or the group could not be lowered).
+    """
 
     submitted: int
     cache_hits: int
@@ -59,6 +78,8 @@ class BatchStats:
     executor: str
     jobs: int
     wall_seconds: float
+    vector_points: int = 0
+    vector_fallbacks: int = 0
 
 
 @dataclass(frozen=True)
@@ -68,7 +89,7 @@ class BatchResult:
     outcomes: Tuple[EvalOutcome, ...]
     stats: BatchStats
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[EvalOutcome]:
         return iter(self.outcomes)
 
     def __len__(self) -> int:
@@ -119,8 +140,14 @@ class BatchEvaluator:
     Parameters
     ----------
     executor:
-        ``"serial"``, ``"process"``, or ``"auto"`` (process only when
-        the miss count and core count justify the start-up cost).
+        ``"serial"``, ``"process"``, ``"vector"``, or ``"auto"``.
+        ``vector`` groups misses by (layer, dataflow, accelerator
+        template) and runs each group through the whole-grid NumPy
+        engine, falling back to the scalar engines point by point for
+        groups it cannot express. ``auto`` picks vector for grid-shaped
+        batches (largest group >= ``VECTOR_AUTO_MIN_GROUP``), process
+        when the miss count and core count justify the start-up cost,
+        and serial otherwise.
     jobs:
         Worker processes for the process executor; defaults to the
         machine's core count.
@@ -144,11 +171,20 @@ class BatchEvaluator:
     def _resolve_jobs(self) -> int:
         return self.jobs if self.jobs is not None else (os.cpu_count() or 1)
 
-    def _pick_executor(self, misses: int) -> Tuple[str, int]:
+    def _pick_executor(
+        self, misses: int, groups: Optional[Dict[GroupKey, List[int]]]
+    ) -> Tuple[str, int]:
         jobs = self._resolve_jobs()
         if misses == 0:
             # Fully warm batch: no work, no workers — report what ran.
             return "serial", 1
+        if self.executor == "vector":
+            return "vector", 1
+        if self.executor == "auto" and groups:
+            # Grid-shaped batch: many points per (layer, dataflow,
+            # template) group means the whole-grid engine wins.
+            if max(len(g) for g in groups.values()) >= VECTOR_AUTO_MIN_GROUP:
+                return "vector", 1
         if self.executor == "serial" or jobs <= 1:
             return "serial", 1
         if self.executor == "process":
@@ -157,11 +193,66 @@ class BatchEvaluator:
             return "process", jobs
         return "serial", 1
 
+    def _evaluate_vector(
+        self,
+        points: List[EvalPoint],
+        groups: Dict[GroupKey, List[int]],
+        outcomes: List[Optional[EvalOutcome]],
+    ) -> Tuple[int, int]:
+        """Evaluate miss groups through the whole-grid vector engine.
+
+        Returns ``(vector_points, vector_fallbacks)``. A group falls
+        back to the scalar engines point by point when it is too small
+        to amortize lowering or when :func:`lower_group` rejects it;
+        every fallback is counted in the obs metrics so a sweep that
+        silently degrades to scalar speed is visible.
+        """
+        vectorized = 0
+        fallbacks = 0
+        for indices in groups.values():
+            first = points[indices[0]]
+            group_outcomes: Optional[List[EvalOutcome]] = None
+            if len(indices) >= VECTOR_MIN_GROUP:
+                accelerators = [points[i].accelerator for i in indices]
+                with obs.span(
+                    "exec.vector_group",
+                    points=len(indices),
+                    layer=first.layer.name,
+                    dataflow=first.dataflow.name,
+                ):
+                    try:
+                        lowered = lower_group(
+                            first.layer,
+                            first.dataflow,
+                            accelerators[0],
+                            first.energy_model,
+                        )
+                        group_outcomes = evaluate_grid(
+                            first.layer,
+                            first.dataflow,
+                            accelerators,
+                            first.energy_model,
+                            lowered=lowered,
+                        )
+                    except VectorLoweringError:
+                        obs.inc("exec.vector.lowering_failures")
+            if group_outcomes is None:
+                for index in indices:
+                    outcomes[index] = _evaluate_one(points[index])
+                fallbacks += len(indices)
+                obs.inc("exec.vector.points_fallback", len(indices))
+                continue
+            for index, outcome in zip(indices, group_outcomes):
+                outcomes[index] = outcome
+            vectorized += len(indices)
+            obs.inc("exec.vector.points_vectorized", len(indices))
+        return vectorized, fallbacks
+
     def evaluate(self, points: Iterable[EvalPoint]) -> BatchResult:
         """Evaluate every point, cache-first, preserving input order."""
-        points = list(points)
-        with obs.span("exec.evaluate", submitted=len(points)):
-            return self._evaluate(points)
+        batch = list(points)
+        with obs.span("exec.evaluate", submitted=len(batch)):
+            return self._evaluate(batch)
 
     def _evaluate(self, points: List[EvalPoint]) -> BatchResult:
         start = time.perf_counter()
@@ -185,11 +276,28 @@ class BatchEvaluator:
             miss_indices = list(range(len(points)))
 
         cache_hits = len(points) - len(miss_indices)
-        executor, jobs = self._pick_executor(len(miss_indices))
+        groups: Optional[Dict[GroupKey, List[int]]] = None
+        if miss_indices and self.executor in ("vector", "auto"):
+            groups = {}
+            for index in miss_indices:
+                point = points[index]
+                key_tuple = group_key(
+                    point.layer, point.dataflow, point.accelerator, point.energy_model
+                )
+                groups.setdefault(key_tuple, []).append(index)
+        executor, jobs = self._pick_executor(len(miss_indices), groups)
         obs.inc("exec.cache_hits", cache_hits)
         obs.inc("exec.points_evaluated", len(miss_indices))
 
-        if executor == "serial":
+        vector_points = 0
+        vector_fallbacks = 0
+        if executor == "vector":
+            assert groups is not None
+            with obs.span("exec.vector_evaluate", misses=len(miss_indices)):
+                vector_points, vector_fallbacks = self._evaluate_vector(
+                    points, groups, outcomes
+                )
+        elif executor == "serial":
             with obs.span("exec.serial_evaluate", misses=len(miss_indices)):
                 for index in miss_indices:
                     outcomes[index] = _evaluate_one(points[index])
@@ -204,7 +312,9 @@ class BatchEvaluator:
             # With tracing on, workers capture their own spans/metrics
             # and ship them back for re-parenting into this trace.
             traced = obs.is_enabled()
-            worker_fn = _evaluate_chunk_traced if traced else _evaluate_chunk
+            worker_fn: Callable[[Sequence[EvalPoint]], Any] = (
+                _evaluate_chunk_traced if traced else _evaluate_chunk
+            )
             with obs.span("exec.process_pool", chunks=len(chunks), jobs=jobs):
                 with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
                     cursor = 0
@@ -225,9 +335,14 @@ class BatchEvaluator:
         if self._cache is not None:
             with obs.span("exec.cache_store", misses=len(miss_indices)):
                 for index in miss_indices:
-                    self._cache.put(keys[index], outcomes[index])
+                    key_str = keys[index]
+                    outcome = outcomes[index]
+                    if key_str is not None and outcome is not None:
+                        self._cache.put(key_str, outcome)
 
-        failures = sum(1 for outcome in outcomes if not outcome.ok)
+        final = [outcome for outcome in outcomes if outcome is not None]
+        assert len(final) == len(outcomes), "every point must produce an outcome"
+        failures = sum(1 for outcome in final if not outcome.ok)
         stats = BatchStats(
             submitted=len(points),
             cache_hits=cache_hits,
@@ -236,8 +351,10 @@ class BatchEvaluator:
             executor=executor,
             jobs=jobs,
             wall_seconds=time.perf_counter() - start,
+            vector_points=vector_points,
+            vector_fallbacks=vector_fallbacks,
         )
-        return BatchResult(outcomes=tuple(outcomes), stats=stats)
+        return BatchResult(outcomes=tuple(final), stats=stats)
 
 
 def evaluate_batch(

@@ -120,7 +120,9 @@ def tune_layer(
 
     Surviving candidates are scored through the batch-evaluation backend
     (:mod:`repro.exec`): ``executor``/``jobs``/``cache`` are pure
-    performance knobs — every combination scores the identical set.
+    performance knobs — every combination scores the identical set
+    (``executor="vector"`` batches same-template candidates through the
+    whole-grid NumPy engine in :mod:`repro.vector`).
 
     With ``symbolic_prune`` and a buffer cap
     (``max_l1_bytes``/``max_l2_bytes``), candidates whose *interval

@@ -1,0 +1,49 @@
+"""Vectorized whole-grid cost engine.
+
+Evaluates an entire hardware grid (``num_pes`` x NoC bandwidth) for one
+(layer, dataflow) pair in a handful of NumPy array operations instead
+of one Python pipeline run per point, with bit-identical results. See
+``docs/vectorized-engine.md`` for the lowering rules, the fallback
+semantics, and the tolerance policy.
+
+Public API:
+
+- :func:`lower_group` / :class:`LoweredGroup` — partial evaluation of
+  the cost model against a grid template (everything but the two grid
+  axes folded to constants).
+- :func:`evaluate_grid` — run one lowered group over concrete grid
+  points, returning per-point :class:`~repro.exec.serialize.EvalOutcome`.
+- :func:`crosscheck_vector` — differential parity verifier against the
+  scalar ``analyze_layer``.
+- :class:`VectorLoweringError` — raised for groups outside the
+  expressible space; the batch backend then falls back to the scalar
+  engines point by point.
+"""
+
+from repro.vector.crosscheck import (
+    CrosscheckReport,
+    Mismatch,
+    compare_outcomes,
+    crosscheck_vector,
+)
+from repro.vector.engine import evaluate_grid
+from repro.vector.lower import (
+    LoweredGroup,
+    VectorLoweringError,
+    accelerator_template,
+    group_key,
+    lower_group,
+)
+
+__all__ = [
+    "CrosscheckReport",
+    "Mismatch",
+    "LoweredGroup",
+    "VectorLoweringError",
+    "accelerator_template",
+    "compare_outcomes",
+    "crosscheck_vector",
+    "evaluate_grid",
+    "group_key",
+    "lower_group",
+]

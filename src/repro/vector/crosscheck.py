@@ -1,0 +1,192 @@
+"""Differential verification of the vector engine against the scalar one.
+
+``crosscheck_vector`` replays grid points through ``analyze_layer`` and
+compares the vector engine's materialized reports field by field. The
+default tolerance is *zero*: the vector engine replicates the scalar
+arithmetic operation for operation, so floats must match bit for bit
+(IEEE-754 float64 ops are identical between CPython and NumPy). A
+relative tolerance can be supplied for exploratory use, but CI runs the
+exact check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engines.analysis import analyze_layer
+from repro.errors import BindingError, DataflowError
+from repro.exec.serialize import EvalOutcome
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.model.layer import Layer
+from repro.dataflow.dataflow import Dataflow
+from repro.vector.engine import evaluate_grid
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One field where scalar and vector engines disagree."""
+
+    point: int
+    path: str
+    scalar: Any
+    vector: Any
+
+    def __str__(self) -> str:
+        return f"point {self.point}: {self.path}: scalar={self.scalar!r} vector={self.vector!r}"
+
+
+@dataclass(frozen=True)
+class CrosscheckReport:
+    """Outcome of one differential run."""
+
+    points_checked: int
+    mismatches: Tuple[Mismatch, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def _float_equal(a: float, b: float, rtol: float) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    if a == b:
+        return True
+    if rtol <= 0.0:
+        return False
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    scale = max(abs(a), abs(b))
+    return abs(a - b) <= rtol * scale
+
+
+def _compare(path: str, a: Any, b: Any, rtol: float, out: List[Tuple[str, Any, Any]]) -> None:
+    if isinstance(a, Mapping) or isinstance(b, Mapping):
+        if not (isinstance(a, Mapping) and isinstance(b, Mapping)):
+            out.append((path, a, b))
+            return
+        # Key *order* is part of the contract (serialization preserves it).
+        if list(a.keys()) != list(b.keys()):
+            out.append((path + ".keys", list(a.keys()), list(b.keys())))
+            return
+        for key in a:
+            _compare(f"{path}[{key!r}]", a[key], b[key], rtol, out)
+        return
+    if isinstance(a, (tuple, list)) or isinstance(b, (tuple, list)):
+        if type(a) is not type(b) or len(a) != len(b):
+            out.append((path, a, b))
+            return
+        for index, (item_a, item_b) in enumerate(zip(a, b)):
+            _compare(f"{path}[{index}]", item_a, item_b, rtol, out)
+        return
+    if dataclasses.is_dataclass(a) and not isinstance(a, type):
+        if type(a) is not type(b):
+            out.append((path, type(a), type(b)))
+            return
+        for field in dataclasses.fields(a):
+            _compare(
+                f"{path}.{field.name}",
+                getattr(a, field.name),
+                getattr(b, field.name),
+                rtol,
+                out,
+            )
+        return
+    if isinstance(a, bool) or isinstance(b, bool):
+        if bool(a) is not bool(b):
+            out.append((path, a, b))
+        return
+    if isinstance(a, float) or isinstance(b, float):
+        if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+            out.append((path, a, b))
+            return
+        # int-vs-float type drift is a mismatch too: serialization and
+        # downstream formatting depend on it.
+        if isinstance(a, float) is not isinstance(b, float):
+            out.append((path + ".type", type(a).__name__, type(b).__name__))
+            return
+        if not _float_equal(float(a), float(b), rtol):
+            out.append((path, a, b))
+        return
+    if a != b:
+        out.append((path, a, b))
+
+
+def compare_outcomes(
+    scalar: EvalOutcome, vector: EvalOutcome, rtol: float = 0.0
+) -> List[Tuple[str, Any, Any]]:
+    """All field-level differences between two outcomes (empty = parity)."""
+    diffs: List[Tuple[str, Any, Any]] = []
+    if scalar.ok != vector.ok:
+        diffs.append(("ok", scalar.ok, vector.ok))
+        return diffs
+    if not scalar.ok:
+        _compare("error_type", scalar.error_type, vector.error_type, rtol, diffs)
+        _compare("error_message", scalar.error_message, vector.error_message, rtol, diffs)
+        return diffs
+    _compare("report", scalar.report, vector.report, rtol, diffs)
+    return diffs
+
+
+def _scalar_outcome(
+    layer: Layer,
+    dataflow: Dataflow,
+    accelerator: Accelerator,
+    energy_model: EnergyModel,
+) -> EvalOutcome:
+    try:
+        report = analyze_layer(layer, dataflow, accelerator, energy_model)
+    except (BindingError, DataflowError) as error:
+        return EvalOutcome(
+            report=None, error_type=type(error).__name__, error_message=str(error)
+        )
+    return EvalOutcome(report=report)
+
+
+def crosscheck_vector(
+    layer: Layer,
+    dataflow: Dataflow,
+    accelerators: Sequence[Accelerator],
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    rtol: float = 0.0,
+    sample: Optional[int] = None,
+    max_mismatches: int = 32,
+) -> CrosscheckReport:
+    """Differentially verify the vector engine on one grid group.
+
+    ``sample`` limits how many points are replayed through the scalar
+    engines (evenly spaced over the grid, deterministic); the vector
+    engine always evaluates the full grid so materialization itself is
+    exercised. Raises :class:`~repro.vector.lower.VectorLoweringError`
+    if the group cannot be lowered — the caller decides whether that is
+    expected (fallback coverage) or a bug.
+    """
+    accelerators = list(accelerators)
+    vector_outcomes = evaluate_grid(layer, dataflow, accelerators, energy_model)
+
+    indices = range(len(accelerators))
+    if sample is not None and 0 < sample < len(accelerators):
+        stride = len(accelerators) / sample
+        indices = sorted({int(i * stride) for i in range(sample)})
+
+    mismatches: List[Mismatch] = []
+    checked = 0
+    for index in indices:
+        checked += 1
+        scalar = _scalar_outcome(layer, dataflow, accelerators[index], energy_model)
+        for path, a, b in compare_outcomes(scalar, vector_outcomes[index], rtol):
+            if len(mismatches) < max_mismatches:
+                mismatches.append(Mismatch(point=index, path=path, scalar=a, vector=b))
+    return CrosscheckReport(points_checked=checked, mismatches=tuple(mismatches))
+
+
+__all__ = [
+    "Mismatch",
+    "CrosscheckReport",
+    "compare_outcomes",
+    "crosscheck_vector",
+]
