@@ -1,0 +1,165 @@
+"""Equivalence-pruning benchmark: Figure-13 sweep, enriched mapping axis.
+
+Runs the Figure-13 KC-P design-space exploration twice over a mapping
+axis deliberately enriched with symmetric twins and writes
+``BENCH_equiv.json``:
+
+- every stock KC-P variant, plus
+- its **transposed twin** (R<->S, Y<->X, Y'<->X' renamed via
+  :func:`repro.equiv.transpose_dataflow`), plus
+- a **redundant spelling** with the naturally-inert single-chunk
+  ``TemporalMap(Sz(R)) R`` directive removed (binding infers an
+  identical whole-extent iterator, so the mapping is unchanged).
+
+The plain sweep evaluates all of them; the ``equiv_prune=True`` sweep
+canonicalizes each variant once, evaluates one representative per
+equivalence class, and replays the representative's outcome to the
+twins. The gate (``check_regression.py --equiv``) checks two things:
+
+1. **Soundness** — the pruned sweep's surviving points and all three
+   optima are bit-identical to the plain sweep's.
+2. **Effectiveness** — ``skip_fraction`` (cost-model calls avoided /
+   baseline calls) is at least 25% on this sweep.
+
+Both figures are deterministic counts (no wall-clock in the gate).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_equiv.py \
+        [--out BENCH_equiv.json] [--max-pes 256] [--step 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.dataflow.dataflow import Dataflow
+from repro.dataflow.directives import MapDirective
+from repro.tensors import dims as D
+from repro.dse import explore
+from repro.dse.space import (
+    DesignSpace,
+    default_bandwidths,
+    default_pe_counts,
+    kc_partitioned_variants,
+)
+from repro.equiv import transpose_dataflow
+from repro.model.zoo import build
+
+AREA_BUDGET = 16.0
+POWER_BUDGET = 450.0
+
+
+def enriched_variants() -> list:
+    """Stock KC-P variants plus transposed twins and redundant spellings."""
+    base = kc_partitioned_variants()
+    variants = list(base)
+    for label, flow in base:
+        variants.append((f"{label}~T", transpose_dataflow(flow)))
+        # Redundant spelling: drop the inert single-chunk R temporal map.
+        slimmed = tuple(
+            d
+            for d in flow.directives
+            if not (isinstance(d, MapDirective) and not d.spatial and d.dim == D.R)
+        )
+        if len(slimmed) < len(flow.directives):
+            variants.append(
+                (
+                    f"{label}~red",
+                    Dataflow(name=f"{flow.name}~red", directives=slimmed),
+                )
+            )
+    return variants
+
+
+def _point_dict(point) -> "dict | None":
+    if point is None:
+        return None
+    return {
+        "tile": point.tile_label,
+        "num_pes": point.num_pes,
+        "bandwidth": point.noc_bandwidth,
+        "throughput": point.throughput,
+        "energy": point.energy,
+        "edp": point.edp,
+    }
+
+
+def run_comparison(max_pes: int, step: int) -> dict:
+    layer = build("vgg16").layer("CONV11")
+    space = DesignSpace(
+        pe_counts=default_pe_counts(max_pes=max_pes, step=step),
+        noc_bandwidths=default_bandwidths(128),
+        dataflow_variants=enriched_variants(),
+    )
+
+    start = time.perf_counter()
+    plain = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        cache=False,
+    )
+    baseline_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pruned = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        cache=False, equiv_prune=True,
+    )
+    pruned_wall = time.perf_counter() - start
+
+    bit_identical = (
+        pruned.points == plain.points
+        and pruned.throughput_optimal == plain.throughput_optimal
+        and pruned.energy_optimal == plain.energy_optimal
+        and pruned.edp_optimal == plain.edp_optimal
+    )
+    baseline_calls = plain.statistics.cost_model_calls
+    avoided = baseline_calls - pruned.statistics.cost_model_calls
+    return {
+        "sweep": f"fig13 KC-P CONV11 enriched mapping axis "
+        f"({max_pes} PEs max, step {step}, {len(space.dataflow_variants)} variants)",
+        "space_size": space.size,
+        "bit_identical": bit_identical,
+        "parity_violations": 0 if bit_identical else 1,
+        "baseline_cost_model_calls": baseline_calls,
+        "pruned_cost_model_calls": pruned.statistics.cost_model_calls,
+        "equiv_replays": pruned.statistics.equiv_replays,
+        "calls_avoided": avoided,
+        "skip_fraction": avoided / baseline_calls if baseline_calls else 0.0,
+        "baseline_wall_seconds": baseline_wall,
+        "pruned_wall_seconds": pruned_wall,
+        "speedup": baseline_wall / pruned_wall if pruned_wall else 0.0,
+        "optima": {
+            "throughput": _point_dict(pruned.throughput_optimal),
+            "energy": _point_dict(pruned.energy_optimal),
+            "edp": _point_dict(pruned.edp_optimal),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_equiv.json"))
+    parser.add_argument("--max-pes", type=int, default=256)
+    parser.add_argument("--step", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    report = run_comparison(args.max_pes, args.step)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"{report['sweep']}: bit_identical={report['bit_identical']}, "
+        f"{report['calls_avoided']}/{report['baseline_cost_model_calls']} "
+        f"cost-model calls avoided ({report['skip_fraction']:.1%}), "
+        f"{report['equiv_replays']} outcomes replayed from class "
+        f"representatives, {report['baseline_wall_seconds']:.2f}s -> "
+        f"{report['pruned_wall_seconds']:.2f}s"
+    )
+    print(f"[written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,17 @@ at least ``--vector-min-speedup`` points/sec over them (a same-machine
 ratio, so no normalization is needed), and a fallback rate within
 ``--vector-max-fallback``.
 
+``--equiv BENCH_equiv.json`` gates the equivalence-pruning report from
+``bench_equiv.py``: the pruned sweep over the enriched mapping axis
+(transposed twins + redundant spellings) must be bit-identical to the
+exhaustive sweep and avoid at least ``--equiv-min-skip`` of its
+cost-model calls.
+
+Each per-subsystem gate is one :class:`SubsystemGate` entry in the
+``SUBSYSTEM_GATES`` registry — the flag, its threshold options, the
+section heading, and the failure-report label all come from the table,
+so adding a gate is a single new entry plus its ``*_failures`` checker.
+
 A missing or malformed report file fails with a one-line error, not a
 stack trace.
 
@@ -49,7 +60,8 @@ Usage::
         [--absint BENCH_absint.json] [--min-skip 0.30] \
         [--comm BENCH_comm.json] [--comm-min-skip 0.20] \
         [--vector BENCH_vector.json] [--vector-min-speedup 20] \
-        [--vector-max-fallback 0.0]
+        [--vector-max-fallback 0.0] \
+        [--equiv BENCH_equiv.json] [--equiv-min-skip 0.25]
 """
 
 from __future__ import annotations
@@ -57,7 +69,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable, List, Tuple
 
 CALIBRATION = "test_bench_calibration"
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
@@ -232,6 +246,146 @@ def vector_failures(path: Path, min_speedup: float, max_fallback: float) -> list
     return failures
 
 
+def equiv_failures(path: Path, min_skip: float) -> list:
+    """Soundness and effectiveness gate for the equivalence-pruning report."""
+    report = load_report(path, "equivalence-pruning")
+    failures = []
+    verdict = "ok"
+    if report["parity_violations"] or not report["bit_identical"]:
+        verdict = "MISMATCH"
+        failures.append(
+            "equiv-pruned sweep differs from exhaustive on the enriched "
+            "mapping axis (soundness violation)"
+        )
+    skip = report["skip_fraction"]
+    if skip < min_skip:
+        verdict = "TOO FEW"
+        failures.append(
+            f"only {skip:.1%} of cost-model calls avoided via equivalence "
+            f"classes (need {min_skip:.0%})"
+        )
+    print(
+        f"  {verdict:10s}{report['sweep']}: bit_identical="
+        f"{report['bit_identical']}, {report['calls_avoided']}/"
+        f"{report['baseline_cost_model_calls']} calls avoided ({skip:.1%}), "
+        f"{report['equiv_replays']} outcomes replayed"
+    )
+    return failures
+
+
+@dataclass(frozen=True)
+class SubsystemGate:
+    """One table entry: a ``--<name> REPORT.json`` gate and its options.
+
+    ``check`` receives the report path plus the parsed argparse namespace
+    (so threshold options registered via ``options`` are reachable by
+    their dests) and returns a list of failure messages.
+    """
+
+    name: str  # flag (--<name>) and argparse dest for the report path
+    metavar: str
+    help: str
+    heading: str  # section header printed before the check runs
+    label: str  # "<label> gate failure(s)" in the stderr report
+    check: Callable[[Path, argparse.Namespace], list]
+    options: Tuple[Tuple[str, dict], ...] = field(default_factory=tuple)
+
+
+SUBSYSTEM_GATES: Tuple[SubsystemGate, ...] = (
+    SubsystemGate(
+        name="absint",
+        metavar="BENCH_absint.json",
+        help="also gate the symbolic-pruning report from bench_absint_pruning.py",
+        heading="symbolic branch-and-bound pruning",
+        label="symbolic-pruning",
+        check=lambda path, args: absint_failures(path, args.min_skip),
+        options=(
+            (
+                "--min-skip",
+                dict(
+                    type=float,
+                    default=0.30,
+                    help="minimum fraction of cost-model calls the pruning "
+                    "must avoid",
+                ),
+            ),
+        ),
+    ),
+    SubsystemGate(
+        name="comm",
+        metavar="BENCH_comm.json",
+        help="also gate the comm-capability pruning report from "
+        "bench_comm_pruning.py",
+        heading="communication-capability pruning",
+        label="comm-pruning",
+        check=lambda path, args: comm_failures(path, args.comm_min_skip),
+        options=(
+            (
+                "--comm-min-skip",
+                dict(
+                    type=float,
+                    default=0.20,
+                    help="minimum fraction of cost-model calls comm pruning "
+                    "must avoid on reduction-free hardware",
+                ),
+            ),
+        ),
+    ),
+    SubsystemGate(
+        name="vector",
+        metavar="BENCH_vector.json",
+        help="also gate the vector-engine parity + throughput report from "
+        "bench_vector.py",
+        heading="vector-engine parity + throughput",
+        label="vector-engine",
+        check=lambda path, args: vector_failures(
+            path, args.vector_min_speedup, args.vector_max_fallback
+        ),
+        options=(
+            (
+                "--vector-min-speedup",
+                dict(
+                    type=float,
+                    default=20.0,
+                    help="minimum points/sec speedup of the vector engine "
+                    "over the scalar engines (default 20)",
+                ),
+            ),
+            (
+                "--vector-max-fallback",
+                dict(
+                    type=float,
+                    default=0.0,
+                    help="maximum fraction of points allowed to fall back "
+                    "to the scalar engines (default 0)",
+                ),
+            ),
+        ),
+    ),
+    SubsystemGate(
+        name="equiv",
+        metavar="BENCH_equiv.json",
+        help="also gate the equivalence-pruning parity + effectiveness "
+        "report from bench_equiv.py",
+        heading="equivalence-class pruning",
+        label="equivalence-pruning",
+        check=lambda path, args: equiv_failures(path, args.equiv_min_skip),
+        options=(
+            (
+                "--equiv-min-skip",
+                dict(
+                    type=float,
+                    default=0.25,
+                    help="minimum fraction of cost-model calls equivalence "
+                    "pruning must avoid on the enriched mapping axis "
+                    "(default 0.25)",
+                ),
+            ),
+        ),
+    ),
+)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", type=Path, help="fresh --benchmark-json report")
@@ -255,39 +409,13 @@ def main(argv=None) -> int:
         "--phase-tolerance", type=float, default=0.15,
         help="allowed absolute drift per phase share (default 0.15)",
     )
-    parser.add_argument(
-        "--absint", type=Path, default=None, metavar="BENCH_absint.json",
-        help="also gate the symbolic-pruning report from bench_absint_pruning.py",
-    )
-    parser.add_argument(
-        "--min-skip", type=float, default=0.30,
-        help="minimum fraction of cost-model calls the pruning must avoid",
-    )
-    parser.add_argument(
-        "--comm", type=Path, default=None, metavar="BENCH_comm.json",
-        help="also gate the comm-capability pruning report from "
-        "bench_comm_pruning.py",
-    )
-    parser.add_argument(
-        "--comm-min-skip", type=float, default=0.20,
-        help="minimum fraction of cost-model calls comm pruning must avoid "
-        "on reduction-free hardware",
-    )
-    parser.add_argument(
-        "--vector", type=Path, default=None, metavar="BENCH_vector.json",
-        help="also gate the vector-engine parity + throughput report from "
-        "bench_vector.py",
-    )
-    parser.add_argument(
-        "--vector-min-speedup", type=float, default=20.0,
-        help="minimum points/sec speedup of the vector engine over the "
-        "scalar engines (default 20)",
-    )
-    parser.add_argument(
-        "--vector-max-fallback", type=float, default=0.0,
-        help="maximum fraction of points allowed to fall back to the "
-        "scalar engines (default 0)",
-    )
+    for gate in SUBSYSTEM_GATES:
+        parser.add_argument(
+            f"--{gate.name}", type=Path, default=None, metavar=gate.metavar,
+            help=gate.help,
+        )
+        for flag, options in gate.options:
+            parser.add_argument(flag, **options)
     args = parser.parse_args(argv)
 
     baseline = load_means(args.baseline)
@@ -325,22 +453,15 @@ def main(argv=None) -> int:
             args.phases, args.phases_baseline, args.phase_tolerance
         )
 
-    absint_errors = []
-    if args.absint is not None:
-        print("\nsymbolic branch-and-bound pruning:")
-        absint_errors = absint_failures(args.absint, args.min_skip)
-
-    comm_errors = []
-    if args.comm is not None:
-        print("\ncommunication-capability pruning:")
-        comm_errors = comm_failures(args.comm, args.comm_min_skip)
-
-    vector_errors = []
-    if args.vector is not None:
-        print("\nvector-engine parity + throughput:")
-        vector_errors = vector_failures(
-            args.vector, args.vector_min_speedup, args.vector_max_fallback
-        )
+    gate_errors: List[Tuple[SubsystemGate, list]] = []
+    for gate in SUBSYSTEM_GATES:
+        report_path = getattr(args, gate.name)
+        if report_path is None:
+            continue
+        print(f"\n{gate.heading}:")
+        errors = gate.check(report_path, args)
+        if errors:
+            gate_errors.append((gate, errors))
 
     if failures:
         print(
@@ -356,28 +477,14 @@ def main(argv=None) -> int:
         )
         for name, delta in phase_failures:
             print(f"  {name}: {delta:+.1%}", file=sys.stderr)
-    if absint_errors:
+    for gate, errors in gate_errors:
         print(
-            f"\n{len(absint_errors)} symbolic-pruning gate failure(s):",
+            f"\n{len(errors)} {gate.label} gate failure(s):",
             file=sys.stderr,
         )
-        for message in absint_errors:
+        for message in errors:
             print(f"  {message}", file=sys.stderr)
-    if comm_errors:
-        print(
-            f"\n{len(comm_errors)} comm-pruning gate failure(s):",
-            file=sys.stderr,
-        )
-        for message in comm_errors:
-            print(f"  {message}", file=sys.stderr)
-    if vector_errors:
-        print(
-            f"\n{len(vector_errors)} vector-engine gate failure(s):",
-            file=sys.stderr,
-        )
-        for message in vector_errors:
-            print(f"  {message}", file=sys.stderr)
-    if failures or phase_failures or absint_errors or comm_errors or vector_errors:
+    if failures or phase_failures or gate_errors:
         return 1
     print("\nno benchmark regressions")
     return 0

@@ -260,13 +260,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import explain_rule, lint_dataflow, lint_text
+    from repro.lint import explain_rule, lint_dataflow, lint_text, rule_families
 
     if args.explain:
         try:
             print(explain_rule(args.explain))
-        except KeyError as exc:
-            raise SystemExit(str(exc.args[0]))
+        except KeyError:
+            families = ", ".join(sorted(rule_families()))
+            raise SystemExit(
+                f"error: unknown lint rule {args.explain!r} "
+                f"(valid rule families: {families}; "
+                f"run `repro lint --explain DF000` for an example)"
+            )
         return 0
     if not args.dataflow:
         raise SystemExit("lint: pass a dataflow name/path (or use --explain DFxxx)")
@@ -524,6 +529,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         spatial_reduction=not args.no_spatial_reduction,
         noc_multicast=not args.no_multicast,
         comm_prune=args.comm_prune,
+        equiv_prune=args.equiv_prune,
     )
     stats = result.statistics
     print(
@@ -533,6 +539,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         f"{stats.comm_rejects} comm-race pruned, "
         f"{stats.symbolic_rejects} symbolically infeasible, "
         f"{stats.bnb_pruned} branch-and-bound pruned, "
+        f"{stats.equiv_replays} equivalence-replayed, "
         f"{stats.cost_model_calls} cost-model calls, "
         f"{stats.cache_hits} cache hits, executor={stats.executor}) in "
         f"{stats.elapsed_seconds:.2f}s ({stats.effective_rate:.0f} designs/s)"
@@ -585,6 +592,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         verify_coverage=args.verify_coverage,
         symbolic_prune=args.symbolic_prune,
         comm_prune=args.comm_prune,
+        equiv_prune=args.equiv_prune,
         executor=args.executor,
         jobs=args.jobs,
         cache=args.cache,
@@ -611,6 +619,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         f"{result.coverage_rejected} coverage-refuted, "
         f"{result.comm_rejected} comm-race screened, "
         f"{result.symbolic_rejected} symbolically over buffer caps); "
+        f"{result.equiv_replayed} equivalence-replayed; "
         f"{result.cache_hits} cost-model answers served from cache"
     )
     from repro.obs.profile import digest_line
@@ -726,6 +735,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             "skip mappings the communication classifier proves write-racy "
             "(DF300); on reduction-capable hardware the screen never runs, "
             "so optima are bit-identical",
+        )
+
+    def add_equiv_prune(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--equiv-prune",
+            action="store_true",
+            help="evaluate one representative per canonical-form "
+            "equivalence class and replay its result to the symmetric "
+            "twins (repro.equiv; optima are bit-identical)",
         )
 
     def add_backend(p: argparse.ArgumentParser) -> None:
@@ -914,6 +932,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_symbolic_prune(p_dse)
     add_comm_caps(p_dse)
     add_comm_prune(p_dse)
+    add_equiv_prune(p_dse)
     add_backend(p_dse)
     add_obs(p_dse)
     p_dse.set_defaults(func=_cmd_dse)
@@ -942,6 +961,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_verify_coverage(p_tune)
     add_symbolic_prune(p_tune)
     add_comm_prune(p_tune)
+    add_equiv_prune(p_tune)
     add_backend(p_tune)
     add_obs(p_tune)
     p_tune.set_defaults(func=_cmd_tune)

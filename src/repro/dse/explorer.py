@@ -49,11 +49,14 @@ class DSEStatistics:
     abstract interpreter proved over-budget — they could never become
     valid designs) and ``bnb_pruned`` (points in regions whose interval
     bounds are dominated by the running incumbents on *all* objectives —
-    they could never become an optimum). The sweep invariant checked by
-    :func:`explore`::
+    they could never become an optimum). With ``equiv_prune``,
+    ``equiv_replays`` counts grid points satisfied by replaying an
+    equivalent candidate's outcome instead of a cost-model call. The
+    sweep invariant checked by :func:`explore`::
 
         explored == space.size
-        cost_model_calls + pruned + symbolic_rejects + bnb_pruned == explored
+        cost_model_calls + pruned + symbolic_rejects + bnb_pruned
+            + equiv_replays == explored
         evaluated <= cost_model_calls  (failures are the difference)
     """
 
@@ -78,6 +81,10 @@ class DSEStatistics:
     #: (spatially mapped reduction on reduction-free hardware) under
     #: ``comm_prune``; zero whenever the hardware supports reduction.
     comm_rejects: int = 0
+    #: Points answered by replaying an equivalence-class representative's
+    #: outcome (``equiv_prune``): same canonical key at the same grid
+    #: point, so the cost model's answer is provably identical.
+    equiv_replays: int = 0
 
     @property
     def effective_rate(self) -> float:
@@ -121,6 +128,7 @@ def explore(
     spatial_reduction: bool = True,
     noc_multicast: bool = True,
     comm_prune: bool = False,
+    equiv_prune: bool = False,
 ) -> DSEResult:
     """Sweep ``space`` for ``layer`` under the given budgets.
 
@@ -178,6 +186,21 @@ def explore(
     the screen is inert by construction, so optima are bit-identical
     with or without ``comm_prune``; variants the classifier cannot bind
     or classify are never pruned.
+
+    With ``equiv_prune`` the mapping axis is quotiented by the
+    equivalence analyzer (:mod:`repro.equiv`): each variant's canonical
+    form is computed once, and at every (PEs, bandwidth) grid point only
+    one representative per equivalence class pays a cost-model call —
+    the other members replay its outcome (``equiv_replays``). Classes
+    use the exact canonical key, extended to the symmetry orbit only
+    where the integer-activity certificate proves transposed twins
+    bit-identical, so every replayed outcome is provably equal to what
+    the cost model would have returned and all optima are bit-identical
+    to the unquotiented sweep. Variants the analyzer cannot certify fall
+    back to raw-spelling identity and are never grouped beyond it. The
+    quotient applies to the exhaustive sweep; under ``symbolic_prune``
+    the branch-and-bound's region machinery takes precedence and the
+    quotient is not applied.
     """
     start = time.perf_counter()
     explored = pruned = static_rejects = coverage_rejects = comm_rejects = 0
@@ -239,6 +262,20 @@ def explore(
                     variant_demand[key] = reduction_demand(dataflow, layer)
                 except Exception:
                     continue  # never let classification break the sweep
+
+    # One canonical form per variant (layer fixed, so the form — and the
+    # layer's symmetry group — are independent of the hardware grid).
+    # Only the orbit extension depends on the PE count, decided per grid
+    # point below by the integer-activity certificate.
+    variant_form: dict = {}
+    equiv_symmetries: tuple = ()
+    if equiv_prune and not symbolic_prune:
+        with obs.span("dse.equiv_screen"):
+            from repro.equiv import canonicalize, layer_symmetries
+
+            equiv_symmetries = layer_symmetries(layer)
+            for label, dataflow in space.dataflow_variants:
+                variant_form[(label, dataflow.name)] = canonicalize(dataflow, layer)
 
     # ------------------------------------------------------------------
     # Phase 1 — enumerate: classify every grid point as budget-pruned,
@@ -325,35 +362,66 @@ def explore(
     evaluated = 0
     symbolic_rejects = bnb_pruned = 0
     calls_submitted = cache_hits = 0
+    equiv_replays = 0
     executor_name = "serial"
     eval_wall = 0.0
 
     if not symbolic_prune:
-        with obs.span("dse.evaluate", candidates=len(candidates)):
+        # Under equiv_prune, pick one representative per (PEs, bandwidth,
+        # equivalence class); the other members replay its outcome. The
+        # orbit key is used only where the integer-activity certificate
+        # proves transposed twins bit-identical at that PE count.
+        eval_indices = list(range(len(candidates)))
+        replay_of: dict = {}  # candidate index -> representative index
+        if variant_form:
+            from repro.equiv import integral_active, orbit_key
+
+            representatives: dict = {}
+            eval_indices = []
+            for index, (num_pes, bandwidth, label, dataflow) in enumerate(candidates):
+                form = variant_form[(label, dataflow.name)]
+                class_key = form.key
+                if equiv_symmetries and integral_active(form, num_pes):
+                    class_key = orbit_key(class_key, equiv_symmetries)
+                group = (num_pes, bandwidth, class_key)
+                representative = representatives.get(group)
+                if representative is None:
+                    representatives[group] = index
+                    eval_indices.append(index)
+                else:
+                    replay_of[index] = representative
+            equiv_replays = len(replay_of)
+            obs.inc("dse.pruned_by_equiv", equiv_replays)
+
+        with obs.span("dse.evaluate", candidates=len(eval_indices)):
             batch = evaluator.evaluate(
                 EvalPoint(
                     layer=layer,
-                    dataflow=dataflow,
+                    dataflow=candidates[index][3],
                     accelerator=Accelerator(
-                        num_pes=num_pes,
-                        noc=make_noc(bandwidth),
+                        num_pes=candidates[index][0],
+                        noc=make_noc(candidates[index][1]),
                         spatial_reduction=spatial_reduction,
                     ),
                     energy_model=energy_model,
                 )
-                for num_pes, bandwidth, label, dataflow in candidates
+                for index in eval_indices
             )
         calls_submitted = batch.stats.submitted
         cache_hits = batch.stats.cache_hits
         executor_name = batch.stats.executor
         eval_wall = batch.stats.wall_seconds
+        outcome_at = dict(zip(eval_indices, batch))
         with obs.span("dse.fold"):
-            for index, ((num_pes, bandwidth, label, dataflow), outcome) in enumerate(
-                zip(candidates, batch)
-            ):
+            for index, (num_pes, bandwidth, label, dataflow) in enumerate(candidates):
+                outcome = outcome_at.get(index)
+                replayed = outcome is None
+                if replayed:
+                    outcome = outcome_at[replay_of[index]]
                 if not outcome.ok:
                     continue
-                evaluated += 1
+                if not replayed:
+                    evaluated += 1
                 point = fold_point(num_pes, bandwidth, label, dataflow, outcome.report)
                 if point is not None:
                     indexed_points.append((index, point))
@@ -437,13 +505,14 @@ def explore(
         + budget_pruned
         + symbolic_rejects
         + bnb_pruned
+        + equiv_replays
         == space.size
     ), (
         f"statistics drift: evaluated={evaluated} failures={failures} "
         f"static_rejects={static_rejects} coverage_rejects={coverage_rejects} "
         f"comm_rejects={comm_rejects} "
         f"budget_pruned={budget_pruned} symbolic_rejects={symbolic_rejects} "
-        f"bnb_pruned={bnb_pruned} "
+        f"bnb_pruned={bnb_pruned} equiv_replays={equiv_replays} "
         f"do not partition the {space.size}-point grid"
     )
 
@@ -469,6 +538,7 @@ def explore(
         symbolic_rejects=symbolic_rejects,
         bnb_pruned=bnb_pruned,
         comm_rejects=comm_rejects,
+        equiv_replays=equiv_replays,
     )
     return DSEResult(
         points=tuple(points),

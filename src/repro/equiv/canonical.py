@@ -1,0 +1,322 @@
+"""Canonical forms for mappings: the exact equivalence tier.
+
+Many directive-list spellings describe the *same* schedule. Three
+normalizations are exact with respect to the cluster-analysis and reuse
+engines (each is a theorem about :mod:`repro.engines`, empirically
+re-proven bit-for-bit by :func:`repro.equiv.crosscheck.crosscheck_equiv`
+over the full zoo × library corpus):
+
+1. **Size evaluation + clamping.** Binding evaluates every symbolic
+   size/offset against the layer and clamps map sizes to the local
+   extent cascading down the cluster hierarchy
+   (``size = min(eval(size), local)``). Spelling the evaluated, clamped
+   integers directly binds to the identical
+   :class:`~repro.engines.binding.BoundDataflow`.
+
+2. **Single-chunk temporal elision.** A ``TemporalMap`` whose clamped
+   size covers its whole local extent produces one chunk and one step.
+   The binding engine *infers* exactly such a directive for every
+   unmapped dimension, and the reuse engine's odometer
+   (:func:`repro.engines.reuse.build_odometer` and every consumer of
+   its entries) filters on ``steps > 1``, so a one-step iterator is
+   inert regardless of its position or offset: the directive can be
+   removed. Guard: the last directive naming ``Y'``/``X'`` is kept even
+   when single-chunk, because its *presence* selects the output
+   coordinate representation
+   (:meth:`~repro.dataflow.dataflow.Dataflow.uses_output_coordinates`).
+
+3. **Spatial slot sorting.** All spatial directives of one level
+   distribute *jointly*: the odometer collapses them into a single fold
+   entry at the first spatial position with their offsets in a dict,
+   and every other consumer reads them through dicts
+   (``chunk_sizes()``, ``spatial_offsets``). Permuting which spatial
+   directive occupies which of the level's spatial slots is therefore
+   unobservable; the canonical form sorts them by dimension name.
+
+Anything the walk cannot prove safe — unevaluable expressions,
+conditions under which :func:`~repro.engines.binding.bind_dataflow`
+would raise, a canonical spelling that fails construction lints — falls
+back to the *identity* form, keyed on the raw directive spelling, so
+canonicalization never groups mappings it cannot certify.
+
+The canonical :attr:`CanonicalForm.key` is accelerator-independent
+(chunk counts never depend on the PE count; only fold counts do, and
+folds are not part of the key), which lets DSE group mapping variants
+once per layer and reuse the grouping across the whole hardware grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataflow.dataflow import Dataflow
+from repro.dataflow.directives import (
+    ClusterDirective,
+    Directive,
+    MapDirective,
+    evaluate_size,
+)
+from repro.errors import DataflowError
+from repro.model.layer import Layer
+from repro.tensors import dims as D
+from repro.util.intmath import num_chunks
+
+#: A hashable, JSON-representable structural key. Canonical keys are
+#: ``("canon", <levels...>)`` with one
+#: ``(cluster_size_or_-1, ((kind, dim, size, offset), ...))`` tuple per
+#: level; fallback keys are ``("raw", (str(directive), ...))``.
+Key = Tuple[object, ...]
+
+#: Diagnostic provenance for findings backed by the canonical-form
+#: theorems (DF400/DF401/DF402).
+EQUIV_PROVENANCE = "exact: canonical-form equivalence (repro.equiv)"
+
+
+@dataclass(frozen=True)
+class CanonicalLevel:
+    """One cluster level of a canonical form.
+
+    ``cluster_size`` is the evaluated size of the ``Cluster`` directive
+    closing the level (``None`` for the innermost level);
+    ``maps`` the kept directives as ``(kind, dim, size, offset)`` with
+    kind ``"S"``/``"T"``; ``spatial_chunk_counts`` the chunk counts of
+    the spatial directives (the input to the integer-activity
+    certificate of :mod:`repro.equiv.symmetry` — accelerator-independent
+    because chunk counts never depend on the PE count).
+    """
+
+    cluster_size: Optional[int]
+    maps: Tuple[Tuple[str, str, int, int], ...]
+    spatial_chunk_counts: Tuple[int, ...]
+
+    def key_entry(self) -> Tuple[object, ...]:
+        return (self.cluster_size if self.cluster_size is not None else -1, self.maps)
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The canonical form of one ``(dataflow, layer)`` pair."""
+
+    name: str
+    directives: Tuple[Directive, ...]
+    levels: Tuple[CanonicalLevel, ...]
+    elided: Tuple[int, ...]  # original directive indices removed
+    #: spatial maps whose slot content changed: (original index, new
+    #: ``(kind, dim, size, offset)`` occupying that slot)
+    slot_changes: Tuple[Tuple[int, Tuple[str, str, int, int]], ...]
+    fallback: bool
+
+    @property
+    def reordered(self) -> Tuple[int, ...]:
+        """Original indices of spatial maps whose slot content changed."""
+        return tuple(index for index, _ in self.slot_changes)
+
+    @property
+    def key(self) -> Key:
+        """Structural identity: equal keys = provably identical schedules."""
+        if self.fallback:
+            return ("raw", tuple(str(d) for d in self.directives))
+        return ("canon", tuple(level.key_entry() for level in self.levels))
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.elided) or bool(self.reordered)
+
+
+def _map_kind(spatial: bool) -> str:
+    return "S" if spatial else "T"
+
+
+def _fallback(dataflow: Dataflow) -> CanonicalForm:
+    return CanonicalForm(
+        name=dataflow.name,
+        directives=tuple(dataflow.directives),
+        levels=(),
+        elided=(),
+        slot_changes=(),
+        fallback=True,
+    )
+
+
+def _split_with_indices(
+    directives: Tuple[Directive, ...],
+) -> List[Tuple[List[Tuple[int, MapDirective]], Optional[Tuple[int, ClusterDirective]]]]:
+    """Cluster levels as ``(indexed maps, closing Cluster)`` groups."""
+    levels: List[
+        Tuple[List[Tuple[int, MapDirective]], Optional[Tuple[int, ClusterDirective]]]
+    ] = []
+    maps: List[Tuple[int, MapDirective]] = []
+    for index, directive in enumerate(directives):
+        if isinstance(directive, ClusterDirective):
+            levels.append((maps, (index, directive)))
+            maps = []
+        elif isinstance(directive, MapDirective):
+            maps.append((index, directive))
+    levels.append((maps, None))
+    return levels
+
+
+def canonicalize(dataflow: Dataflow, layer: Layer) -> CanonicalForm:
+    """Compute the canonical form of ``dataflow`` bound to ``layer``.
+
+    Exact: analyzing the canonical form is bit-identical to analyzing
+    the original on every accelerator (see the module docstring for the
+    argument, :mod:`repro.equiv.crosscheck` for the empirical proof).
+    Falls back to the identity form whenever exactness cannot be
+    certified.
+    """
+    try:
+        return _canonicalize(dataflow, layer)
+    except (DataflowError, ValueError, KeyError, TypeError):
+        return _fallback(dataflow)
+
+
+def _canonicalize(dataflow: Dataflow, layer: Layer) -> CanonicalForm:
+    row_rep = "output" if dataflow.uses_output_coordinates("row") else "input"
+    col_rep = "output" if dataflow.uses_output_coordinates("col") else "input"
+    dims = [D.N, D.K, D.C]
+    dims.append(D.YP if row_rep == "output" else D.Y)
+    dims.append(D.XP if col_rep == "output" else D.X)
+    dims.extend([D.R, D.S])
+
+    full_sizes = layer.all_dim_sizes()
+    strides = {D.Y: layer.stride[0], D.X: layer.stride[1]}
+    indexed_levels = _split_with_indices(tuple(dataflow.directives))
+
+    # Representation-selecting directives must survive elision: count
+    # how many map directives name Y'/X' so the guard can keep the last.
+    rep_counts: Dict[str, int] = {D.YP: 0, D.XP: 0}
+    for directive in dataflow.directives:
+        if isinstance(directive, MapDirective) and directive.dim in rep_counts:
+            rep_counts[directive.dim] += 1
+
+    local_sizes: Dict[str, int] = {dim: full_sizes[dim] for dim in dims}
+    canonical_levels: List[CanonicalLevel] = []
+    out_directives: List[Directive] = []
+    elided: List[int] = []
+    slot_changes: List[Tuple[int, Tuple[str, str, int, int]]] = []
+
+    for maps, cluster in indexed_levels:
+        seen: set = set()
+        kept: List[Tuple[int, str, bool, int, int]] = []
+        spatial_counts: List[int] = []
+        next_local: Dict[str, int] = {}
+        for index, directive in maps:
+            if directive.dim not in dims or directive.dim in seen:
+                return _fallback(dataflow)  # binding raises for this spelling
+            seen.add(directive.dim)
+            local = local_sizes.get(directive.dim, 1)
+            size = min(evaluate_size(directive.size, full_sizes, strides), local)
+            offset = evaluate_size(directive.offset, full_sizes, strides)
+            if size < 1 or offset < 1:
+                return _fallback(dataflow)  # binding raises for this spelling
+            next_local[directive.dim] = size
+            chunks = num_chunks(local, size, offset)
+            if not directive.spatial and chunks == 1:
+                if directive.dim in rep_counts and rep_counts[directive.dim] <= 1:
+                    # Keep the representation-selecting directive; its
+                    # presence (not its values) picks the Y'/X' axes.
+                    kept.append((index, directive.dim, False, size, offset))
+                    continue
+                if directive.dim in rep_counts:
+                    rep_counts[directive.dim] -= 1
+                elided.append(index)
+                continue
+            if directive.spatial:
+                spatial_counts.append(chunks)
+            kept.append((index, directive.dim, directive.spatial, size, offset))
+
+        # Sort the spatial directives into their existing slots by dim.
+        spatial_entries = [entry for entry in kept if entry[2]]
+        ordered_spatial = sorted(spatial_entries, key=lambda e: (e[1], e[3], e[4]))
+        if ordered_spatial != spatial_entries:
+            slot_changes.extend(
+                (orig[0], (_map_kind(new[2]), new[1], new[3], new[4]))
+                for orig, new in zip(spatial_entries, ordered_spatial)
+                if orig[1:] != new[1:]
+            )
+            slot = iter(ordered_spatial)
+            kept = [next(slot) if entry[2] else entry for entry in kept]
+
+        cluster_size: Optional[int] = None
+        if cluster is not None:
+            cluster_size = evaluate_size(cluster[1].size, full_sizes)
+            if cluster_size < 1:
+                return _fallback(dataflow)  # binding raises for this spelling
+
+        canonical_levels.append(
+            CanonicalLevel(
+                cluster_size=cluster_size,
+                maps=tuple((_map_kind(e[2]), e[1], e[3], e[4]) for e in kept),
+                spatial_chunk_counts=tuple(spatial_counts),
+            )
+        )
+        for _, dim, spatial, size, offset in kept:
+            out_directives.append(
+                MapDirective(dim=dim, size=size, offset=offset, spatial=spatial)
+            )
+        if cluster_size is not None:
+            out_directives.append(ClusterDirective(cluster_size))
+
+        # Mirror BoundLevel.chunk_sizes(): mapped dims carry their
+        # clamped size, unmapped (and elided) dims their local extent.
+        for dim in dims:
+            if dim not in next_local:
+                next_local[dim] = local_sizes.get(dim, 1)
+        local_sizes = next_local
+
+    form = CanonicalForm(
+        name=dataflow.name,
+        directives=tuple(out_directives),
+        levels=tuple(canonical_levels),
+        elided=tuple(elided),
+        slot_changes=tuple(slot_changes),
+        fallback=False,
+    )
+    if form.changed:
+        # The canonical spelling must itself be constructible (the
+        # construction lints run in Dataflow.__post_init__); a spelling
+        # they reject cannot serve as a shared representative.
+        try:
+            Dataflow(name=dataflow.name, directives=form.directives)
+        except DataflowError:
+            return _fallback(dataflow)
+    return form
+
+
+def canonical_key(dataflow: Dataflow, layer: Layer) -> Key:
+    """The canonical structural key of ``dataflow`` on ``layer``."""
+    return canonicalize(dataflow, layer).key
+
+
+def canonical_dataflow(dataflow: Dataflow, layer: Layer, name: Optional[str] = None) -> Dataflow:
+    """Realize the canonical form as a ``Dataflow`` (identity on fallback)."""
+    form = canonicalize(dataflow, layer)
+    if form.fallback or not form.changed:
+        if name is None or name == dataflow.name:
+            return dataflow
+        return Dataflow(name=name, directives=tuple(dataflow.directives))
+    return Dataflow(name=name or dataflow.name, directives=form.directives)
+
+
+def key_to_json(key: Key) -> object:
+    """A JSON-stable rendering of a key (tuples become lists)."""
+
+    def convert(value: object) -> object:
+        if isinstance(value, tuple):
+            return [convert(item) for item in value]
+        return value
+
+    return convert(key)
+
+
+__all__ = [
+    "CanonicalForm",
+    "CanonicalLevel",
+    "Key",
+    "canonical_dataflow",
+    "canonical_key",
+    "canonicalize",
+    "key_to_json",
+]

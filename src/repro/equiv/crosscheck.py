@@ -1,0 +1,240 @@
+"""Differential verification of the equivalence analyzer.
+
+``crosscheck_equiv`` replays every (layer, dataflow) pair through
+``analyze_layer`` twice — once as spelled, once canonicalized (and,
+when the layer is transpose-symmetric and the integer-activity
+certificate holds, once transposed) — and compares the outcomes field
+by field with *zero* tolerance, reusing the strict comparator of the
+vector engine's crosscheck. Every claim the canonicalizer makes about
+the engines ("a one-step iterator is inert", "spatial slots commute")
+is thereby re-proven bit-for-bit on the shipped corpus, exactly like
+``crosscheck_vector`` re-proves the lowering.
+
+Transposed outcomes are compared with the twin's ``dataflow_name``
+restored (the only field the quotient legitimately changes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.dataflow.dataflow import Dataflow
+from repro.engines.analysis import analyze_layer
+from repro.equiv.canonical import canonicalize
+from repro.equiv.symmetry import integral_active, layer_symmetries, transpose_dataflow
+from repro.errors import BindingError, DataflowError
+from repro.exec.serialize import EvalOutcome
+from repro.hardware.accelerator import Accelerator
+from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.model.layer import Layer
+from repro.vector.crosscheck import compare_outcomes
+
+
+@dataclass(frozen=True)
+class EquivMismatch:
+    """One field where a canonical/transposed twin diverged."""
+
+    layer: str
+    dataflow: str
+    variant: str  # "canonical" or "transposed"
+    path: str
+    original: Any
+    twin: Any
+
+    def __str__(self) -> str:
+        return (
+            f"{self.dataflow} on {self.layer} [{self.variant}] {self.path}: "
+            f"original={self.original!r} twin={self.twin!r}"
+        )
+
+
+@dataclass(frozen=True)
+class EquivCrosscheckReport:
+    """Outcome of one differential run over a corpus."""
+
+    pairs_checked: int
+    canonical_changed: int
+    transposed_checked: int
+    mismatches: Tuple[EquivMismatch, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def _outcome(
+    layer: Layer,
+    dataflow: Dataflow,
+    accelerator: Accelerator,
+    energy_model: EnergyModel,
+) -> EvalOutcome:
+    try:
+        report = analyze_layer(layer, dataflow, accelerator, energy_model)
+    except (BindingError, DataflowError) as error:
+        return EvalOutcome(
+            report=None, error_type=type(error).__name__, error_message=str(error)
+        )
+    return EvalOutcome(report=report)
+
+
+def _rename(outcome: EvalOutcome, name: str) -> EvalOutcome:
+    if outcome.report is None:
+        return outcome
+    return EvalOutcome(
+        report=dataclasses.replace(outcome.report, dataflow_name=name),
+        cached=outcome.cached,
+    )
+
+
+def crosscheck_equiv(
+    layer: Layer,
+    dataflow: Dataflow,
+    accelerator: Accelerator,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    max_mismatches: int = 32,
+) -> EquivCrosscheckReport:
+    """Differentially verify canonicalization on one (layer, mapping).
+
+    The canonical twin keeps the original's name, so the comparison is
+    total — any field difference, including type drift, is a mismatch.
+    The transposed twin is only compared when the layer is symmetric
+    and :func:`~repro.equiv.symmetry.integral_active` certifies
+    bit-exactness at the accelerator's PE count.
+    """
+    mismatches: List[EquivMismatch] = []
+
+    def record(variant: str, diffs: List[Tuple[str, Any, Any]]) -> None:
+        for path, a, b in diffs:
+            if len(mismatches) < max_mismatches:
+                mismatches.append(
+                    EquivMismatch(
+                        layer=layer.name,
+                        dataflow=dataflow.name,
+                        variant=variant,
+                        path=path,
+                        original=a,
+                        twin=b,
+                    )
+                )
+
+    original = _outcome(layer, dataflow, accelerator, energy_model)
+    form = canonicalize(dataflow, layer)
+
+    canonical_changed = 0
+    if not form.fallback and form.changed:
+        canonical_changed = 1
+        try:
+            twin_flow = Dataflow(name=dataflow.name, directives=form.directives)
+        except DataflowError:  # pragma: no cover - canonicalize pre-validates
+            twin_flow = None
+        if twin_flow is not None:
+            record(
+                "canonical",
+                compare_outcomes(
+                    original, _outcome(layer, twin_flow, accelerator, energy_model)
+                ),
+            )
+
+    transposed_checked = 0
+    if (
+        not form.fallback
+        and layer_symmetries(layer)
+        and integral_active(form, accelerator.num_pes)
+    ):
+        try:
+            twin_flow = transpose_dataflow(dataflow, name=dataflow.name)
+        except DataflowError:
+            twin_flow = None
+        if twin_flow is not None:
+            transposed_checked = 1
+            twin = _rename(
+                _outcome(layer, twin_flow, accelerator, energy_model), dataflow.name
+            )
+            record("transposed", compare_outcomes(original, twin))
+
+    return EquivCrosscheckReport(
+        pairs_checked=1,
+        canonical_changed=canonical_changed,
+        transposed_checked=transposed_checked,
+        mismatches=tuple(mismatches),
+    )
+
+
+def crosscheck_corpus(
+    pairs: Sequence[Tuple[Layer, Dataflow]],
+    accelerator: Accelerator,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    max_mismatches: int = 32,
+) -> EquivCrosscheckReport:
+    """Run :func:`crosscheck_equiv` over a corpus and merge the reports."""
+    checked = changed = transposed = 0
+    mismatches: List[EquivMismatch] = []
+    for layer, dataflow in pairs:
+        report = crosscheck_equiv(
+            layer,
+            dataflow,
+            accelerator,
+            energy_model,
+            max_mismatches=max_mismatches - len(mismatches),
+        )
+        checked += report.pairs_checked
+        changed += report.canonical_changed
+        transposed += report.transposed_checked
+        mismatches.extend(report.mismatches)
+    return EquivCrosscheckReport(
+        pairs_checked=checked,
+        canonical_changed=changed,
+        transposed_checked=transposed,
+        mismatches=tuple(mismatches),
+    )
+
+
+def library_flows(include_playground: bool = True) -> Dict[str, Dataflow]:
+    """The named library dataflows, keyed by catalog name.
+
+    ``include_playground=False`` drops the Fig-5 teaching mappings —
+    useful where the catalog serves as a quality reference (DF403)
+    rather than a coverage corpus.
+    """
+    from repro.dataflow.library import (
+        fig5_playground,
+        output_stationary_1level,
+        row_stationary_fig6,
+        table3_dataflows,
+        weight_stationary_1level,
+    )
+
+    flows: Dict[str, Dataflow] = dict(table3_dataflows())
+    if include_playground:
+        flows.update({f"fig5-{k}": v for k, v in fig5_playground().items()})
+    flows["row-stationary-fig6"] = row_stationary_fig6()
+    flows["WS-K"] = weight_stationary_1level()
+    flows["OS-YX"] = output_stationary_1level()
+    return flows
+
+
+def library_corpus(models: Optional[Sequence[str]] = None) -> List[Tuple[Layer, Dataflow]]:
+    """Every zoo layer × library dataflow pair (the acceptance corpus)."""
+    from repro.model.zoo import MODELS, build
+
+    flows = library_flows()
+    names = list(models) if models is not None else sorted(MODELS)
+    pairs: List[Tuple[Layer, Dataflow]] = []
+    for model_name in names:
+        network = build(model_name)
+        for layer in network.layers:
+            for flow in flows.values():
+                pairs.append((layer, flow))
+    return pairs
+
+
+__all__ = [
+    "EquivCrosscheckReport",
+    "EquivMismatch",
+    "crosscheck_corpus",
+    "crosscheck_equiv",
+    "library_corpus",
+    "library_flows",
+]

@@ -39,6 +39,7 @@ from repro.exec.cache import (
     AnalysisCache,
     cache_key,
     canonical_point_payload,
+    dataflow_cache_payload,
     default_cache,
     model_version_salt,
     resolve_cache,
@@ -56,6 +57,7 @@ __all__ = [
     "analysis_to_dict",
     "cache_key",
     "canonical_point_payload",
+    "dataflow_cache_payload",
     "default_cache",
     "evaluate_batch",
     "model_version_salt",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.engines.analysis import analyze_layer
@@ -68,7 +68,10 @@ class BatchStats:
     ``vector_points`` counts misses evaluated by the whole-grid vector
     engine; ``vector_fallbacks`` counts misses that ran through the
     scalar engines while the vector executor was active (group too
-    small, or the group could not be lowered).
+    small, or the group could not be lowered). ``equiv_twin_hits``
+    counts cache hits satisfied by an *equivalent* mapping's entry
+    (shared canonical cache key, different mapping name) — a subset of
+    ``cache_hits``.
     """
 
     submitted: int
@@ -80,6 +83,7 @@ class BatchStats:
     wall_seconds: float
     vector_points: int = 0
     vector_fallbacks: int = 0
+    equiv_twin_hits: int = 0
 
 
 @dataclass(frozen=True)
@@ -262,6 +266,7 @@ class BatchEvaluator:
         # Cache pass: satisfy what we can, remember the miss positions.
         miss_indices: List[int] = []
         keys: List[Optional[str]] = [None] * len(points)
+        equiv_twin_hits = 0
         if self._cache is not None:
             with obs.span("exec.cache_lookup"):
                 for index, point in enumerate(points):
@@ -269,6 +274,22 @@ class BatchEvaluator:
                     keys[index] = key
                     hit = self._cache.get(key)
                     if hit is not None:
+                        if (
+                            hit.report is not None
+                            and hit.report.dataflow_name != point.dataflow.name
+                        ):
+                            # Shared canonical entry computed under an
+                            # equivalent twin's name: restore this
+                            # point's name (the only field the
+                            # equivalence quotient legitimately changes).
+                            equiv_twin_hits += 1
+                            obs.inc("exec.equiv.twin_hits")
+                            hit = EvalOutcome(
+                                report=replace(
+                                    hit.report, dataflow_name=point.dataflow.name
+                                ),
+                                cached=True,
+                            )
                         outcomes[index] = hit
                     else:
                         miss_indices.append(index)
@@ -353,6 +374,7 @@ class BatchEvaluator:
             wall_seconds=time.perf_counter() - start,
             vector_points=vector_points,
             vector_fallbacks=vector_fallbacks,
+            equiv_twin_hits=equiv_twin_hits,
         )
         return BatchResult(outcomes=tuple(final), stats=stats)
 

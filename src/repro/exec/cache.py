@@ -5,10 +5,19 @@ evaluation point:
 
 - the layer (operator structure, dimension extents, stride, dilation,
   groups, densities);
-- the dataflow's directive list with every symbolic size/offset
-  *evaluated against the layer* (so ``Sz(R)`` and a literal ``3`` on an
-  ``R=3`` layer produce the same key — exactly the spellings the static
-  mapping analyzer proved bind identically);
+- the dataflow's *canonical form* under the equivalence analyzer
+  (:mod:`repro.equiv`): symbolic sizes evaluated against the layer,
+  inert single-chunk temporal maps elided, spatial slots sorted, and —
+  when the layer is transpose-symmetric and the integer-activity
+  certificate holds at the accelerator's PE count — the least
+  representative of the symmetry orbit. Every spelling the analyzer
+  proves bit-identical shares one cache entry; anything it cannot
+  certify falls back to keying on the raw evaluated directive list,
+  exactly as before. The mapping *name* is part of the key only in the
+  fallback tier and for points whose cluster hierarchy provably exceeds
+  the PE count (binding rejections embed the name in their message);
+  for shared entries the backend restores the requesting mapping's name
+  on every hit;
 - the full hardware configuration and energy model;
 - a model-version salt hashed from the source of the cost-model modules,
   so any change to the engines invalidates every stale entry
@@ -56,12 +65,19 @@ def _salt_source_files() -> List[Path]:
     """Source files whose content defines the cost model's semantics."""
     import repro.dataflow
     import repro.engines
+    import repro.equiv
     import repro.hardware
     import repro.model.layer
     import repro.tensors
 
     files: List[Path] = [Path(repro.model.layer.__file__)]
-    for package in (repro.engines, repro.tensors, repro.dataflow, repro.hardware):
+    for package in (
+        repro.engines,
+        repro.tensors,
+        repro.dataflow,
+        repro.hardware,
+        repro.equiv,
+    ):
         files.extend(sorted(Path(package.__file__).parent.glob("*.py")))
     return files
 
@@ -168,6 +184,47 @@ def _energy_payload(model: EnergyModel) -> Dict[str, Any]:
     }
 
 
+def dataflow_cache_payload(
+    dataflow: Dataflow, layer: Layer, num_pes: int
+) -> Dict[str, Any]:
+    """The dataflow portion of the cache key: the equivalence quotient.
+
+    Non-fallback canonical forms key on the structural canonical key —
+    the orbit-least key when the transposition is certified bit-exact at
+    ``num_pes`` — with the mapping name dropped, so every spelling the
+    analyzer proves equivalent addresses one shared entry. Two
+    exceptions keep names in the key: fallback forms (nothing proven —
+    raw spelling plus name, the pre-equivalence behavior), and points
+    whose cluster hierarchy needs more than ``num_pes`` PEs, where the
+    outcome is a ``BindingError`` whose message embeds the name. Other
+    model rejections arising after a successful bind may still share an
+    entry across equivalent spellings; their ``error_message`` then
+    carries the first-evaluated twin's name (``error_type``, which sweep
+    consumers branch on, is spelling-independent).
+    """
+    from repro.equiv.canonical import canonicalize, key_to_json
+    from repro.equiv.symmetry import integral_active, layer_symmetries, orbit_key
+    from repro.util.intmath import prod
+
+    form = canonicalize(dataflow, layer)
+    if form.fallback:
+        return {
+            "name": dataflow.name,
+            "directives": canonical_directives(dataflow, layer),
+        }
+    key = form.key
+    symmetries = layer_symmetries(layer)
+    if symmetries and integral_active(form, num_pes):
+        key = orbit_key(key, symmetries)
+    payload: Dict[str, Any] = {"key": key_to_json(key)}
+    cluster_pes = prod(
+        [level.cluster_size for level in form.levels if level.cluster_size is not None]
+    )
+    if cluster_pes > num_pes:
+        payload["name"] = dataflow.name  # binding rejects; message names the mapping
+    return payload
+
+
 def canonical_point_payload(
     layer: Layer,
     dataflow: Dataflow,
@@ -178,10 +235,7 @@ def canonical_point_payload(
     return {
         "salt": model_version_salt(),
         "layer": _layer_payload(layer),
-        "dataflow": {
-            "name": dataflow.name,
-            "directives": canonical_directives(dataflow, layer),
-        },
+        "dataflow": dataflow_cache_payload(dataflow, layer, accelerator.num_pes),
         "accelerator": _accelerator_payload(accelerator),
         "energy": _energy_payload(energy_model),
     }

@@ -33,6 +33,7 @@ from repro.lint.engine import (
     lint_directives,
     lint_text,
     required_pes,
+    rule_families,
     static_errors,
 )
 from repro.lint.rules import RULES, Rule
@@ -59,5 +60,6 @@ __all__ = [
     "lint_symbolic",
     "lint_text",
     "required_pes",
+    "rule_families",
     "static_errors",
 ]

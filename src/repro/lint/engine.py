@@ -39,6 +39,7 @@ __all__ = [
     "lint_directives",
     "lint_text",
     "required_pes",
+    "rule_families",
     "static_errors",
 ]
 
@@ -48,7 +49,17 @@ _FAMILIES = {
     "DF1": "coverage verdicts emitted from the repro.verify enumeration engine",
     "DF2": "symbolic range certificates from the abstract interpreter",
     "DF3": "certified communication classifications from repro.comm",
+    "DF4": "equivalence/dominance findings from the repro.equiv canonical-form analyzer",
 }
+
+
+def rule_families() -> Dict[str, str]:
+    """Registered rule-code prefixes mapped to their provenance family.
+
+    Exposed so CLI error paths can list the valid families (``DF0``,
+    ``DF1``, ...) without enumerating every individual rule code.
+    """
+    return dict(_FAMILIES)
 
 
 def explain_rule(code: str) -> str:

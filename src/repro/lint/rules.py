@@ -1266,3 +1266,192 @@ def _check_forwarding_chain(ctx: RuleContext) -> Iterator[Diagnostic]:
                     f"sub-units, or tile it with a Cluster"
                 ),
             )
+
+
+# ======================================================================
+# Mapping equivalence & dominance, backed by repro.equiv (DF400-DF403)
+#
+# These rules read the canonical-form analyzer: exact findings (inert
+# directives, commuting spatial slots) carry the equivalence provenance
+# and exact fix-its; DF402 compares symmetry orbits against the library
+# catalog; DF403 reports interval-certified dominance by a library
+# mapping. None are construction or binding-equivalent rules — they
+# never run on the engines' hot paths.
+# ======================================================================
+def _equiv_dataflow(ctx: RuleContext) -> "Optional[Dataflow]":
+    """The mapping under lint as a ``Dataflow``, or ``None``."""
+    if ctx.dataflow is not None:
+        return ctx.dataflow  # type: ignore[return-value]
+    try:
+        from repro.dataflow.dataflow import Dataflow
+
+        return Dataflow(name=ctx.name, directives=tuple(ctx.directives))
+    except Exception:
+        return None
+
+
+@rule(
+    "DF400",
+    "redundant directive: single-chunk TemporalMap is inert",
+    Severity.WARNING,
+    requires=("layer",),
+)
+def _check_redundant_directive(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A TemporalMap whose clamped size covers its whole local extent
+    iterates once: the reuse engine's odometer filters on ``steps > 1``,
+    so the directive is inert and the binding engine would infer an
+    identical one if it were absent. Removing it is exact (theorem 2 of
+    :mod:`repro.equiv.canonical`, re-proven bit-for-bit by
+    ``crosscheck_equiv``). The last directive naming ``Y'``/``X'`` is
+    exempt — its presence selects the output-coordinate representation.
+    """
+    flow = _equiv_dataflow(ctx)
+    if flow is None or ctx.layer is None:
+        return
+    from repro.equiv.canonical import EQUIV_PROVENANCE, canonicalize
+
+    form = canonicalize(flow, ctx.layer)
+    if form.fallback:
+        return
+    for index in form.elided:
+        directive = ctx.directives[index]
+        dim = getattr(directive, "dim", "?")
+        yield ctx.diag(
+            "DF400",
+            f"{ctx.name}: TemporalMap on {dim} produces a single chunk "
+            f"covering its whole local extent — one step, no iteration: "
+            f"removing it leaves the schedule bit-identical",
+            index=index,
+            provenance=EQUIV_PROVENANCE,
+            fixit=FixIt(
+                f"remove this directive; binding infers an identical "
+                f"whole-extent iterator for {dim}"
+            ),
+        )
+
+
+@rule(
+    "DF401",
+    "spatial directives not in canonical slot order",
+    Severity.INFO,
+    requires=("layer",),
+)
+def _check_noncanonical_order(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A level's spatial directives distribute jointly — the odometer
+    collapses them into one fold entry with their offsets in a dict — so
+    permuting which spatial directive occupies which slot is
+    unobservable (theorem 3 of :mod:`repro.equiv.canonical`). Writing
+    them in canonical (dimension-sorted) order makes textually different
+    spellings of the same schedule identical, which is what the exec
+    cache and ``--equiv-prune`` key on.
+    """
+    flow = _equiv_dataflow(ctx)
+    if flow is None or ctx.layer is None:
+        return
+    from repro.equiv.canonical import EQUIV_PROVENANCE, canonicalize
+
+    form = canonicalize(flow, ctx.layer)
+    if form.fallback:
+        return
+    for index, (kind, dim, size, offset) in form.slot_changes:
+        replacement = f"{'SpatialMap' if kind == 'S' else 'TemporalMap'}({size},{offset}) {dim}"
+        yield ctx.diag(
+            "DF401",
+            f"{ctx.name}: spatial slot out of canonical order — slots of one "
+            f"level commute, and in dimension-sorted order this slot holds "
+            f"{replacement}",
+            index=index,
+            provenance=EQUIV_PROVENANCE,
+            fixit=FixIt(
+                "sort the level's SpatialMaps by dimension name",
+                replacement=replacement,
+            ),
+        )
+
+
+@rule(
+    "DF402",
+    "mapping is a symmetric twin of a library dataflow",
+    Severity.INFO,
+    requires=("layer",),
+)
+def _check_symmetric_twin(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """On a transpose-symmetric layer (square extents, symmetric
+    operator coupling), a mapping whose canonical form is the row/column
+    transposition of a library dataflow is a mirror-image schedule with
+    the identical cost structure. Advisory: the orbit comparison is
+    unconditional (no integer-activity certificate), so twins may differ
+    in final float ulps — they are equivalent schedules regardless.
+    """
+    flow = _equiv_dataflow(ctx)
+    if flow is None or ctx.layer is None:
+        return
+    from repro.equiv.canonical import EQUIV_PROVENANCE, canonicalize
+    from repro.equiv.crosscheck import library_flows
+    from repro.equiv.symmetry import layer_symmetries, orbit_key
+
+    symmetries = layer_symmetries(ctx.layer)
+    if not symmetries:
+        return
+    form = canonicalize(flow, ctx.layer)
+    if form.fallback:
+        return
+    own_key = form.key
+    own_orbit = orbit_key(own_key, symmetries)
+    for lib_name, lib_flow in sorted(library_flows().items()):
+        lib_key = canonicalize(lib_flow, ctx.layer).key
+        if lib_key == own_key:
+            continue  # identical schedule, not a twin
+        if orbit_key(lib_key, symmetries) == own_orbit:
+            yield ctx.diag(
+                "DF402",
+                f"{ctx.name}: on {ctx.layer.name} this mapping is the "
+                f"row/column transpose of library dataflow {lib_name!r} — a "
+                f"mirror-image schedule with identical cost structure",
+                provenance=EQUIV_PROVENANCE,
+            )
+            return
+
+
+@rule(
+    "DF403",
+    "mapping statically dominated by a library dataflow",
+    Severity.WARNING,
+    requires=("layer", "accelerator"),
+)
+def _check_statically_dominated(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A library mapping's *pessimistic* interval bound beats this
+    mapping's *optimistic* bound on runtime, energy, and EDP (strictly
+    on at least one): for this layer and accelerator the library mapping
+    is provably no worse everywhere. Soundness is inherited from the
+    interval abstract interpreter's over-approximation; mappings in the
+    same equivalence orbit are skipped (a schedule cannot dominate
+    itself).
+    """
+    flow = _equiv_dataflow(ctx)
+    if flow is None or ctx.layer is None or ctx.accelerator is None:
+        return
+    from repro.absint import HardwareBox
+    from repro.equiv.canonical import canonicalize
+    from repro.equiv.crosscheck import library_flows
+    from repro.equiv.dominance import DOMINANCE_PROVENANCE, dominance_certificate
+    from repro.equiv.symmetry import layer_symmetries, orbit_key
+
+    hw = HardwareBox.from_accelerator(ctx.accelerator)
+    symmetries = layer_symmetries(ctx.layer)
+    own_orbit = orbit_key(canonicalize(flow, ctx.layer).key, symmetries)
+    for lib_name, lib_flow in sorted(library_flows(include_playground=False).items()):
+        lib_orbit = orbit_key(canonicalize(lib_flow, ctx.layer).key, symmetries)
+        if lib_orbit == own_orbit:
+            continue
+        certificate = dominance_certificate(lib_flow, flow, ctx.layer, hw)
+        if certificate is None:
+            continue
+        yield ctx.diag(
+            "DF403",
+            f"{ctx.name}: statically dominated on {ctx.layer.name} — "
+            f"library dataflow {lib_name!r} is provably no worse: "
+            f"{certificate.describe()}",
+            provenance=DOMINANCE_PROVENANCE,
+        )
+        return

@@ -4,14 +4,14 @@ from __future__ import annotations
 
 import time
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.dataflow.dataflow import Dataflow
 from repro.engines.analysis import LayerAnalysis
 from repro.errors import BindingError, DataflowError
-from repro.exec import AnalysisCache, BatchEvaluator, EvalPoint
+from repro.exec import AnalysisCache, BatchEvaluator, EvalOutcome, EvalPoint
 from repro.hardware.accelerator import Accelerator
 from repro.hardware.energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from repro.lint.engine import static_errors
@@ -64,6 +64,10 @@ class TunerResult:
     #: the DF300 race); only counted when ``comm_prune`` is enabled
     #: and the accelerator lacks ``reduction_support``.
     comm_rejected: int = 0
+    #: How many candidates were scored by replaying an equivalent
+    #: candidate's outcome instead of a cost-model call (``equiv_prune``:
+    #: same canonical key, provably identical report).
+    equiv_replayed: int = 0
     #: How many cost-model answers came from the memoization cache
     #: (free on tuner restarts and overlapping candidate grids).
     cache_hits: int = 0
@@ -97,6 +101,7 @@ def tune_layer(
     verify_coverage: bool = False,
     symbolic_prune: bool = False,
     comm_prune: bool = False,
+    equiv_prune: bool = False,
     executor: str = "auto",
     jobs: Optional[int] = None,
     cache: Union[bool, AnalysisCache, None] = True,
@@ -141,6 +146,15 @@ def tune_layer(
     reduction-capable hardware the screen never runs, so the result is
     bit-identical with or without the flag; candidates the classifier
     cannot bind or classify are never pruned.
+
+    With ``equiv_prune`` the surviving candidates are quotiented by the
+    equivalence analyzer (:mod:`repro.equiv`): only one representative
+    per canonical-form class (extended to the symmetry orbit where the
+    integer-activity certificate proves transposed twins bit-identical
+    on this accelerator) pays a cost-model call; the rest replay its
+    report with their own mapping name restored (``equiv_replayed``).
+    Every replayed report is provably bit-identical to a fresh
+    evaluation, so the scored set — and the winner — are unchanged.
     """
     start = time.perf_counter()
     try:
@@ -250,23 +264,65 @@ def tune_layer(
                 survivors.append((spec, dataflow))
             runnable = survivors
 
+    # Equivalence screen: one representative per canonical-form class
+    # pays a cost-model call; the others replay its (provably identical)
+    # report below. The orbit quotient applies only where the
+    # integer-activity certificate holds at this accelerator's PE count.
+    equiv_replayed = 0
+    eval_indices = list(range(len(runnable)))
+    replay_of: Dict[int, int] = {}
+    if equiv_prune:
+        with obs.span("tuner.equiv_screen", candidates=len(runnable)):
+            from repro.equiv import (
+                canonicalize,
+                integral_active,
+                layer_symmetries,
+                orbit_key,
+            )
+
+            symmetries = layer_symmetries(layer)
+            representatives: Dict[object, int] = {}
+            eval_indices = []
+            for index, (spec, dataflow) in enumerate(runnable):
+                form = canonicalize(dataflow, layer)
+                class_key = form.key
+                if symmetries and integral_active(form, accelerator.num_pes):
+                    class_key = orbit_key(class_key, symmetries)
+                representative = representatives.get(class_key)
+                if representative is None:
+                    representatives[class_key] = index
+                    eval_indices.append(index)
+                else:
+                    replay_of[index] = representative
+            equiv_replayed = len(replay_of)
+            obs.inc("tuner.pruned_by_equiv", equiv_replayed)
+
     # Phase 2 — evaluate through the backend (memoized, parallelizable).
     evaluator = BatchEvaluator(executor=executor, jobs=jobs, cache=cache)
-    with obs.span("tuner.evaluate", candidates=len(runnable)):
+    with obs.span("tuner.evaluate", candidates=len(eval_indices)):
         batch = evaluator.evaluate(
             EvalPoint(
                 layer=layer,
-                dataflow=dataflow,
+                dataflow=runnable[index][1],
                 accelerator=accelerator,
                 energy_model=energy_model,
             )
-            for spec, dataflow in runnable
+            for index in eval_indices
         )
+    outcome_at = dict(zip(eval_indices, batch))
 
     # Phase 3 — filter and score, in enumeration order.
     with obs.span("tuner.score"):
         scored: List[ScoredCandidate] = []
-        for (spec, dataflow), outcome in zip(runnable, batch):
+        for index, (spec, dataflow) in enumerate(runnable):
+            outcome = outcome_at.get(index)
+            if outcome is None:
+                outcome = outcome_at[replay_of[index]]
+                if outcome.ok and outcome.report.dataflow_name != dataflow.name:
+                    outcome = EvalOutcome(
+                        report=replace(outcome.report, dataflow_name=dataflow.name),
+                        cached=outcome.cached,
+                    )
             if not outcome.ok:
                 rejected += 1
                 continue
@@ -299,6 +355,7 @@ def tune_layer(
         coverage_rejected=coverage_rejected,
         symbolic_rejected=symbolic_rejected,
         comm_rejected=comm_rejected,
+        equiv_replayed=equiv_replayed,
         cache_hits=batch.stats.cache_hits,
         cost_model_calls=batch.stats.submitted,
         elapsed_seconds=time.perf_counter() - start,

@@ -30,6 +30,7 @@ from repro.exec import (
     analysis_to_dict,
     cache_key,
     canonical_point_payload,
+    dataflow_cache_payload,
     evaluate_batch,
     model_version_salt,
     resolve_cache,
@@ -299,9 +300,16 @@ class TestCacheKeyProperties:
         flow_b = _renamed(spec_b.build(), "same-name")
         key_a = cache_key(layer, flow_a, _KEY_HW, DEFAULT_ENERGY_MODEL)
         key_b = cache_key(layer, flow_b, _KEY_HW, DEFAULT_ENERGY_MODEL)
-        if canonical_directives(flow_a, layer) != canonical_directives(flow_b, layer):
+        payload_a = dataflow_cache_payload(flow_a, layer, _KEY_HW.num_pes)
+        payload_b = dataflow_cache_payload(flow_b, layer, _KEY_HW.num_pes)
+        if payload_a != payload_b:
             assert key_a != key_b
         else:
+            assert key_a == key_b
+        # The quotient only ever merges what the raw spelling tier kept
+        # apart, never the reverse: identical evaluated spellings (same
+        # name) must still share a key.
+        if canonical_directives(flow_a, layer) == canonical_directives(flow_b, layer):
             assert key_a == key_b
 
     @settings(max_examples=40, deadline=None)

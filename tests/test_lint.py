@@ -268,6 +268,7 @@ def test_rule_registry_is_complete():
     expected = [f"DF{i:03d}" for i in range(1, 19)]
     expected += ["DF101", "DF102", "DF103"]  # verifier-backed coverage codes
     expected += ["DF300", "DF301", "DF302", "DF303"]  # communication codes
+    expected += ["DF400", "DF401", "DF402", "DF403"]  # equivalence/dominance
     assert sorted(RULES) == expected
     construction = {c for c, r in RULES.items() if r.construction}
     assert construction == {"DF001", "DF002", "DF003", "DF004"}

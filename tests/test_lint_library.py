@@ -36,21 +36,29 @@ def stock_mappings():
 #: DF303 fires for the sliding-window flows whose input forwarding chain
 #: outgrows a 16-PE row on large layers; RS adds DF302 on 1x1-kernel
 #: layers where its joint SpatialMap over R degenerates to one chunk.
+#: The equivalence analyzer adds DF400 wherever a flow spells an
+#: explicit whole-extent TemporalMap (all stock flows except fig5-C/D/E
+#: do, for readability), DF401 for RS/YR-P whose spatial slots are not
+#: in canonical (dim, size, offset) order, and DF403 everywhere: on
+#: small zoo layers some *other* stock flow certifiably dominates.
 GOLDEN_WARNINGS = {
-    "C-P": {"DF009", "DF018", "DF102"},
-    "X-P": {"DF009", "DF018", "DF102", "DF303"},
-    "YX-P": {"DF009", "DF018", "DF102", "DF303"},
-    "YR-P": {"DF008", "DF009", "DF018", "DF102", "DF303"},
-    "KC-P": {"DF009", "DF018", "DF102"},
-    "RS": {"DF008", "DF009", "DF018", "DF101", "DF102", "DF302", "DF303"},
-    "WS-K": {"DF009", "DF018", "DF102"},
-    "OS-YX": {"DF009", "DF018", "DF102", "DF303"},
-    "fig5-A": {"DF006", "DF009", "DF018", "DF102"},
-    "fig5-B": {"DF006", "DF009", "DF018", "DF102"},
-    "fig5-C": {"DF006", "DF009", "DF018", "DF102"},
-    "fig5-D": {"DF006", "DF009", "DF018", "DF102"},
-    "fig5-E": {"DF006", "DF009", "DF018", "DF102"},
-    "fig5-F": {"DF006", "DF008", "DF009", "DF018", "DF102", "DF303"},
+    "C-P": {"DF009", "DF018", "DF102", "DF400", "DF403"},
+    "X-P": {"DF009", "DF018", "DF102", "DF303", "DF400", "DF403"},
+    "YX-P": {"DF009", "DF018", "DF102", "DF303", "DF400", "DF403"},
+    "YR-P": {"DF008", "DF009", "DF018", "DF102", "DF303", "DF400", "DF401", "DF403"},
+    "KC-P": {"DF009", "DF018", "DF102", "DF400", "DF403"},
+    "RS": {
+        "DF008", "DF009", "DF018", "DF101", "DF102", "DF302", "DF303",
+        "DF400", "DF401", "DF403",
+    },
+    "WS-K": {"DF009", "DF018", "DF102", "DF400", "DF403"},
+    "OS-YX": {"DF009", "DF018", "DF102", "DF303", "DF400", "DF403"},
+    "fig5-A": {"DF006", "DF009", "DF018", "DF102", "DF400", "DF403"},
+    "fig5-B": {"DF006", "DF009", "DF018", "DF102", "DF400", "DF403"},
+    "fig5-C": {"DF006", "DF009", "DF018", "DF102", "DF403"},
+    "fig5-D": {"DF006", "DF009", "DF018", "DF102", "DF403"},
+    "fig5-E": {"DF006", "DF009", "DF018", "DF102", "DF403"},
+    "fig5-F": {"DF006", "DF008", "DF009", "DF018", "DF102", "DF303", "DF400", "DF403"},
 }
 
 #: Latent coverage gaps the iteration-space verifier (repro.verify)

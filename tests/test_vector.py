@@ -9,6 +9,7 @@ express falls back to the scalar engines, visibly counted.
 
 import importlib.util
 import json
+import sys
 from pathlib import Path
 
 import pytest
@@ -33,6 +34,9 @@ REGRESSION_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "che
 def _load_check_regression():
     spec = importlib.util.spec_from_file_location("check_regression", REGRESSION_SCRIPT)
     module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves the gate table's string annotations through
+    # sys.modules, so the module must be registered before exec.
+    sys.modules[spec.name] = module
     spec.loader.exec_module(module)
     return module
 
