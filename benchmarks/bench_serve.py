@@ -1,0 +1,222 @@
+"""Serving-layer benchmark: load, latency, cache efficacy, shard parity.
+
+Boots a real :class:`~repro.serve.app.ThreadedServer` in-process, drives
+it over sockets with :class:`~repro.serve.client.ServeClient`, and
+writes ``BENCH_serve.json`` for ``check_regression.py --serve``:
+
+1. **Analyze load** — a cold pass over distinct (layer, dataflow)
+   queries followed by repeat passes of the same queries. Records req/s
+   and p50/p99 latency over the warm passes, and the cache-hit ratio of
+   the repeats (the shared cross-request cache must make repeats free).
+2. **DSE shard parity** — a sharded, streamed Figure-13-style sweep
+   whose final front must be bit-identical to the in-process
+   :func:`repro.dse.explorer.explore` over the same normalized inputs
+   (rebuilt via :func:`repro.serve.protocol.dse_inputs`, the same
+   code path the server uses).
+3. **Single-flight** — the same DSE job submitted twice concurrently;
+   the second submission must join the first, not recompute.
+
+The p99 gate is deliberately loose (order-of-magnitude, not
+millisecond): it exists to catch serving regressions like event-loop
+stalls or accidental sweep-per-request, and the latency load runs
+against warm cache so the figure is dominated by serving overhead, not
+the cost model.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        [--out BENCH_serve.json] [--requests 60] [--max-pes 64] \
+        [--pe-step 16] [--shards 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro.dse.explorer import explore
+from repro.serve import ServeClient, ServeConfig, ThreadedServer, protocol
+
+#: Distinct (model, layer, dataflow) queries for the analyze load.
+ANALYZE_QUERIES = (
+    ("vgg16", "CONV1", "KC-P"),
+    ("vgg16", "CONV2", "KC-P"),
+    ("vgg16", "CONV3", "YR-P"),
+    ("vgg16", "CONV4", "C-P"),
+    ("vgg16", "CONV5", "X-P"),
+    ("vgg16", "CONV1", "YX-P"),
+)
+
+
+def analyze_load(client: ServeClient, requests: int) -> dict:
+    """Cold pass + warm repeats; returns latency and hit-ratio figures."""
+    # Cold pass: populate the shared cache (not timed into the p99).
+    for model, layer, flow in ANALYZE_QUERIES:
+        client.analyze(model=model, layer=layer, dataflow=flow)
+
+    latencies = []
+    hits = 0
+    start = time.perf_counter()
+    for index in range(requests):
+        model, layer, flow = ANALYZE_QUERIES[index % len(ANALYZE_QUERIES)]
+        t0 = time.perf_counter()
+        result = client.analyze(model=model, layer=layer, dataflow=flow)
+        latencies.append(time.perf_counter() - t0)
+        if all(entry["cached"] for entry in result["layers"]):
+            hits += 1
+    elapsed = time.perf_counter() - start
+
+    latencies.sort()
+    return {
+        "requests": requests,
+        "req_per_sec": requests / elapsed if elapsed else float("inf"),
+        "p50_ms": statistics.median(latencies) * 1e3,
+        "p99_ms": latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+        * 1e3,
+        "cache_hit_ratio": hits / requests if requests else 0.0,
+    }
+
+
+def dse_parity(
+    client: ServeClient, max_pes: int, pe_step: int, shards: int
+) -> dict:
+    """Streamed sharded sweep vs the in-process explorer, bit for bit."""
+    job = dict(
+        model="vgg16",
+        layer="CONV1",
+        dataflow="KC-P",
+        max_pes=max_pes,
+        pe_step=pe_step,
+        max_bandwidth=32,
+        shards=shards,
+    )
+    events = list(client.dse_stream(**job))
+    final = events[-1]
+    assert final["event"] == "result", f"sweep did not finish: {final}"
+    front_updates = sum(1 for event in events if event["event"] == "front")
+
+    # The parity reference: the exact sweep the server ran, rebuilt from
+    # the same normalized document through the same protocol helpers.
+    norm = protocol.validate("dse", dict(job))
+    layer, space, kwargs = protocol.dse_inputs(norm)
+    direct = explore(layer, space, **kwargs)
+    direct_front = [protocol.design_point_dict(p) for p in direct.pareto()]
+    parity_ok = direct_front == final["front"]
+
+    # Repeat the identical job: every grid point must come off the
+    # shared cache. ``cost_model_calls`` counts every point that needed
+    # a cost-model answer, memoized or fresh, so hits/calls is the
+    # fraction of the sweep served from cache.
+    repeat = client.dse(**job)
+    stats = repeat["statistics"]
+    calls = stats["cost_model_calls"]
+    repeat_hit_ratio = stats["cache_hits"] / calls if calls else 0.0
+
+    return {
+        "space_size": space.size,
+        "shards": final["shards"],
+        "front_size": len(final["front"]),
+        "front_updates": front_updates,
+        "parity_ok": parity_ok,
+        "repeat_cache_hit_ratio": repeat_hit_ratio,
+        "statistics": final["statistics"],
+    }
+
+
+def singleflight(client: ServeClient, max_pes: int, pe_step: int) -> dict:
+    """Two concurrent identical jobs; the follower must join the leader."""
+    job = dict(
+        model="vgg16",
+        layer="CONV2",
+        dataflow="YR-P",
+        max_pes=max_pes,
+        pe_step=pe_step,
+        max_bandwidth=16,
+        shards=2,
+    )
+    results = [None, None]
+
+    def submit(slot: int) -> None:
+        results[slot] = client.dse(**job)
+
+    threads = [
+        threading.Thread(target=submit, args=(slot,)) for slot in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert results[0] is not None and results[1] is not None
+    same_job = results[0]["job_id"] == results[1]["job_id"]
+    identical = results[0]["front"] == results[1]["front"]
+    return {"joined": same_job, "fronts_identical": identical}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_serve.json"))
+    parser.add_argument("--requests", type=int, default=60)
+    parser.add_argument("--max-pes", type=int, default=64)
+    parser.add_argument("--pe-step", type=int, default=16)
+    parser.add_argument("--shards", type=int, default=4)
+    args = parser.parse_args()
+
+    with ThreadedServer(
+        ServeConfig(port=0, max_concurrency=4, allow_shutdown=False)
+    ) as server:
+        client = ServeClient(port=server.port, timeout=300.0)
+        print(f"server up on port {server.port}")
+
+        load = analyze_load(client, args.requests)
+        print(
+            f"analyze load: {load['req_per_sec']:.0f} req/s, "
+            f"p50 {load['p50_ms']:.1f}ms, p99 {load['p99_ms']:.1f}ms, "
+            f"cache hit {load['cache_hit_ratio']:.1%}"
+        )
+
+        parity = dse_parity(client, args.max_pes, args.pe_step, args.shards)
+        print(
+            f"dse parity: {parity['space_size']} points in "
+            f"{parity['shards']} shards, {parity['front_updates']} anytime "
+            f"updates, parity_ok={parity['parity_ok']}, repeat hit "
+            f"{parity['repeat_cache_hit_ratio']:.1%}"
+        )
+
+        flight = singleflight(client, args.max_pes, args.pe_step)
+        print(
+            f"single-flight: joined={flight['joined']}, "
+            f"fronts_identical={flight['fronts_identical']}"
+        )
+
+        # /metrics must expose the serving counters the docs promise.
+        metrics = client.metrics()
+        has_latency = "serve_latency" in metrics
+        has_queue = "serve_queue_depth" in metrics
+
+    report = {
+        "bench": "serve",
+        "parity_ok": bool(
+            parity["parity_ok"] and flight["fronts_identical"]
+        ),
+        "cache_hit_ratio": min(
+            load["cache_hit_ratio"], parity["repeat_cache_hit_ratio"]
+        ),
+        "p99_ms": load["p99_ms"],
+        "p50_ms": load["p50_ms"],
+        "req_per_sec": load["req_per_sec"],
+        "singleflight_joined": flight["joined"],
+        "metrics_exposed": bool(has_latency and has_queue),
+        "analyze_load": load,
+        "dse": parity,
+    }
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,13 @@ ratio, so no normalization is needed), and a fallback rate within
 exhaustive sweep and avoid at least ``--equiv-min-skip`` of its
 cost-model calls.
 
+``--serve BENCH_serve.json`` gates the serving-layer report from
+``bench_serve.py``: the sharded server-side DSE front must be
+bit-identical to the in-process explorer, repeated identical queries
+must hit the shared cache at least ``--serve-min-hit`` of the time, and
+the warm analyze load's p99 latency must stay under ``--serve-max-p99``
+milliseconds.
+
 Each per-subsystem gate is one :class:`SubsystemGate` entry in the
 ``SUBSYSTEM_GATES`` registry — the flag, its threshold options, the
 section heading, and the failure-report label all come from the table,
@@ -50,9 +57,13 @@ so adding a gate is a single new entry plus its ``*_failures`` checker.
 A missing or malformed report file fails with a one-line error, not a
 stack trace.
 
+``--list-gates`` prints the registry and exits; the ``current``
+positional is optional, so a lane that only produced a subsystem report
+can run e.g. ``check_regression.py --serve BENCH_serve.json`` alone.
+
 Usage::
 
-    python benchmarks/check_regression.py current.json \
+    python benchmarks/check_regression.py [current.json] [--list-gates] \
         [--baseline benchmarks/baseline.json] [--tolerance 0.25] \
         [--only SUBSTR] \
         [--phases BENCH_obs.json] [--phases-baseline baseline_obs.json] \
@@ -246,6 +257,52 @@ def vector_failures(path: Path, min_speedup: float, max_fallback: float) -> list
     return failures
 
 
+def serve_failures(path: Path, min_hit: float, max_p99_ms: float) -> list:
+    """Parity, cache, and latency gate for the serving-layer report.
+
+    Shard parity and the repeat-query cache-hit ratio are deterministic;
+    the p99 gate is wall-clock and deliberately loose — it exists to
+    catch order-of-magnitude serving regressions (event-loop stalls,
+    lost streaming, accidental sweep-per-request), not millisecond noise.
+    """
+    report = load_report(path, "serving")
+    try:
+        parity_ok = report["parity_ok"]
+        hit_ratio = report["cache_hit_ratio"]
+        p99_ms = report["p99_ms"]
+        req_per_sec = report["req_per_sec"]
+    except KeyError as error:
+        raise SystemExit(
+            f"error: malformed serving report {path}: missing key {error}"
+        )
+    failures = []
+    verdict = "ok"
+    if not parity_ok:
+        verdict = "MISMATCH"
+        failures.append(
+            "sharded server-side DSE front differs from the in-process "
+            "explorer (parity violation)"
+        )
+    if hit_ratio < min_hit:
+        verdict = "COLD"
+        failures.append(
+            f"repeat-query cache-hit ratio {hit_ratio:.1%} below "
+            f"{min_hit:.0%}"
+        )
+    if p99_ms > max_p99_ms:
+        verdict = "TOO SLOW"
+        failures.append(
+            f"p99 request latency {p99_ms:.1f}ms over the "
+            f"{max_p99_ms:.0f}ms cap"
+        )
+    print(
+        f"  {verdict:10s}serve: parity_ok={parity_ok}, "
+        f"cache hit {hit_ratio:.1%}, p99 {p99_ms:.1f}ms, "
+        f"{req_per_sec:.0f} req/s"
+    )
+    return failures
+
+
 def equiv_failures(path: Path, min_skip: float) -> list:
     """Soundness and effectiveness gate for the equivalence-pruning report."""
     report = load_report(path, "equivalence-pruning")
@@ -383,12 +440,66 @@ SUBSYSTEM_GATES: Tuple[SubsystemGate, ...] = (
             ),
         ),
     ),
+    SubsystemGate(
+        name="serve",
+        metavar="BENCH_serve.json",
+        help="also gate the serving-layer parity + cache + latency report "
+        "from bench_serve.py",
+        heading="analysis server (repro.serve)",
+        label="serving",
+        check=lambda path, args: serve_failures(
+            path, args.serve_min_hit, args.serve_max_p99
+        ),
+        options=(
+            (
+                "--serve-min-hit",
+                dict(
+                    type=float,
+                    default=0.9,
+                    help="minimum cache-hit ratio on repeated identical "
+                    "queries (default 0.9)",
+                ),
+            ),
+            (
+                "--serve-max-p99",
+                dict(
+                    type=float,
+                    default=1000.0,
+                    help="maximum p99 request latency in milliseconds for "
+                    "the warm analyze load (default 1000)",
+                ),
+            ),
+        ),
+    ),
 )
+
+
+def print_gate_table() -> None:
+    """Print the SubsystemGate registry (``--list-gates``)."""
+    print("registered subsystem gates:")
+    for gate in SUBSYSTEM_GATES:
+        print(f"\n  --{gate.name} {gate.metavar}")
+        print(f"      section: {gate.heading}")
+        print(f"      label:   {gate.label}")
+        if not gate.options:
+            print("      options: (none)")
+        for flag, options in gate.options:
+            print(
+                f"      option:  {flag} (default {options.get('default')!r})"
+            )
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", type=Path, help="fresh --benchmark-json report")
+    parser.add_argument(
+        "current", type=Path, nargs="?", default=None,
+        help="fresh --benchmark-json report (omit to run only subsystem "
+        "gates such as --serve)",
+    )
+    parser.add_argument(
+        "--list-gates", action="store_true",
+        help="print the registered SubsystemGate table and exit",
+    )
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument(
         "--tolerance", type=float, default=0.25,
@@ -418,33 +529,45 @@ def main(argv=None) -> int:
             parser.add_argument(flag, **options)
     args = parser.parse_args(argv)
 
-    baseline = load_means(args.baseline)
-    current = load_means(args.current)
-    base_cal = calibration_time(baseline)
-    cur_cal = calibration_time(current)
-    print(f"calibration: baseline {base_cal:.6f}s, current {cur_cal:.6f}s")
+    if args.list_gates:
+        print_gate_table()
+        return 0
+    if args.current is None and args.phases is None and not any(
+        getattr(args, gate.name) is not None for gate in SUBSYSTEM_GATES
+    ):
+        parser.error(
+            "nothing to check: pass a benchmark report, --phases, or at "
+            "least one subsystem gate (see --list-gates)"
+        )
 
     failures = []
-    for fullname in sorted(set(baseline) | set(current)):
-        if CALIBRATION in fullname:
-            continue
-        if args.only is not None and args.only not in fullname:
-            continue
-        if fullname not in baseline:
-            print(f"  NEW      {fullname} (no baseline, skipped)")
-            continue
-        if fullname not in current:
-            print(f"  MISSING  {fullname} (not in current run, skipped)")
-            continue
-        ratio = (current[fullname] / cur_cal) / (baseline[fullname] / base_cal)
-        verdict = "ok"
-        if ratio > 1.0 + args.tolerance:
-            verdict = "REGRESSED"
-            failures.append((fullname, ratio))
-        print(
-            f"  {verdict:10s}{fullname}: {baseline[fullname]:.6f}s -> "
-            f"{current[fullname]:.6f}s (normalized x{ratio:.2f})"
-        )
+    if args.current is not None:
+        baseline = load_means(args.baseline)
+        current = load_means(args.current)
+        base_cal = calibration_time(baseline)
+        cur_cal = calibration_time(current)
+        print(f"calibration: baseline {base_cal:.6f}s, current {cur_cal:.6f}s")
+
+        for fullname in sorted(set(baseline) | set(current)):
+            if CALIBRATION in fullname:
+                continue
+            if args.only is not None and args.only not in fullname:
+                continue
+            if fullname not in baseline:
+                print(f"  NEW      {fullname} (no baseline, skipped)")
+                continue
+            if fullname not in current:
+                print(f"  MISSING  {fullname} (not in current run, skipped)")
+                continue
+            ratio = (current[fullname] / cur_cal) / (baseline[fullname] / base_cal)
+            verdict = "ok"
+            if ratio > 1.0 + args.tolerance:
+                verdict = "REGRESSED"
+                failures.append((fullname, ratio))
+            print(
+                f"  {verdict:10s}{fullname}: {baseline[fullname]:.6f}s -> "
+                f"{current[fullname]:.6f}s (normalized x{ratio:.2f})"
+            )
 
     phase_failures = []
     if args.phases is not None:

@@ -685,6 +685,29 @@ def _cmd_dataflows(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.app import ServeConfig, serve_main
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        queue_limit=args.queue_limit,
+        job_timeout=args.timeout,
+        drain_timeout=args.drain_timeout,
+        default_shards=args.shards,
+        cache=args.cache,
+        allow_shutdown=args.allow_remote_shutdown,
+    )
+    try:
+        asyncio.run(serve_main(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="maestro-repro",
@@ -1002,6 +1025,61 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_dataflows = sub.add_parser("dataflows", help="list library dataflows")
     p_dataflows.set_defaults(func=_cmd_dataflows)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the async analysis server (DSE-as-a-service)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8787, help="bind port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        metavar="N",
+        help="jobs allowed to run at once",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        metavar="N",
+        help="jobs allowed to wait for a slot before 503",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECS",
+        help="per-job wall-clock timeout",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=15.0,
+        metavar="SECS",
+        help="grace period for in-flight jobs on shutdown",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="default shard count for DSE jobs that do not pin one",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="disable the shared cross-request outcome cache",
+    )
+    p_serve.add_argument(
+        "--allow-remote-shutdown",
+        action="store_true",
+        help="enable POST /admin/shutdown (CI smoke lanes)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

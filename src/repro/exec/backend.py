@@ -71,7 +71,11 @@ class BatchStats:
     small, or the group could not be lowered). ``equiv_twin_hits``
     counts cache hits satisfied by an *equivalent* mapping's entry
     (shared canonical cache key, different mapping name) — a subset of
-    ``cache_hits``.
+    ``cache_hits``. ``singleflight_hits`` counts misses that shared an
+    identical in-flight computation inside the same batch (same
+    canonical cache key): one leader pays the cost-model call, the
+    followers replay its outcome instead of racing it through the
+    executor. ``evaluated`` counts only the leaders.
     """
 
     submitted: int
@@ -84,6 +88,7 @@ class BatchStats:
     vector_points: int = 0
     vector_fallbacks: int = 0
     equiv_twin_hits: int = 0
+    singleflight_hits: int = 0
 
 
 @dataclass(frozen=True)
@@ -297,6 +302,32 @@ class BatchEvaluator:
             miss_indices = list(range(len(points)))
 
         cache_hits = len(points) - len(miss_indices)
+
+        # Single-flight pass: identical concurrent misses (same canonical
+        # cache key — duplicate points, or equivalent spellings the
+        # analyzer quotients together) are computed once. The first miss
+        # per key is the leader; followers replay its outcome after the
+        # executors run instead of racing the same computation. Only
+        # meaningful with the cache on (keys are what prove identity).
+        singleflight_hits = 0
+        follower_of: Dict[int, int] = {}
+        if self._cache is not None and len(miss_indices) > 1:
+            leader_by_key: Dict[str, int] = {}
+            leaders: List[int] = []
+            for index in miss_indices:
+                key_str = keys[index]
+                assert key_str is not None
+                leader = leader_by_key.get(key_str)
+                if leader is None:
+                    leader_by_key[key_str] = index
+                    leaders.append(index)
+                else:
+                    follower_of[index] = leader
+            if follower_of:
+                singleflight_hits = len(follower_of)
+                miss_indices = leaders
+                obs.inc("exec.cache.singleflight_hits", singleflight_hits)
+
         groups: Optional[Dict[GroupKey, List[int]]] = None
         if miss_indices and self.executor in ("vector", "auto"):
             groups = {}
@@ -353,6 +384,24 @@ class BatchEvaluator:
                             outcomes[miss_indices[cursor]] = outcome
                             cursor += 1
 
+        # Replay leader outcomes to single-flight followers, restoring
+        # each follower's mapping name (the only field the equivalence
+        # quotient legitimately changes) exactly like the cache-hit path.
+        for index, leader in follower_of.items():
+            leader_outcome = outcomes[leader]
+            assert leader_outcome is not None
+            point = points[index]
+            if (
+                leader_outcome.report is not None
+                and leader_outcome.report.dataflow_name != point.dataflow.name
+            ):
+                leader_outcome = EvalOutcome(
+                    report=replace(
+                        leader_outcome.report, dataflow_name=point.dataflow.name
+                    )
+                )
+            outcomes[index] = leader_outcome
+
         if self._cache is not None:
             with obs.span("exec.cache_store", misses=len(miss_indices)):
                 for index in miss_indices:
@@ -375,6 +424,7 @@ class BatchEvaluator:
             vector_points=vector_points,
             vector_fallbacks=vector_fallbacks,
             equiv_twin_hits=equiv_twin_hits,
+            singleflight_hits=singleflight_hits,
         )
         return BatchResult(outcomes=tuple(final), stats=stats)
 

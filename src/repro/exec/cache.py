@@ -37,6 +37,7 @@ import json
 import logging
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -278,6 +279,11 @@ class AnalysisCache:
             disk_dir = os.environ.get(CACHE_DIR_ENV) or _DEFAULT_DISK_DIR
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self._memory: Dict[str, EvalOutcome] = {}
+        # The memory tier is shared across threads when the cache is
+        # promoted to a cross-request tier (repro.serve): one lock keeps
+        # the LRU reinsert/evict sequences atomic. Disk I/O stays outside
+        # the lock — os.replace already makes entries whole-or-absent.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
@@ -300,10 +306,12 @@ class AnalysisCache:
         the ``cache.corrupt_entries`` metric), deleted, and the point is
         recomputed — the next ``put`` rewrites a good entry.
         """
-        outcome = self._memory.pop(key, None)
+        with self._lock:
+            outcome = self._memory.pop(key, None)
+            if outcome is not None:
+                self._memory[key] = outcome  # re-insert: most recently used
+                self.hits += 1
         if outcome is not None:
-            self._memory[key] = outcome  # re-insert: most recently used
-            self.hits += 1
             obs.inc("cache.memory_hits")
             return outcome.as_cached()
         if self.disk_dir is not None:
@@ -351,13 +359,17 @@ class AnalysisCache:
             self._write_disk(key, outcome)
 
     def _remember(self, key: str, outcome: EvalOutcome) -> None:
-        self._memory.pop(key, None)
-        self._memory[key] = outcome
-        while len(self._memory) > self.max_entries:
-            oldest = next(iter(self._memory))
-            del self._memory[oldest]
-            self.evictions += 1
-            obs.inc("cache.evictions")
+        evicted = 0
+        with self._lock:
+            self._memory.pop(key, None)
+            self._memory[key] = outcome
+            while len(self._memory) > self.max_entries:
+                oldest = next(iter(self._memory))
+                del self._memory[oldest]
+                self.evictions += 1
+                evicted += 1
+        if evicted:
+            obs.inc("cache.evictions", evicted)
 
     def _write_disk(self, key: str, outcome: EvalOutcome) -> None:
         path = self._disk_path(key)
@@ -376,7 +388,8 @@ class AnalysisCache:
 
     def clear(self) -> None:
         """Drop the in-memory tier (the disk tier is left untouched)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
 
 _default_cache: Optional[AnalysisCache] = None

@@ -1,0 +1,209 @@
+"""A thin stdlib-socket client for the analysis server.
+
+No ``requests``, no ``http.client`` connection pooling — just one
+socket per call, mirroring the server's connection-per-request model.
+The client exists so tests, benchmarks, and notebook users can hit a
+server without hand-writing HTTP::
+
+    client = ServeClient(port=8787)
+    client.healthz()
+    result = client.analyze(model="conf_micro", layer="CONV1", dataflow="NVDLA-like")
+    for event in client.dse_stream(model="conf_micro", layer="CONV1", shards=4):
+        print(event["event"], len(event.get("front", [])))
+
+Errors come back as :class:`ServeError` carrying the HTTP status and
+the server's structured ``details`` (e.g. lint diagnostics on 422).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+
+class ServeError(Exception):
+    """An HTTP error response from the analysis server."""
+
+    def __init__(self, status: int, message: str, details: Optional[Any] = None):
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+        self.details = details
+
+
+def _parse_head(raw: bytes) -> Tuple[int, Dict[str, str]]:
+    lines = raw.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ServeError(0, f"malformed response head: {lines[0]!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+class _Response:
+    """One in-flight HTTP response over a raw socket."""
+
+    def __init__(self, sock: socket.socket):
+        self._file = sock.makefile("rb")
+        self._sock = sock
+        head = b""
+        while not head.endswith(b"\r\n\r\n"):
+            chunk = self._file.readline()
+            if not chunk:
+                raise ServeError(0, "connection closed before response head")
+            head += chunk
+        self.status, self.headers = _parse_head(head[:-4])
+
+    def body(self) -> bytes:
+        length = self.headers.get("content-length")
+        if length is not None:
+            return self._file.read(int(length))
+        return self._file.read()  # close-delimited
+
+    def lines(self) -> Iterator[bytes]:
+        """Yield NDJSON lines until the server closes the connection."""
+        while True:
+            line = self._file.readline()
+            if not line:
+                return
+            line = line.strip()
+            if line:
+                yield line
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+
+class ServeClient:
+    """Talk to one :class:`~repro.serve.app.AnalysisServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8787, timeout: float = 300.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _open(self, method: str, path: str, payload: Optional[Any]) -> _Response:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Connection: close\r\n"
+        )
+        if body:
+            head += f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        try:
+            sock.sendall(head.encode("latin-1") + b"\r\n" + body)
+            return _Response(sock)
+        except BaseException:
+            sock.close()
+            raise
+
+    @staticmethod
+    def _raise_for(status: int, doc: Any) -> None:
+        if status >= 400:
+            if isinstance(doc, dict):
+                raise ServeError(
+                    status, str(doc.get("error", "error")), doc.get("details")
+                )
+            raise ServeError(status, str(doc))
+
+    def _json(self, method: str, path: str, payload: Optional[Any] = None) -> Any:
+        response = self._open(method, path, payload)
+        try:
+            raw = response.body()
+        finally:
+            response.close()
+        try:
+            doc = json.loads(raw.decode("utf-8")) if raw else None
+        except ValueError:
+            raise ServeError(response.status, f"non-JSON response: {raw[:200]!r}")
+        self._raise_for(response.status, doc)
+        return doc
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text from ``/metrics``."""
+        response = self._open("GET", "/metrics", None)
+        try:
+            raw = response.body()
+        finally:
+            response.close()
+        if response.status >= 400:
+            raise ServeError(response.status, raw.decode("utf-8", "replace")[:200])
+        return raw.decode("utf-8")
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/jobs")
+
+    def analyze(self, **job: Any) -> Dict[str, Any]:
+        return self._json("POST", "/v1/analyze", job)
+
+    def lint(self, **job: Any) -> Dict[str, Any]:
+        return self._json("POST", "/v1/lint", job)
+
+    def verify(self, **job: Any) -> Dict[str, Any]:
+        return self._json("POST", "/v1/verify", job)
+
+    def tune(self, **job: Any) -> Dict[str, Any]:
+        return self._json("POST", "/v1/tune", job)
+
+    def dse(self, **job: Any) -> Dict[str, Any]:
+        """Run a DSE sweep; blocks until the final front arrives."""
+        job.pop("stream", None)
+        return self._json("POST", "/v1/dse", job)
+
+    def dse_stream(self, **job: Any) -> Iterator[Dict[str, Any]]:
+        """Run a streamed DSE sweep, yielding NDJSON events as they land.
+
+        Events: ``accepted`` → ``front`` (anytime updates, one or more)
+        → ``result`` (the final front) or ``error``. An ``error`` event
+        raises :class:`ServeError` after being observed.
+        """
+        job["stream"] = True
+        response = self._open("POST", "/v1/dse", job)
+        try:
+            if response.headers.get("content-type", "").startswith("application/json"):
+                # Rejected before streaming began (4xx/5xx as plain JSON).
+                doc = json.loads(response.body().decode("utf-8"))
+                self._raise_for(response.status, doc)
+                yield doc
+                return
+            for line in response.lines():
+                event = json.loads(line.decode("utf-8"))
+                yield event
+                if event.get("event") == "error":
+                    raise ServeError(
+                        int(event.get("status", 500)),
+                        str(event.get("error")),
+                        event.get("details"),
+                    )
+                if event.get("event") == "result":
+                    return
+        finally:
+            response.close()
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Gracefully drain the server (requires ``allow_shutdown``)."""
+        return self._json("POST", "/admin/shutdown", {})

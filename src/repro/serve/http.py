@@ -1,0 +1,207 @@
+"""Minimal HTTP/1.1 layer over asyncio streams.
+
+Just enough HTTP for the analysis server (:mod:`repro.serve.app`) — no
+framework, no dependencies:
+
+- :func:`read_request` parses one request (request line, headers,
+  ``Content-Length``-delimited body) off a :class:`asyncio.StreamReader`
+  with hard caps on header and body size;
+- :func:`send_json` / :func:`send_text` write complete
+  ``Connection: close`` responses;
+- :class:`NDJSONStream` writes a streaming ``application/x-ndjson``
+  response: headers first, then one JSON document per line as events
+  arrive, delimited by connection close (the one framing every HTTP
+  client understands — no chunked-decoding requirement on consumers).
+
+Every response closes the connection: the server's workloads are
+long-lived jobs, not chatty small requests, so keep-alive buys nothing
+and connection-per-request keeps drain semantics trivial.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+#: Hard cap on the request head (request line + headers).
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Default cap on request bodies; the server config can lower it.
+DEFAULT_MAX_BODY = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """An error that maps directly onto an HTTP error response."""
+
+    def __init__(self, status: int, message: str, details: Optional[Any] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.details = details
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    peer: str = ""
+    _json: Any = field(default=None, repr=False)
+
+    def json(self) -> Any:
+        """The body parsed as JSON (400 on empty or malformed bodies)."""
+        if self._json is None:
+            if not self.body:
+                raise HttpError(400, "request body must be a JSON object")
+            try:
+                self._json = json.loads(self.body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as error:
+                raise HttpError(400, f"malformed JSON body: {error}")
+        return self._json
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = DEFAULT_MAX_BODY
+) -> Optional[Request]:
+    """Parse one request off ``reader``; ``None`` on a clean EOF.
+
+    Raises :class:`HttpError` on malformed heads, oversized headers or
+    bodies, and unsupported transfer encodings.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close before any bytes: not an error
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, f"request head exceeds {MAX_HEADER_BYTES} bytes")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, f"request head exceeds {MAX_HEADER_BYTES} bytes")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(400, "chunked request bodies are not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length: {length_text!r}")
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length: {length_text!r}")
+        if length > max_body:
+            raise HttpError(413, f"request body exceeds {max_body} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "request body shorter than Content-Length")
+
+    return Request(
+        method=method,
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, content_type: str, length: Optional[int]) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_text(
+    writer: asyncio.StreamWriter,
+    status: int,
+    text: str,
+    content_type: str = "text/plain; charset=utf-8",
+) -> None:
+    """Write one complete text response and flush it."""
+    body = text.encode("utf-8")
+    writer.write(_head(status, content_type, len(body)) + body)
+    await writer.drain()
+
+
+async def send_json(
+    writer: asyncio.StreamWriter, status: int, payload: Mapping[str, Any]
+) -> None:
+    """Write one complete JSON response and flush it."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    writer.write(_head(status, "application/json", len(body)) + body)
+    await writer.drain()
+
+
+async def send_error(writer: asyncio.StreamWriter, error: HttpError) -> None:
+    """Write an :class:`HttpError` as a JSON error document."""
+    payload: Dict[str, Any] = {"error": error.message, "status": error.status}
+    if error.details is not None:
+        payload["details"] = error.details
+    await send_json(writer, error.status, payload)
+
+
+class NDJSONStream:
+    """A streaming newline-delimited-JSON response.
+
+    ``start()`` writes the response head; every ``emit(obj)`` appends one
+    JSON line and flushes, so clients observe events as they happen. The
+    body is delimited by connection close (no Content-Length).
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self._writer = writer
+        self.started = False
+
+    async def start(self, status: int = 200) -> None:
+        if not self.started:
+            self._writer.write(_head(status, "application/x-ndjson", None))
+            await self._writer.drain()
+            self.started = True
+
+    async def emit(self, event: Mapping[str, Any]) -> None:
+        await self.start()
+        self._writer.write(json.dumps(event, sort_keys=True).encode("utf-8") + b"\n")
+        await self._writer.drain()

@@ -1,0 +1,243 @@
+"""Sharded design-space sweeps with anytime Pareto-front updates.
+
+The explorer's enumeration is PE-major and every grid point is folded
+independently (phase 2 of :func:`repro.dse.explorer.explore` has no
+cross-point state outside the leader fold, which is order-restored in
+phase 3). Partitioning the PE axis into contiguous blocks therefore
+yields embarrassingly parallel shards whose *concatenated* point lists
+are exactly the whole-space sweep's point list — the invariant this
+module's bit-identical merge (and the CI parity gate) rests on.
+
+:func:`sharded_explore` runs one :func:`explore` per shard on a thread
+pool (each shard's batch backend still auto-selects the vectorized
+whole-grid engine for grid-shaped miss sets, or fans out worker
+processes), invokes an ``on_update`` callback with the *anytime* Pareto
+front every time a shard lands, and merges the shard results into a
+single :class:`~repro.dse.explorer.DSEResult` whose points, Pareto
+front, and per-objective optima are bit-identical to the in-process
+sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import obs
+from repro.dse.explorer import DSEResult, DSEStatistics, explore, _update_leaders
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.exec import AnalysisCache
+from repro.model.layer import Layer
+from repro.util.pareto import pareto_front
+
+
+class SweepCancelled(Exception):
+    """Raised when a sharded sweep is cancelled between shards."""
+
+
+@dataclass(frozen=True)
+class ShardUpdate:
+    """One anytime progress event: the front after a shard landed."""
+
+    shards_done: int
+    shards_total: int
+    points_explored: int
+    points_valid: int
+    front: Tuple[DesignPoint, ...]
+
+
+def shard_pe_counts(pe_counts: Sequence[int], shards: int) -> List[List[int]]:
+    """Partition the PE axis into up to ``shards`` contiguous blocks."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    count = min(shards, len(pe_counts))
+    base, extra = divmod(len(pe_counts), count)
+    blocks: List[List[int]] = []
+    cursor = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        blocks.append(list(pe_counts[cursor : cursor + size]))
+        cursor += size
+    return blocks
+
+
+def shard_spaces(space: DesignSpace, shards: int) -> List[DesignSpace]:
+    """Split ``space`` into PE-contiguous shard spaces.
+
+    Every shard keeps the full bandwidth and mapping axes — the
+    grid-partition invariant that makes shard results concatenate into
+    the whole-space sweep.
+    """
+    return [
+        replace(space, pe_counts=block)
+        for block in shard_pe_counts(space.pe_counts, shards)
+    ]
+
+
+def _front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    return pareto_front(
+        list(points), objectives=[lambda p: -p.throughput, lambda p: p.energy]
+    )
+
+
+def merge_shard_results(
+    results: Sequence[DSEResult], elapsed_seconds: float
+) -> DSEResult:
+    """Fold per-shard results (in shard order) into one :class:`DSEResult`.
+
+    Points are concatenated in shard order — the whole-space enumeration
+    order — and the per-objective leaders are re-folded over that
+    sequence, so first-achiever tie-breaking (and therefore every
+    optimum) matches the unsharded sweep exactly.
+    """
+    if not results:
+        raise ValueError("no shard results to merge")
+    points: List[DesignPoint] = []
+    for result in results:
+        points.extend(result.points)
+    best: Dict[str, Optional[DesignPoint]] = {
+        "throughput": None,
+        "energy": None,
+        "edp": None,
+    }
+    for point in points:
+        _update_leaders(best, point)
+    totals = dict(
+        explored=0,
+        evaluated=0,
+        valid=0,
+        pruned=0,
+        static_rejects=0,
+        coverage_rejects=0,
+        cost_model_calls=0,
+        cache_hits=0,
+        symbolic_rejects=0,
+        bnb_pruned=0,
+        comm_rejects=0,
+        equiv_replays=0,
+    )
+    eval_wall = 0.0
+    executors = []
+    for result in results:
+        stats = result.statistics
+        for name in totals:
+            totals[name] += getattr(stats, name)
+        eval_wall += stats.eval_wall_seconds
+        executors.append(stats.executor)
+    executor = executors[0] if len(set(executors)) == 1 else "mixed"
+    statistics = DSEStatistics(
+        elapsed_seconds=elapsed_seconds,
+        executor=f"sharded[{len(results)}]/{executor}" if len(results) > 1 else executor,
+        eval_wall_seconds=eval_wall,
+        **totals,
+    )
+    return DSEResult(
+        points=tuple(points),
+        statistics=statistics,
+        throughput_optimal=best["throughput"],
+        energy_optimal=best["energy"],
+        edp_optimal=best["edp"],
+    )
+
+
+def sharded_explore(
+    layer: Layer,
+    space: DesignSpace,
+    *,
+    shards: int = 1,
+    cache: Union[bool, AnalysisCache, None] = True,
+    pool: Optional[ThreadPoolExecutor] = None,
+    on_update: Optional[Callable[[ShardUpdate], None]] = None,
+    cancel: Optional[threading.Event] = None,
+    **explore_kwargs: object,
+) -> DSEResult:
+    """Sweep ``space`` in PE-contiguous shards; bit-identical merge.
+
+    ``on_update`` fires after every shard completes, carrying the
+    Pareto front of every point seen so far (the *anytime* front — it
+    only ever grows toward the final front). ``cancel`` is checked
+    before each shard starts and between completions; a set event
+    raises :class:`SweepCancelled` without waiting for remaining
+    shards. Shard sweeps share ``cache``, so concurrent shards never
+    recompute each other's overlapping canonical points.
+
+    Blocking call — run it on a worker thread from async contexts.
+    """
+    start = time.perf_counter()
+    spaces = shard_spaces(space, shards)
+    results: List[Optional[DSEResult]] = [None] * len(spaces)
+
+    def run_shard(index: int) -> Tuple[int, DSEResult]:
+        if cancel is not None and cancel.is_set():
+            raise SweepCancelled(f"cancelled before shard {index}")
+        with obs.span("serve.shard", shard=index, points=spaces[index].size):
+            result = explore(layer, spaces[index], cache=cache, **explore_kwargs)
+        return index, result
+
+    if len(spaces) == 1:
+        index, result = run_shard(0)
+        results[0] = result
+        merged = merge_shard_results([result], time.perf_counter() - start)
+        if on_update is not None:
+            on_update(
+                ShardUpdate(
+                    shards_done=1,
+                    shards_total=1,
+                    points_explored=merged.statistics.explored,
+                    points_valid=merged.statistics.valid,
+                    front=tuple(merged.pareto()),
+                )
+            )
+        return merged
+
+    owned_pool = pool is None
+    if pool is None:
+        pool = ThreadPoolExecutor(
+            max_workers=len(spaces), thread_name_prefix="repro-shard"
+        )
+    try:
+        futures = {pool.submit(run_shard, index) for index in range(len(spaces))}
+        done_count = 0
+        explored = valid = 0
+        while futures:
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, result = future.result()  # propagates SweepCancelled
+                results[index] = result
+                done_count += 1
+                explored += result.statistics.explored
+                valid += result.statistics.valid
+                if on_update is not None:
+                    # Fold the anytime front over completed shards in
+                    # shard-index order (not completion order) so the
+                    # event stream is deterministic and the final update
+                    # equals the merged result's front exactly.
+                    seen: List[DesignPoint] = []
+                    for partial in results:
+                        if partial is not None:
+                            seen.extend(partial.points)
+                    on_update(
+                        ShardUpdate(
+                            shards_done=done_count,
+                            shards_total=len(spaces),
+                            points_explored=explored,
+                            points_valid=valid,
+                            front=tuple(_front(seen)),
+                        )
+                    )
+            if cancel is not None and cancel.is_set():
+                for future in futures:
+                    future.cancel()
+                raise SweepCancelled(
+                    f"cancelled after {done_count}/{len(spaces)} shards"
+                )
+    finally:
+        if owned_pool:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    final = [result for result in results if result is not None]
+    assert len(final) == len(spaces), "every shard must produce a result"
+    return merge_shard_results(final, time.perf_counter() - start)

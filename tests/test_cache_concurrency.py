@@ -1,0 +1,201 @@
+"""Concurrent multi-process access to the shared disk cache tier.
+
+The server promotes :class:`~repro.exec.AnalysisCache` to a
+cross-request (and, via ``$REPRO_CACHE_DIR``, cross-process) tier, so
+these tests exercise the properties that promotion leans on:
+
+- many processes hammering one cache directory agree bit-for-bit and
+  never crash on each other's in-flight writes (``os.replace`` makes
+  entries whole-or-absent);
+- corrupt or truncated entries are recomputed, counted, and repaired —
+  never a crash, never a silent permanent miss;
+- stray temp files from interrupted writers are inert.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.dataflow.library import table3_dataflows
+from repro.exec import (
+    AnalysisCache,
+    EvalPoint,
+    analysis_to_dict,
+    evaluate_batch,
+)
+from repro.exec.serialize import outcome_from_json
+from repro.hardware.accelerator import Accelerator, NoC
+from repro.model.layer import conv2d
+
+
+def _points():
+    """A small, deterministic workload shared by every worker."""
+    layers = [
+        conv2d("ccA", k=8, c=4, y=12, x=12, r=3, s=3),
+        conv2d("ccB", k=16, c=8, y=10, x=10, r=3, s=3),
+    ]
+    flows = table3_dataflows()
+    accelerator = Accelerator(num_pes=64, noc=NoC(bandwidth=16, avg_latency=2))
+    return [
+        EvalPoint(layer=layer, dataflow=flows[name], accelerator=accelerator)
+        for layer in layers
+        for name in ("KC-P", "YR-P", "C-P")
+    ]
+
+
+def _worker(disk_dir: str):
+    """Evaluate the shared workload against the shared disk directory."""
+    cache = AnalysisCache(disk_dir=disk_dir)
+    batch = evaluate_batch(_points(), executor="serial", cache=cache)
+    return [
+        json.dumps(analysis_to_dict(outcome.report), sort_keys=True)
+        for outcome in batch
+    ]
+
+
+class TestMultiProcess:
+    def test_concurrent_workers_agree_and_share(self, tmp_path):
+        disk = str(tmp_path / "cache")
+        with multiprocessing.Pool(4) as pool:
+            reports = pool.map(_worker, [disk] * 4)
+        # Every process computed (or replayed) bit-identical reports.
+        assert all(run == reports[0] for run in reports[1:])
+
+        # A fresh process-like cache serves the whole workload from disk.
+        fresh = AnalysisCache(disk_dir=disk)
+        for point in _points():
+            outcome = fresh.get(point.key())
+            assert outcome is not None and outcome.ok
+        assert fresh.disk_hits == len(_points())
+        assert fresh.misses == 0
+
+    def test_disk_entries_are_wellformed_json(self, tmp_path):
+        disk = tmp_path / "cache"
+        _worker(str(disk))
+        entries = list(disk.rglob("*.json"))
+        assert len(entries) == len(_points())
+        for path in entries:
+            outcome_from_json(path.read_text())  # must parse whole
+
+
+class TestCorruption:
+    @pytest.fixture
+    def populated(self, tmp_path):
+        disk = tmp_path / "cache"
+        _worker(str(disk))
+        return disk
+
+    def _one_entry(self, disk):
+        entries = sorted(disk.rglob("*.json"))
+        assert entries
+        return entries[0]
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not json at all",
+            b'{"truncated": ',  # interrupted writer without os.replace
+            b"",
+            b'{"report": {"wrong": "shape"}}',
+        ],
+        ids=["garbage", "truncated", "empty", "wrong-shape"],
+    )
+    def test_corrupt_entry_recomputed_not_crashed(self, populated, garbage):
+        victim = self._one_entry(populated)
+        victim.write_bytes(garbage)
+        key = victim.stem
+
+        fresh = AnalysisCache(disk_dir=str(populated))
+        assert fresh.get(key) is None  # miss, not a crash
+        assert fresh.corrupt_entries == 1
+        assert not victim.exists()  # the bad entry was dropped
+
+        # Recomputing repairs the disk tier for the next process.
+        batch = evaluate_batch(_points(), executor="serial", cache=fresh)
+        assert all(outcome.ok for outcome in batch)
+        assert victim.exists()
+        repaired = AnalysisCache(disk_dir=str(populated))
+        assert repaired.get(key) is not None
+
+    def test_stray_tmp_files_are_inert(self, populated):
+        victim = self._one_entry(populated)
+        (victim.parent / "leftover.tmp").write_bytes(b"half-written")
+        fresh = AnalysisCache(disk_dir=str(populated))
+        assert fresh.get(victim.stem) is not None
+        assert fresh.corrupt_entries == 0
+
+
+class TestAtomicity:
+    def test_readers_never_observe_partial_writes(self, tmp_path):
+        """One thread rewrites an entry in a loop; readers always parse.
+
+        ``os.replace`` guarantees whole-or-absent: a reader either gets
+        the previous complete entry or the new complete entry, never a
+        torn one. A plain truncating write would fail this immediately.
+        """
+        disk = str(tmp_path / "cache")
+        cache = AnalysisCache(disk_dir=disk)
+        point = _points()[0]
+        key = point.key()
+        outcome = evaluate_batch([point], executor="serial", cache=cache)
+        assert outcome.outcomes[0].ok
+
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            while not stop.is_set():
+                cache.put(key, outcome.outcomes[0])
+
+        def reader():
+            probe = AnalysisCache(disk_dir=disk)
+            for _ in range(300):
+                probe.clear()  # force the disk tier every iteration
+                result = probe.get(key)
+                if result is None or not result.ok:
+                    torn.append(result)
+            if probe.corrupt_entries:
+                torn.append(f"{probe.corrupt_entries} corrupt reads")
+
+        writer_thread = threading.Thread(target=writer)
+        reader_threads = [threading.Thread(target=reader) for _ in range(3)]
+        writer_thread.start()
+        for thread in reader_threads:
+            thread.start()
+        for thread in reader_threads:
+            thread.join()
+        stop.set()
+        writer_thread.join()
+        assert torn == []
+
+
+class TestSharedMemoryTier:
+    def test_threaded_readers_and_writers(self, tmp_path):
+        """The in-memory LRU stays consistent under thread contention."""
+        cache = AnalysisCache(max_entries=8)
+        point = _points()[0]
+        batch = evaluate_batch([point], executor="serial", cache=cache)
+        good = batch.outcomes[0]
+        errors = []
+
+        def churn(slot: int):
+            try:
+                for index in range(500):
+                    cache.put(f"key-{slot}-{index % 16}", good)
+                    cache.get(f"key-{slot}-{index % 16}")
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=churn, args=(slot,)) for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= 8

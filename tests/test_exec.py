@@ -463,3 +463,74 @@ class TestHeteroThroughBackend:
                 assert other.assignments == reference.assignments
                 assert other.runtime == reference.runtime
                 assert other.energy_total == reference.energy_total
+
+
+class TestSingleFlight:
+    """Within-batch dedup: one leader computes, followers replay."""
+
+    def test_duplicates_share_one_evaluation(self, layer, points):
+        cache = AnalysisCache()
+        duplicated = points + points  # every point appears twice
+        batch = evaluate_batch(duplicated, executor="serial", cache=cache)
+        stats = batch.stats
+        assert stats.submitted == len(duplicated)
+        assert stats.evaluated == len(points)  # leaders only
+        assert stats.singleflight_hits == len(points)
+        assert stats.cache_hits == 0  # dedup happened in-flight, not via cache
+        for leader, follower in zip(batch.outcomes, batch.outcomes[len(points):]):
+            assert follower.ok == leader.ok
+            if leader.ok:
+                assert_reports_bit_identical(leader.report, follower.report)
+
+    def test_follower_outcomes_bit_identical_to_unique_batch(self, points):
+        reference = evaluate_batch(points, executor="serial", cache=False)
+        batch = evaluate_batch(
+            points + points, executor="serial", cache=AnalysisCache()
+        )
+        for index, ref in enumerate(reference):
+            for outcome in (batch.outcomes[index], batch.outcomes[index + len(points)]):
+                assert outcome.ok == ref.ok
+                if ref.ok:
+                    assert_reports_bit_identical(ref.report, outcome.report)
+
+    def test_equivalent_spelling_follower_keeps_its_name(self, layer):
+        from dataclasses import replace as dc_replace
+
+        from repro.dataflow.library import kc_partitioned
+
+        flow = kc_partitioned(c_tile=8)
+        twin = dc_replace(flow, name=flow.name + "-twin")
+        accelerator = Accelerator(num_pes=32, noc=NoC(bandwidth=16))
+        batch = evaluate_batch(
+            [
+                EvalPoint(layer, flow, accelerator),
+                EvalPoint(layer, twin, accelerator),
+            ],
+            executor="serial",
+            cache=AnalysisCache(),
+        )
+        leader, follower = batch.outcomes
+        assert batch.stats.singleflight_hits == 1
+        assert leader.report.dataflow_name == flow.name
+        assert follower.report.dataflow_name == twin.name
+        left = dc_replace(leader.report, dataflow_name="")
+        right = dc_replace(follower.report, dataflow_name="")
+        assert_reports_bit_identical(left, right)
+
+    def test_no_dedup_without_cache(self, points):
+        batch = evaluate_batch(points + points, executor="serial", cache=False)
+        assert batch.stats.singleflight_hits == 0
+        assert batch.stats.evaluated == 2 * len(points)
+
+    def test_counter_reaches_obs(self, layer, points):
+        from repro import obs
+        from repro.obs.metrics import counter_value
+
+        obs.configure(enabled=True, reset=True)
+        try:
+            evaluate_batch(
+                points + points, executor="serial", cache=AnalysisCache()
+            )
+            assert counter_value("exec.cache.singleflight_hits") == len(points)
+        finally:
+            obs.configure(enabled=False, reset=True)
