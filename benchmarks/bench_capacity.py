@@ -1,0 +1,154 @@
+"""Capacity-pruning benchmark: Figure-13 sweep, two ways.
+
+Runs the Figure-13 KC-P design-space exploration twice per budget
+setting and writes ``BENCH_capacity.json``:
+
+1. **Soundness** — at the paper's default area/power budget, a sweep
+   with ``capacity_prune=True`` must return the identical point set and
+   bit-identical optima: the screen replicates the explorer's own
+   requirement-sized budget test, so it can only pre-empt rejections
+   the fold step would make anyway.
+2. **Effectiveness** — under a tightened area budget (a
+   capacity-constrained accelerator), many candidates' requirement-
+   sized designs provably bust the budget; the report records how many
+   cost-model calls the static occupancy bounds avoided versus the
+   unpruned sweep at the same budget.
+
+Both figures are deterministic counts (no wall-clock in the gate), so
+``check_regression.py --capacity`` gates on them directly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_capacity.py \
+        [--out BENCH_capacity.json] [--max-pes 256] [--step 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.dse import explore
+from repro.dse.space import (
+    DesignSpace,
+    default_bandwidths,
+    default_pe_counts,
+    kc_partitioned_variants,
+)
+from repro.model.zoo import build
+
+AREA_BUDGET = 16.0
+POWER_BUDGET = 450.0
+#: The tightened budget for the effectiveness pair: small enough that a
+#: large fraction of requirement-sized designs provably bust it, large
+#: enough that the sweep still has a non-trivial feasible region.
+CAPPED_AREA_BUDGET = 4.0
+
+
+def _point_dict(point) -> "dict | None":
+    if point is None:
+        return None
+    return {
+        "tile": point.tile_label,
+        "num_pes": point.num_pes,
+        "bandwidth": point.noc_bandwidth,
+        "throughput": point.throughput,
+        "energy": point.energy,
+        "edp": point.edp,
+    }
+
+
+def run_comparison(max_pes: int, step: int) -> dict:
+    layer = build("vgg16").layer("CONV11")
+    space = DesignSpace(
+        pe_counts=default_pe_counts(max_pes=max_pes, step=step),
+        noc_bandwidths=default_bandwidths(128),
+        dataflow_variants=kc_partitioned_variants(),
+    )
+
+    # Soundness pair: default budgets, identical points and optima.
+    plain = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        cache=False,
+    )
+    screened = explore(
+        layer, space, area_budget=AREA_BUDGET, power_budget=POWER_BUDGET,
+        cache=False, capacity_prune=True,
+    )
+    bit_identical = (
+        screened.points == plain.points
+        and screened.throughput_optimal == plain.throughput_optimal
+        and screened.energy_optimal == plain.energy_optimal
+        and screened.edp_optimal == plain.edp_optimal
+    )
+
+    # Effectiveness pair: capacity-constrained budget, over-budget
+    # candidates screened before their cost-model call.
+    start = time.perf_counter()
+    baseline = explore(
+        layer, space, area_budget=CAPPED_AREA_BUDGET,
+        power_budget=POWER_BUDGET, cache=False,
+    )
+    baseline_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pruned = explore(
+        layer, space, area_budget=CAPPED_AREA_BUDGET,
+        power_budget=POWER_BUDGET, cache=False, capacity_prune=True,
+    )
+    pruned_wall = time.perf_counter() - start
+
+    capped_identical = (
+        pruned.points == baseline.points
+        and pruned.throughput_optimal == baseline.throughput_optimal
+        and pruned.energy_optimal == baseline.energy_optimal
+        and pruned.edp_optimal == baseline.edp_optimal
+    )
+    baseline_calls = baseline.statistics.cost_model_calls
+    avoided = baseline_calls - pruned.statistics.cost_model_calls
+    return {
+        "sweep": f"fig13 KC-P CONV11 ({max_pes} PEs max, step {step})",
+        "space_size": space.size,
+        "bit_identical": bit_identical and capped_identical,
+        "capped_area_budget": CAPPED_AREA_BUDGET,
+        "baseline_cost_model_calls": baseline_calls,
+        "pruned_cost_model_calls": pruned.statistics.cost_model_calls,
+        "capacity_rejects": pruned.statistics.capacity_rejects,
+        "calls_avoided": avoided,
+        "skip_fraction": avoided / baseline_calls if baseline_calls else 0.0,
+        "baseline_wall_seconds": baseline_wall,
+        "pruned_wall_seconds": pruned_wall,
+        "speedup": baseline_wall / pruned_wall if pruned_wall else 0.0,
+        "optima": {
+            "throughput": _point_dict(screened.throughput_optimal),
+            "energy": _point_dict(screened.energy_optimal),
+            "edp": _point_dict(screened.edp_optimal),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_capacity.json"))
+    parser.add_argument("--max-pes", type=int, default=256)
+    parser.add_argument("--step", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    report = run_comparison(args.max_pes, args.step)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"{report['sweep']}: bit_identical={report['bit_identical']}, "
+        f"{report['calls_avoided']}/{report['baseline_cost_model_calls']} "
+        f"cost-model calls avoided ({report['skip_fraction']:.1%}) at "
+        f"area budget {report['capped_area_budget']}, "
+        f"{report['baseline_wall_seconds']:.2f}s -> "
+        f"{report['pruned_wall_seconds']:.2f}s"
+    )
+    print(f"[written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,12 @@ ratio, so no normalization is needed), and a fallback rate within
 exhaustive sweep and avoid at least ``--equiv-min-skip`` of its
 cost-model calls.
 
+``--capacity BENCH_capacity.json`` gates the capacity-pruning report
+from ``bench_capacity.py``: both budget settings must be bit-identical
+to the unpruned sweep (point set and optima), and under the
+capacity-constrained budget at least ``--capacity-min-skip`` of the
+baseline sweep's cost-model calls must be avoided.
+
 ``--serve BENCH_serve.json`` gates the serving-layer report from
 ``bench_serve.py``: the sharded server-side DSE front must be
 bit-identical to the in-process explorer, repeated identical queries
@@ -72,7 +78,8 @@ Usage::
         [--comm BENCH_comm.json] [--comm-min-skip 0.20] \
         [--vector BENCH_vector.json] [--vector-min-speedup 20] \
         [--vector-max-fallback 0.0] \
-        [--equiv BENCH_equiv.json] [--equiv-min-skip 0.25]
+        [--equiv BENCH_equiv.json] [--equiv-min-skip 0.25] \
+        [--capacity BENCH_capacity.json] [--capacity-min-skip 0.20]
 """
 
 from __future__ import annotations
@@ -330,6 +337,34 @@ def equiv_failures(path: Path, min_skip: float) -> list:
     return failures
 
 
+def capacity_failures(path: Path, min_skip: float) -> list:
+    """Soundness and effectiveness gate for the capacity-pruning report."""
+    report = load_report(path, "capacity-pruning")
+    failures = []
+    verdict = "ok"
+    if not report["bit_identical"]:
+        verdict = "MISMATCH"
+        failures.append(
+            "capacity-pruned sweep differs from exhaustive "
+            "(soundness violation)"
+        )
+    skip = report["skip_fraction"]
+    if skip < min_skip:
+        verdict = "TOO FEW"
+        failures.append(
+            f"only {skip:.1%} of cost-model calls avoided under the "
+            f"capacity-constrained budget (need {min_skip:.0%})"
+        )
+    print(
+        f"  {verdict:10s}{report['sweep']}: bit_identical="
+        f"{report['bit_identical']}, {report['calls_avoided']}/"
+        f"{report['baseline_cost_model_calls']} calls avoided ({skip:.1%}), "
+        f"{report['capacity_rejects']} capacity rejects at area budget "
+        f"{report['capped_area_budget']}"
+    )
+    return failures
+
+
 @dataclass(frozen=True)
 class SubsystemGate:
     """One table entry: a ``--<name> REPORT.json`` gate and its options.
@@ -467,6 +502,27 @@ SUBSYSTEM_GATES: Tuple[SubsystemGate, ...] = (
                     default=1000.0,
                     help="maximum p99 request latency in milliseconds for "
                     "the warm analyze load (default 1000)",
+                ),
+            ),
+        ),
+    ),
+    SubsystemGate(
+        name="capacity",
+        metavar="BENCH_capacity.json",
+        help="also gate the capacity-bound pruning parity + effectiveness "
+        "report from bench_capacity.py",
+        heading="capacity-bound pruning",
+        label="capacity-pruning",
+        check=lambda path, args: capacity_failures(path, args.capacity_min_skip),
+        options=(
+            (
+                "--capacity-min-skip",
+                dict(
+                    type=float,
+                    default=0.20,
+                    help="minimum fraction of cost-model calls capacity "
+                    "pruning must avoid under the capacity-constrained "
+                    "budget (default 0.20)",
                 ),
             ),
         ),

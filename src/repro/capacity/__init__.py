@@ -1,0 +1,64 @@
+"""Static buffer-capacity and roofline feasibility analysis.
+
+``repro.capacity`` derives **certified** per-level occupancy bounds —
+steady-state and peak under double buffering — and a roofline
+classification certificate (compute-bound vs. NoC-bandwidth-bound vs.
+capacity-infeasible, with the closed-form crossover bandwidth) for any
+(dataflow, layer, accelerator) triple, from the mapping's tile chunks
+alone: no cost-model call, no simulation.
+
+The bounds reproduce the analytical engine's Figure-8 buffer sizing
+formulas bit-for-bit on the same bound mapping, so "static bound >=
+engine requirement" holds with equality by construction; the roofline
+floors are provable lower bounds of the engine's performance recursion.
+Both facts are continuously re-checked by :func:`crosscheck_capacity`
+(``repro verify --capacity``) against the analytical engine and the
+simulator's double-buffer occupancy walk.
+
+Consumers:
+
+- DF500-DF504 lints (:mod:`repro.lint.rules`) with fix-its;
+- ``repro analyze --capacity`` / ``repro lint --capacity`` views;
+- sound ``--capacity-prune`` for ``dse``/``tune``/``serve``
+  (:mod:`repro.capacity.prune`), bit-identical optima guaranteed.
+"""
+
+from repro.capacity.bounds import (
+    CAPACITY_PROVENANCE,
+    CapacityBounds,
+    LevelOccupancy,
+    compute_capacity_bounds,
+)
+from repro.capacity.crosscheck import (
+    CapacityCrosscheckReport,
+    CapacityMismatch,
+    capacity_corpus,
+    crosscheck_capacity,
+)
+from repro.capacity.prune import capacity_requirements
+from repro.capacity.report import (
+    capacity_rows,
+    render_capacity_summary,
+    render_capacity_table,
+)
+from repro.capacity.roofline import (
+    RooflineCertificate,
+    classify_roofline,
+)
+
+__all__ = [
+    "CAPACITY_PROVENANCE",
+    "CapacityBounds",
+    "CapacityCrosscheckReport",
+    "CapacityMismatch",
+    "LevelOccupancy",
+    "RooflineCertificate",
+    "capacity_corpus",
+    "capacity_requirements",
+    "capacity_rows",
+    "classify_roofline",
+    "compute_capacity_bounds",
+    "crosscheck_capacity",
+    "render_capacity_summary",
+    "render_capacity_table",
+]

@@ -1,0 +1,224 @@
+"""Certified per-level occupancy bounds from the bound mapping alone.
+
+The analytical engine (:mod:`repro.engines.analysis`) sizes buffers with
+Figure 8's ``2 * max(working set)`` rule *after* running the full
+performance recursion. This module reproduces the exact same sizing
+formulas on the exact same :func:`bind_dataflow` output — binding plus
+one top-level reuse pass, no cost-model call — so the static peak bounds
+equal ``LayerAnalysis.l1_buffer_req`` / ``l2_buffer_req`` /
+``intermediate_buffer_reqs`` bit-for-bit. Soundness ("static >= engine
+and >= any instantaneous simulator occupancy") therefore holds with
+equality against the engine, and with the engine's own double-buffer
+margin against the simulator walk (see
+:mod:`repro.capacity.crosscheck`).
+
+Monotonicity: every bound is a sum of products of per-dimension clamped
+tile extents (times density), so enlarging any directive size — holding
+the layer fixed — never shrinks a bound. The DSE/tuner capacity screens
+(:mod:`repro.capacity.prune`) rely on this to discard whole grid
+sub-regions soundly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.engines.binding import BoundDataflow, bind_dataflow
+from repro.engines.reuse import analyze_level_reuse
+from repro.engines.tensor_analysis import TensorAnalysis, analyze_tensors
+from repro.dataflow.dataflow import Dataflow
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import Layer
+
+#: Provenance string attached to every DF5xx diagnostic: these bounds
+#: are closed-form consequences of the clamped-tile binding, not
+#: heuristics.
+CAPACITY_PROVENANCE = "certified: closed-form occupancy bound (Fig. 8 sizing rule)"
+
+#: Below this peak-to-capacity ratio DF503 flags the buffer as
+#: over-provisioned.
+UTILIZATION_FLOOR = 0.25
+
+
+@dataclass(frozen=True)
+class LevelOccupancy:
+    """Occupancy bound for one buffer level.
+
+    ``steady_bytes`` is the single-buffered working set (one live tile
+    set); ``peak_bytes`` scales it by the buffering factor (2 under
+    double buffering) and is the capacity the level must provision.
+    ``capacity_bytes`` is the declared capacity, ``None`` when the
+    accelerator sizes the buffer from the requirement.
+    """
+
+    label: str
+    steady_bytes: int
+    peak_bytes: int
+    capacity_bytes: Optional[int]
+
+    @property
+    def fits(self) -> bool:
+        """Whether the peak bound fits the declared capacity (or is unsized)."""
+        return self.capacity_bytes is None or self.peak_bytes <= self.capacity_bytes
+
+    @property
+    def steady_fits(self) -> bool:
+        """Whether even a single buffer slot fits the declared capacity."""
+        return self.capacity_bytes is None or self.steady_bytes <= self.capacity_bytes
+
+    @property
+    def utilization(self) -> Optional[float]:
+        """Peak occupancy as a fraction of the declared capacity."""
+        if self.capacity_bytes is None or self.capacity_bytes <= 0:
+            return None
+        return self.peak_bytes / self.capacity_bytes
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "steady_bytes": self.steady_bytes,
+            "peak_bytes": self.peak_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "fits": self.fits,
+            "utilization": self.utilization,
+        }
+
+
+@dataclass(frozen=True)
+class CapacityBounds:
+    """Certified occupancy bounds for one (dataflow, layer, accelerator)."""
+
+    dataflow_name: str
+    layer_name: str
+    num_pes: int
+    element_bytes: int
+    double_buffered: bool
+    l1: LevelOccupancy
+    l2: LevelOccupancy
+    #: Cluster-boundary buffers of multi-level mappings: entry ``d``
+    #: holds the level-``d`` chunk staged per depth-``d+1`` sub-cluster
+    #: (mirrors ``LayerAnalysis.intermediate_buffer_reqs``).
+    intermediates: Tuple[LevelOccupancy, ...]
+
+    @property
+    def buffering(self) -> int:
+        return 2 if self.double_buffered else 1
+
+    @property
+    def feasible(self) -> bool:
+        """Whether every declared capacity admits its peak bound."""
+        return (
+            self.l1.fits
+            and self.l2.fits
+            and all(level.fits for level in self.intermediates)
+        )
+
+    def levels(self) -> Tuple[LevelOccupancy, ...]:
+        """All bounded levels, innermost (L1) first."""
+        return (self.l1, *reversed(self.intermediates), self.l2)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dataflow": self.dataflow_name,
+            "layer": self.layer_name,
+            "num_pes": self.num_pes,
+            "element_bytes": self.element_bytes,
+            "double_buffered": self.double_buffered,
+            "feasible": self.feasible,
+            "l1": self.l1.to_dict(),
+            "l2": self.l2.to_dict(),
+            "intermediates": [level.to_dict() for level in self.intermediates],
+        }
+
+
+def _bind(
+    dataflow: Dataflow, layer: Layer, accelerator: Accelerator
+) -> Tuple[BoundDataflow, TensorAnalysis]:
+    bound = bind_dataflow(dataflow, layer, accelerator)
+    tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
+    return bound, tensors
+
+
+def _bounds_from(
+    bound: BoundDataflow,
+    tensors: TensorAnalysis,
+    accelerator: Accelerator,
+    dataflow_name: str,
+    layer_name: str,
+) -> CapacityBounds:
+    """The Figure-8 sizing formulas, verbatim from the engine."""
+    element_bytes = accelerator.element_bytes
+    buffering = 2 if accelerator.double_buffered else 1
+    innermost = bound.innermost()
+
+    # L1 (per PE): every tensor's clamped innermost chunk.
+    l1_elems = sum(info.volume(innermost.chunk_sizes()) for info in tensors.tensors)
+    l1 = LevelOccupancy(
+        label="L1 (per PE)",
+        steady_bytes=int(l1_elems * element_bytes),
+        peak_bytes=int(buffering * l1_elems * element_bytes),
+        capacity_bytes=accelerator.l1_size,
+    )
+
+    # L2 (shared): the array-wide unique top-level chunk, dense-indexed
+    # (divided by density, exactly as the engine stores sparse tensors).
+    top_reuse = analyze_level_reuse(bound.levels[0], tensors)
+    l2_elems = int(
+        sum(
+            top_reuse.unique_chunk_volumes[info.name] / max(info.density, 1e-12)
+            for info in tensors.tensors
+        )
+    )
+    l2 = LevelOccupancy(
+        label="L2 (shared)",
+        steady_bytes=int(l2_elems * element_bytes),
+        peak_bytes=int(buffering * l2_elems * element_bytes),
+        capacity_bytes=accelerator.l2_size,
+    )
+
+    # Cluster-boundary buffers: the level-d chunk per depth-(d+1) sub-cluster.
+    total_levels = len(bound.levels)
+    intermediates = []
+    for level in bound.levels[:-1]:
+        elems = sum(info.volume(level.chunk_sizes()) for info in tensors.tensors)
+        intermediates.append(
+            LevelOccupancy(
+                label=(
+                    f"cluster level {level.index}/{total_levels - 1} chunk "
+                    f"(per depth-{level.index + 1} sub-cluster)"
+                ),
+                steady_bytes=int(elems * element_bytes),
+                peak_bytes=int(buffering * elems * element_bytes),
+                capacity_bytes=None,
+            )
+        )
+
+    return CapacityBounds(
+        dataflow_name=dataflow_name,
+        layer_name=layer_name,
+        num_pes=accelerator.num_pes,
+        element_bytes=element_bytes,
+        double_buffered=accelerator.double_buffered,
+        l1=l1,
+        l2=l2,
+        intermediates=tuple(intermediates),
+    )
+
+
+def compute_capacity_bounds(
+    dataflow: Dataflow, layer: Layer, accelerator: Accelerator
+) -> CapacityBounds:
+    """Certified occupancy bounds for one (dataflow, layer, accelerator).
+
+    Peak bounds equal the engine's ``l1_buffer_req`` /
+    ``l2_buffer_req`` / ``intermediate_buffer_reqs`` bit-for-bit (same
+    binding, same formulas) at a fraction of the cost: binding, tensor
+    analysis, and one top-level reuse pass — no performance recursion.
+
+    Raises whatever :func:`bind_dataflow` raises when the mapping cannot
+    bind; callers that prune must treat that as "uncertified, do not
+    prune".
+    """
+    bound, tensors = _bind(dataflow, layer, accelerator)
+    return _bounds_from(bound, tensors, accelerator, dataflow.name, layer.name)

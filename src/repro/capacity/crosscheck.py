@@ -1,0 +1,399 @@
+"""Differential verification of the capacity bounds and roofline floors.
+
+Every claim :mod:`repro.capacity` makes is replayed against two
+independent oracles:
+
+1. **The analytical engine** (:mod:`repro.engines.analysis`): the static
+   peak bounds must be at least the engine's reported
+   ``l1_buffer_req`` / ``l2_buffer_req`` / ``intermediate_buffer_reqs``
+   (they are in fact bit-identical — equality is recorded separately),
+   and the roofline compute/communication floors must never exceed the
+   engine's top-level sweep runtime.
+
+2. **The simulator's occupancy walk** (:mod:`repro.simulator.regions`,
+   the PR 4 double-buffer machinery): walking the joint odometer, the
+   instantaneous per-PE footprint — scaled by the buffering factor —
+   and the sum of any two consecutive footprints must stay within the
+   static L1 peak; the array-wide footprint must stay within the
+   static L2 peak up to the documented sliding-window halo tolerance.
+   The array-wide oracle is the *exact* per-axis union of every active
+   sub-unit's shifted footprint (``array_union_box`` itself only
+   promises an over-approximating bounding box, proven by the PR 4
+   ``_exact_union_volume`` brute force — an allocator convenience, not
+   an occupancy). The walk is only run for dense tensors (the interval
+   arithmetic counts dense elements; the closed form density-scales).
+
+``crosscheck_capacity`` runs both oracles for one (dataflow, layer,
+accelerator) triple; ``repro verify --capacity`` sweeps it over the
+mapping catalog, and :func:`capacity_corpus` provides the zoo x library
+acceptance corpus. A clean report is the evidence that the bounds are
+*certified*, not just plausible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+
+from repro import obs
+from repro.capacity.bounds import CapacityBounds, compute_capacity_bounds
+from repro.capacity.roofline import RooflineCertificate, classify_roofline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dataflow.dataflow import Dataflow
+    from repro.hardware.accelerator import Accelerator
+    from repro.model.layer import Layer
+
+__all__ = [
+    "CapacityCrosscheckReport",
+    "CapacityMismatch",
+    "capacity_corpus",
+    "crosscheck_capacity",
+]
+
+#: The L2 union footprint may exceed the closed-form unique-volume bound
+#: by the sliding-window halo the closed form elides — an engine
+#: property, not a static-bound one (the static L2 peak equals the
+#: engine's bit-for-bit). Observed at most ~7.5% across the zoo x
+#: library corpus (YX-P on depthwise layers, where the Y-halo is large
+#: relative to the tiny per-channel working set); the PR 4 Fig-9 suite
+#: saw at most ~3%.
+HALO_TOLERANCE = 0.08
+
+
+@dataclass(frozen=True)
+class CapacityMismatch:
+    """One bound an oracle violated."""
+
+    oracle: str  # "engine" or "simulator"
+    quantity: str
+    static_value: str
+    oracle_value: str
+
+    def describe(self) -> str:
+        return (
+            f"[{self.oracle}] {self.quantity}: static bound "
+            f"{self.static_value}, oracle says {self.oracle_value}"
+        )
+
+
+@dataclass(frozen=True)
+class CapacityCrosscheckReport:
+    """Outcome of one differential capacity cross-check."""
+
+    dataflow_name: str
+    layer_name: str
+    bounds: CapacityBounds
+    roofline: RooflineCertificate
+    engine_exact: bool
+    occupancy_states: int
+    mismatches: Tuple[CapacityMismatch, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def render(self) -> str:
+        verdict = "AGREE" if self.ok else "DISAGREE"
+        exactness = "bit-identical" if self.engine_exact else "conservative"
+        lines = [
+            f"{verdict}: {self.dataflow_name} on {self.layer_name} — "
+            f"engine bounds {exactness}, {self.occupancy_states} occupancy "
+            f"state(s) walked, verdict {self.roofline.verdict}"
+        ]
+        lines.extend(f"  {mismatch.describe()}" for mismatch in self.mismatches)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dataflow": self.dataflow_name,
+            "layer": self.layer_name,
+            "ok": self.ok,
+            "engine_exact": self.engine_exact,
+            "occupancy_states": self.occupancy_states,
+            "verdict": self.roofline.verdict,
+            "mismatches": [m.describe() for m in self.mismatches],
+        }
+
+
+def _covered_length(
+    start: float, stop: float, shifts: List[Tuple[float, int]]
+) -> float:
+    """Exact 1-D union length of ``[start, stop)`` shifted by every
+    active sub-unit combination of the given ``(shift, active)`` levels."""
+    import itertools
+
+    if not shifts:
+        return stop - start
+    intervals = []
+    for units in itertools.product(*(range(max(1, active)) for _, active in shifts)):
+        offset = sum(unit * shift for unit, (shift, _) in zip(units, shifts))
+        intervals.append((start + offset, stop + offset))
+    intervals.sort()
+    covered = 0.0
+    cursor = float("-inf")
+    for lo, hi in intervals:
+        lo = max(lo, cursor)
+        if hi > lo:
+            covered += hi - lo
+            cursor = hi
+    return covered
+
+
+class _OccupancyWalk:
+    """The joint odometer walk of one bound configuration.
+
+    A lightweight port of the PR 4 occupancy suite's walk: per-PE
+    footprints from :func:`tensor_box`, array-wide footprints from
+    :func:`array_union_box`, states addressed through the mixed-radix
+    odometer so edge tiles and offset wraparound are exercised.
+    """
+
+    def __init__(
+        self, dataflow: "Dataflow", layer: "Layer", accelerator: "Accelerator"
+    ) -> None:
+        from repro.engines.binding import bind_dataflow
+        from repro.engines.reuse import build_odometer
+        from repro.engines.tensor_analysis import analyze_tensors
+
+        bound = bind_dataflow(dataflow, layer, accelerator)
+        self.tensors = analyze_tensors(layer, bound.row_rep, bound.col_rep)
+        self.inner_sizes = bound.innermost().chunk_sizes()
+        self.shift_sets: List[Tuple[Mapping[str, int], int]] = [
+            (level.spatial_offsets, int(round(level.avg_active)))
+            for level in bound.levels
+            if level.width > 1
+        ]
+        self.entries: List[Tuple[int, Dict[str, int]]] = []
+        for level in bound.levels:
+            for entry in build_odometer(level):
+                if entry.steps > 1:
+                    self.entries.append((entry.steps, dict(entry.advancing_offsets)))
+        self.total_states = 1
+        for steps, _ in self.entries:
+            self.total_states *= steps
+        self.element_bytes = accelerator.element_bytes
+
+    @property
+    def dense(self) -> bool:
+        """Whether the box volumes are comparable to the closed form."""
+        return all(info.density >= 1.0 for info in self.tensors.tensors)
+
+    def starts_at(self, state: int) -> Dict[str, int]:
+        digits = []
+        for steps, _ in reversed(self.entries):
+            digits.append(state % steps)
+            state //= steps
+        digits.reverse()
+        acc = {dim: 0 for dim in self.inner_sizes}
+        for (steps, offsets), digit in zip(self.entries, digits):
+            for dim, offset in offsets.items():
+                acc[dim] = acc.get(dim, 0) + digit * offset
+        return acc
+
+    def sample_states(self, sequential: int, sampled: int, seed: int = 0) -> List[int]:
+        states = list(range(min(self.total_states, sequential)))
+        if self.total_states > sequential:
+            rng = random.Random(seed)
+            states += sorted(rng.randrange(self.total_states) for _ in range(sampled))
+        return states
+
+    def l1_bytes(self, starts: Mapping[str, int]) -> int:
+        from repro.simulator.regions import tensor_box
+
+        return self.element_bytes * sum(
+            tensor_box(info.axes, starts, self.inner_sizes).volume()
+            for info in self.tensors.tensors
+        )
+
+    def l2_bytes(self, starts: Mapping[str, int]) -> float:
+        """The array's exact union footprint at ``starts``, in bytes.
+
+        Per tensor and axis, the 1-D union of every active sub-unit
+        combination's shifted interval is merged exactly (gaps between
+        strided sub-units are *not* counted); per-axis coverages
+        multiply. This matches the closed-form unique-volume
+        accounting's per-axis factorization while staying a literal
+        enumeration of what the array holds.
+        """
+        from repro.simulator.regions import axis_interval
+
+        total = 0.0
+        for info in self.tensors.tensors:
+            volume = 1.0
+            for axis in info.axes:
+                base = axis_interval(axis, starts, self.inner_sizes)
+                if base.length <= 0:
+                    volume = 0.0
+                    break
+                shifts = [
+                    (float(axis.shift(offsets)), active)
+                    for offsets, active in self.shift_sets
+                    if abs(axis.shift(offsets)) > 1e-9
+                ]
+                volume *= _covered_length(base.start, base.stop, shifts)
+            total += volume
+        return self.element_bytes * total
+
+
+def _check_engine(
+    bounds: CapacityBounds,
+    roofline: RooflineCertificate,
+    dataflow: "Dataflow",
+    layer: "Layer",
+    accelerator: "Accelerator",
+) -> Tuple[bool, List[CapacityMismatch]]:
+    """Oracle 1: the analytical engine's requirements and runtime."""
+    from repro.engines.analysis import analyze_layer
+
+    report = analyze_layer(layer, dataflow, accelerator)
+    mismatches: List[CapacityMismatch] = []
+
+    claims = [
+        ("l1_buffer_req", bounds.l1.peak_bytes, report.l1_buffer_req),
+        ("l2_buffer_req", bounds.l2.peak_bytes, report.l2_buffer_req),
+    ]
+    for depth, requirement in enumerate(report.intermediate_buffer_reqs):
+        static = (
+            bounds.intermediates[depth].peak_bytes
+            if depth < len(bounds.intermediates)
+            else -1
+        )
+        claims.append((f"intermediate_buffer_reqs[{depth}]", static, requirement))
+
+    exact = True
+    for quantity, static, engine in claims:
+        if static < engine:
+            mismatches.append(
+                CapacityMismatch(
+                    oracle="engine",
+                    quantity=quantity,
+                    static_value=str(static),
+                    oracle_value=str(engine),
+                )
+            )
+        if static != engine:
+            exact = False
+
+    sweep_runtime = report.level_stats[0].runtime_sweep
+    tolerance = 1e-9 * max(1.0, sweep_runtime)
+    for quantity, floor in (
+        ("compute_floor_cycles", roofline.compute_floor_cycles),
+        ("comm_floor_cycles", roofline.comm_floor_cycles),
+    ):
+        if floor > sweep_runtime + tolerance:
+            mismatches.append(
+                CapacityMismatch(
+                    oracle="engine",
+                    quantity=quantity,
+                    static_value=f"{floor:.3f}",
+                    oracle_value=f"runtime_sweep {sweep_runtime:.3f}",
+                )
+            )
+    return exact, mismatches
+
+
+def _check_simulator(
+    bounds: CapacityBounds,
+    dataflow: "Dataflow",
+    layer: "Layer",
+    accelerator: "Accelerator",
+    sequential: int,
+    sampled: int,
+) -> Tuple[int, List[CapacityMismatch]]:
+    """Oracle 2: the simulator's instantaneous occupancy walk."""
+    walk = _OccupancyWalk(dataflow, layer, accelerator)
+    if not walk.dense:
+        return 0, []
+    buffering = bounds.buffering
+    l2_margin = bounds.l2.peak_bytes * (1 + HALO_TOLERANCE)
+    # Exact-union enumeration is exponential in concurrent spatial
+    # levels; cap the combination count (never reached by the corpus).
+    combos = 1
+    for _, active in walk.shift_sets:
+        combos *= max(1, active)
+    check_l2 = combos <= 4096
+    mismatches: List[CapacityMismatch] = []
+    states = walk.sample_states(sequential, sampled)
+    prev_l1: Optional[int] = None
+    for state in states:
+        starts = walk.starts_at(state)
+        l1_now = walk.l1_bytes(starts)
+        if buffering * l1_now > bounds.l1.peak_bytes:
+            mismatches.append(
+                CapacityMismatch(
+                    oracle="simulator",
+                    quantity=f"L1 occupancy at state {state}",
+                    static_value=str(bounds.l1.peak_bytes),
+                    oracle_value=f"{buffering} * {l1_now}",
+                )
+            )
+        if prev_l1 is not None and l1_now + prev_l1 > bounds.l1.peak_bytes:
+            mismatches.append(
+                CapacityMismatch(
+                    oracle="simulator",
+                    quantity=f"L1 double-buffer slots at state {state}",
+                    static_value=str(bounds.l1.peak_bytes),
+                    oracle_value=f"{prev_l1} + {l1_now}",
+                )
+            )
+        if check_l2:
+            l2_now = walk.l2_bytes(starts)
+            if buffering * l2_now > l2_margin:
+                mismatches.append(
+                    CapacityMismatch(
+                        oracle="simulator",
+                        quantity=f"L2 occupancy at state {state} (halo-tolerant)",
+                        static_value=str(bounds.l2.peak_bytes),
+                        oracle_value=f"{buffering} * {l2_now:.0f}",
+                    )
+                )
+        prev_l1 = l1_now
+    return len(states), mismatches
+
+
+def crosscheck_capacity(
+    dataflow: "Dataflow",
+    layer: "Layer",
+    accelerator: "Optional[Accelerator]" = None,
+    occupancy_sequential: int = 32,
+    occupancy_sampled: int = 16,
+) -> CapacityCrosscheckReport:
+    """Replay one triple's bounds and floors against both oracles."""
+    from repro.hardware.accelerator import Accelerator
+
+    if accelerator is None:
+        accelerator = Accelerator(num_pes=64)
+    bounds = compute_capacity_bounds(dataflow, layer, accelerator)
+    roofline = classify_roofline(dataflow, layer, accelerator)
+
+    engine_exact, mismatches = _check_engine(
+        bounds, roofline, dataflow, layer, accelerator
+    )
+    states, sim_mismatches = _check_simulator(
+        bounds, dataflow, layer, accelerator, occupancy_sequential, occupancy_sampled
+    )
+    mismatches.extend(sim_mismatches)
+
+    obs.inc("capacity.crosschecks_run")
+    if mismatches:
+        obs.inc("capacity.crosscheck_mismatches", len(mismatches))
+    return CapacityCrosscheckReport(
+        dataflow_name=dataflow.name,
+        layer_name=layer.name,
+        bounds=bounds,
+        roofline=roofline,
+        engine_exact=engine_exact,
+        occupancy_states=states,
+        mismatches=tuple(mismatches),
+    )
+
+
+def capacity_corpus(
+    models: Optional[List[str]] = None,
+) -> List[Tuple["Layer", "Dataflow"]]:
+    """The zoo x library acceptance corpus (shared with repro.equiv)."""
+    from repro.equiv.crosscheck import library_corpus
+
+    return library_corpus(models=models)

@@ -1,0 +1,51 @@
+"""Sound capacity pruning helpers for the DSE explorer and tuner.
+
+The explorer's ``fold_point`` provisions each surviving design's buffers
+from the engine-reported requirement (``l1 = max(l1_buffer_req, 1)``,
+``l2 = max(l2_buffer_req, 1)``) and rejects the point when the sized
+accelerator busts the area/power budget — *after* paying a full
+cost-model call. Because :func:`compute_capacity_bounds` reproduces
+those requirements bit-for-bit from the binding alone, the same
+rejection can be decided *before* evaluation: that is the
+``--capacity-prune`` screen.
+
+Soundness of the sub-region discards rests on two monotonicity facts:
+
+- the sized design's area/power is monotone in NoC bandwidth (the
+  :class:`~repro.hardware.area.AreaModel` bus/arbiter terms have
+  positive coefficients), so a reject at the smallest bandwidth rejects
+  the whole bandwidth row;
+- L1 occupancy is independent of the PE count and L2 occupancy is
+  non-decreasing in it (``avg_active = min(width, chunks/folds)`` only
+  grows with the array), while area/power are monotone in PE count —
+  so a reject at the smallest bandwidth also rejects every larger
+  array for the same mapping variant.
+
+Variants whose bounds cannot be certified (binding failure) are never
+pruned; they flow to the cost model exactly as without the screen.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.capacity.bounds import compute_capacity_bounds
+from repro.dataflow.dataflow import Dataflow
+from repro.hardware.accelerator import Accelerator
+from repro.model.layer import Layer
+
+
+def capacity_requirements(
+    dataflow: Dataflow, layer: Layer, accelerator: Accelerator
+) -> Optional[Tuple[int, int]]:
+    """The ``(l1_size, l2_size)`` the DSE would provision, or ``None``.
+
+    Returns exactly what ``fold_point`` computes from the engine report
+    (``max(req, 1)`` each), or ``None`` when the mapping cannot be
+    certified — callers must not prune in that case.
+    """
+    try:
+        bounds = compute_capacity_bounds(dataflow, layer, accelerator)
+    except Exception:
+        return None
+    return max(bounds.l1.peak_bytes, 1), max(bounds.l2.peak_bytes, 1)

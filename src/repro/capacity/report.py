@@ -1,0 +1,78 @@
+"""Human-readable rendering of capacity bounds and roofline verdicts.
+
+The ``analyze --capacity`` and ``lint --capacity`` CLI views share this
+table: one row per buffer level showing the steady and peak occupancy
+bounds, the declared capacity (when any), and the fit/utilization
+verdict. JSON output goes through ``CapacityBounds.to_dict`` /
+``RooflineCertificate.to_dict`` directly; this module only owns the
+text view.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.capacity.bounds import CapacityBounds, LevelOccupancy
+from repro.capacity.roofline import RooflineCertificate
+from repro.util.text_table import format_table
+
+__all__ = [
+    "capacity_rows",
+    "render_capacity_summary",
+    "render_capacity_table",
+]
+
+_HEADERS = (
+    "buffer",
+    "steady B",
+    "peak B",
+    "capacity B",
+    "fits",
+    "util",
+)
+
+
+def _row(level: LevelOccupancy) -> Sequence[object]:
+    capacity = "-" if level.capacity_bytes is None else f"{level.capacity_bytes:,}"
+    utilization = level.utilization
+    util = "-" if utilization is None else f"{utilization:.0%}"
+    fits = "yes" if level.fits else ("steady" if level.steady_fits else "NO")
+    return (
+        level.label,
+        f"{level.steady_bytes:,}",
+        f"{level.peak_bytes:,}",
+        capacity,
+        fits,
+        util,
+    )
+
+
+def capacity_rows(bounds: CapacityBounds) -> List[Sequence[object]]:
+    """Table rows for every bounded buffer level, innermost first."""
+    return [_row(level) for level in bounds.levels()]
+
+
+def render_capacity_table(
+    bounds: CapacityBounds, roofline: Optional[RooflineCertificate] = None
+) -> str:
+    """The per-level occupancy table, plus the roofline verdict line."""
+    title = (
+        f"capacity: {bounds.dataflow_name} on {bounds.layer_name} "
+        f"({bounds.num_pes} PEs, "
+        f"{'double' if bounds.double_buffered else 'single'}-buffered)"
+    )
+    table = format_table(_HEADERS, capacity_rows(bounds), title=title)
+    if roofline is None:
+        return table
+    return f"{table}\n{render_capacity_summary(roofline)}"
+
+
+def render_capacity_summary(roofline: RooflineCertificate) -> str:
+    """One-line verdict: bottleneck, floors, and crossover bandwidth."""
+    return (
+        f"roofline: {roofline.verdict} "
+        f"(compute floor {roofline.compute_floor_cycles:,.0f} cyc, "
+        f"comm floor {roofline.comm_floor_cycles:,.0f} cyc at "
+        f"bw={roofline.noc_bandwidth}; break-even bw="
+        f"{roofline.crossover_bandwidth} elem/cyc)"
+    )

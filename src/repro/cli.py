@@ -212,15 +212,43 @@ def _cmd_analyze_comm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze_capacity(args: argparse.Namespace) -> int:
+    """``analyze --capacity``: certified occupancy bounds + roofline verdict."""
+    import json
+
+    from repro.capacity import classify_roofline, render_capacity_table
+
+    network = build(args.model)
+    accelerator = _accelerator(args)
+    dataflow = _load_dataflow(args.dataflow)
+    layers = [network.layer(args.layer)] if args.layer else list(network.layers)
+    certificates = [
+        classify_roofline(dataflow, layer, accelerator) for layer in layers
+    ]
+    if args.format == "json":
+        print(
+            json.dumps(
+                [c.to_dict() for c in certificates], indent=2, sort_keys=True
+            )
+        )
+        return 0
+    for certificate in certificates:
+        print(render_capacity_table(certificate.bounds, certificate))
+        print()
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    if args.symbolic and args.comm:
-        raise SystemExit("--comm and --symbolic are mutually exclusive")
+    if sum((args.symbolic, args.comm, args.capacity)) > 1:
+        raise SystemExit("--comm, --capacity, and --symbolic are mutually exclusive")
     if args.symbolic:
         return _cmd_analyze_symbolic(args)
     if args.range or args.crosscheck or args.widen != 1.0:
         raise SystemExit("--range/--widen/--crosscheck require --symbolic")
     if args.comm:
         return _cmd_analyze_comm(args)
+    if args.capacity:
+        return _cmd_analyze_capacity(args)
     network = build(args.model)
     accelerator = _accelerator(args)
     dataflow = _load_dataflow(args.dataflow)
@@ -260,16 +288,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import explain_rule, lint_dataflow, lint_text, rule_families
+    from repro.lint import (
+        explain_rule,
+        lint_dataflow,
+        lint_text,
+        nearest_rule,
+        rule_families,
+    )
 
     if args.explain:
         try:
             print(explain_rule(args.explain))
         except KeyError:
             families = ", ".join(sorted(rule_families()))
+            suggestion = nearest_rule(args.explain)
+            hint = f"did you mean {suggestion}? " if suggestion else ""
             raise SystemExit(
-                f"error: unknown lint rule {args.explain!r} "
-                f"(valid rule families: {families}; "
+                f"error: unknown lint rule {args.explain!r} ({hint}"
+                f"valid rule families: {families}; "
                 f"run `repro lint --explain DF000` for an example)"
             )
         return 0
@@ -279,6 +315,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         raise SystemExit("--layer requires --model")
     if args.comm and not args.model:
         raise SystemExit("--comm requires --model (a layer to bind against)")
+    if args.capacity and not args.model:
+        raise SystemExit("--capacity requires --model (a layer to bind against)")
     layer = None
     if args.model:
         network = build(args.model)
@@ -317,7 +355,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             layer=layer,
             accelerator=accelerator,
         )
-        if args.comm:
+        if args.comm or args.capacity:
             try:
                 dataflow = parse_dataflow(text, name=args.dataflow)
             except Exception:
@@ -341,6 +379,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 print()
                 print(render_comm_table(analysis))
                 print(render_comm_summary(analysis))
+    if args.capacity and args.format == "text":
+        from repro.capacity import classify_roofline, render_capacity_table
+
+        if dataflow is None:
+            print("capacity: mapping does not parse; no capacity analysis")
+        else:
+            assert layer is not None
+            try:
+                certificate = classify_roofline(dataflow, layer, accelerator)
+            except Exception as error:
+                print(f"capacity: mapping does not bind ({error}); no analysis")
+            else:
+                print()
+                print(render_capacity_table(certificate.bounds, certificate))
     return 1 if report.has_errors else 0
 
 
@@ -440,6 +492,30 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             )
         return 0 if all_ok else 1
 
+    if args.capacity:
+        from repro.verify import crosscheck_capacity
+
+        reports = []
+        for name, flow in flows.items():
+            for layer in layers:
+                reports.append(crosscheck_capacity(flow, layer))
+        all_ok = all(report.ok for report in reports)
+        if args.format == "json":
+            payload = {
+                "reports": [report.to_dict() for report in reports],
+                "all_ok": all_ok,
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            for report in reports:
+                print(report.render())
+            agree = sum(report.ok for report in reports)
+            print(
+                f"{agree}/{len(reports)} mapping-layer capacity bounds agree "
+                "with both oracles (cost-engine sizing + occupancy simulation)"
+            )
+        return 0 if all_ok else 1
+
     results = []
     for name, flow in flows.items():
         for layer in layers:
@@ -530,6 +606,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         noc_multicast=not args.no_multicast,
         comm_prune=args.comm_prune,
         equiv_prune=args.equiv_prune,
+        capacity_prune=args.capacity_prune,
     )
     stats = result.statistics
     print(
@@ -537,6 +614,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         f"{stats.pruned} pruned, {stats.static_rejects} lint-rejected, "
         f"{stats.coverage_rejects} coverage-refuted, "
         f"{stats.comm_rejects} comm-race pruned, "
+        f"{stats.capacity_rejects} capacity pruned, "
         f"{stats.symbolic_rejects} symbolically infeasible, "
         f"{stats.bnb_pruned} branch-and-bound pruned, "
         f"{stats.equiv_replays} equivalence-replayed, "
@@ -593,6 +671,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         symbolic_prune=args.symbolic_prune,
         comm_prune=args.comm_prune,
         equiv_prune=args.equiv_prune,
+        capacity_prune=args.capacity_prune,
         executor=args.executor,
         jobs=args.jobs,
         cache=args.cache,
@@ -618,6 +697,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         f"({result.statically_rejected} by the static analyzer, "
         f"{result.coverage_rejected} coverage-refuted, "
         f"{result.comm_rejected} comm-race screened, "
+        f"{result.capacity_rejected} capacity screened, "
         f"{result.symbolic_rejected} symbolically over buffer caps); "
         f"{result.equiv_replayed} equivalence-replayed; "
         f"{result.cache_hits} cost-model answers served from cache"
@@ -769,6 +849,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             "twins (repro.equiv; optima are bit-identical)",
         )
 
+    def add_capacity_prune(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--capacity-prune",
+            action="store_true",
+            help="soundly skip cost-model calls using the certified "
+            "occupancy bounds from the static capacity analyzer "
+            "(repro.capacity; optima are bit-identical)",
+        )
+
     def add_backend(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--jobs",
@@ -850,6 +939,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "unicast/forwarding/reduction per level and tensor) instead of "
         "the cost table",
     )
+    p_analyze.add_argument(
+        "--capacity",
+        action="store_true",
+        help="print the certified buffer occupancy bounds and roofline "
+        "feasibility verdict instead of the cost table",
+    )
     add_hw(p_analyze)
     add_comm_caps(p_analyze)
     p_analyze.set_defaults(func=_cmd_analyze)
@@ -871,6 +966,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="append the communication detail view (per-level/tensor "
         "pattern table); requires --model and --format text",
+    )
+    p_lint.add_argument(
+        "--capacity",
+        action="store_true",
+        help="append the capacity detail view (per-buffer occupancy "
+        "bounds + roofline verdict); requires --model and --format text",
     )
     p_lint.add_argument(
         "--model", choices=sorted(MODELS), help="zoo model to lint against"
@@ -911,6 +1012,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="differentially verify the communication classifier against "
         "the reuse engine and brute-force PE access-set enumeration; "
         "exits 1 on any mismatch",
+    )
+    p_verify.add_argument(
+        "--capacity",
+        action="store_true",
+        help="differentially verify the static capacity bounds against "
+        "the cost engine's buffer sizing and an occupancy simulation; "
+        "exits 1 on any violation",
     )
     p_verify.add_argument(
         "--model", choices=sorted(MODELS), help="zoo model to verify against"
@@ -956,6 +1064,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_comm_caps(p_dse)
     add_comm_prune(p_dse)
     add_equiv_prune(p_dse)
+    add_capacity_prune(p_dse)
     add_backend(p_dse)
     add_obs(p_dse)
     p_dse.set_defaults(func=_cmd_dse)
@@ -985,6 +1094,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_symbolic_prune(p_tune)
     add_comm_prune(p_tune)
     add_equiv_prune(p_tune)
+    add_capacity_prune(p_tune)
     add_backend(p_tune)
     add_obs(p_tune)
     p_tune.set_defaults(func=_cmd_tune)

@@ -85,6 +85,11 @@ class DSEStatistics:
     #: outcome (``equiv_prune``): same canonical key at the same grid
     #: point, so the cost model's answer is provably identical.
     equiv_replays: int = 0
+    #: Points whose requirement-sized design provably busts the budget
+    #: (``capacity_prune``): the static occupancy bounds reproduce the
+    #: engine's buffer requirements bit-for-bit, so the fold-time
+    #: area/power rejection is decided before any cost-model call.
+    capacity_rejects: int = 0
 
     @property
     def effective_rate(self) -> float:
@@ -129,6 +134,7 @@ def explore(
     noc_multicast: bool = True,
     comm_prune: bool = False,
     equiv_prune: bool = False,
+    capacity_prune: bool = False,
 ) -> DSEResult:
     """Sweep ``space`` for ``layer`` under the given budgets.
 
@@ -201,9 +207,27 @@ def explore(
     quotient applies to the exhaustive sweep; under ``symbolic_prune``
     the branch-and-bound's region machinery takes precedence and the
     quotient is not applied.
+
+    With ``capacity_prune`` each surviving candidate is screened by the
+    static occupancy analyzer (:mod:`repro.capacity`) before entering
+    the cost model: the analyzer reproduces the engine's buffer
+    requirements bit-for-bit from the binding alone, so the
+    requirement-sized design's area/power — exactly what ``fold_point``
+    checks after evaluation — is known up front, and points that would
+    be folded away are rejected (``capacity_rejects``) without a
+    cost-model call. Because the decision replicates the fold check on
+    identical values, the valid set, Pareto front, and optima are
+    bit-identical with or without the screen. Two monotonicity facts
+    let one rejection discard whole sub-regions: area/power grow with
+    NoC bandwidth (a reject at the smallest bandwidth rejects the row)
+    and with PE count while the L2 requirement never shrinks with it
+    (a smallest-bandwidth reject covers every larger array for the same
+    variant). Candidates whose bounds cannot be certified are never
+    pruned.
     """
     start = time.perf_counter()
     explored = pruned = static_rejects = coverage_rejects = comm_rejects = 0
+    capacity_rejects = 0
 
     def make_noc(bandwidth: int) -> NoC:
         return NoC(
@@ -277,6 +301,18 @@ def explore(
             for label, dataflow in space.dataflow_variants:
                 variant_form[(label, dataflow.name)] = canonicalize(dataflow, layer)
 
+    # Capacity screen state: the requirement-sized (l1, l2) per
+    # (variant, PE count) — bandwidth-independent, since the occupancy
+    # bounds never read the NoC — plus, per variant, the smallest PE
+    # count rejected at the minimum bandwidth. Area/power are monotone
+    # in bandwidth and PE count while the L2 requirement never shrinks
+    # with the array, so every point at or above that floor is rejected
+    # without re-binding.
+    capacity_sizes: dict = {}
+    capacity_reject_floor: dict = {}
+    if capacity_prune:
+        from repro.capacity import capacity_requirements
+
     # ------------------------------------------------------------------
     # Phase 1 — enumerate: classify every grid point as budget-pruned,
     # statically rejected, or a candidate for the cost model.
@@ -318,6 +354,53 @@ def explore(
                         pruned += 1
                         comm_rejects += 1
                         continue
+                    if capacity_prune:
+                        floor = capacity_reject_floor.get((label, dataflow.name))
+                        if floor is not None and num_pes >= floor:
+                            # Rejected at (floor, min_bw): area/power are
+                            # monotone in PEs and bandwidth, L1 is
+                            # PE-independent, and L2 never shrinks as the
+                            # array grows, so this point busts the budget
+                            # too — even without re-binding.
+                            pruned += 1
+                            capacity_rejects += 1
+                            continue
+                        size_key = (label, dataflow.name, num_pes)
+                        if size_key not in capacity_sizes:
+                            capacity_sizes[size_key] = capacity_requirements(
+                                dataflow,
+                                layer,
+                                Accelerator(
+                                    num_pes=num_pes,
+                                    noc=make_noc(bandwidth),
+                                    spatial_reduction=spatial_reduction,
+                                ),
+                            )
+                        sizes = capacity_sizes[size_key]
+                        if sizes is not None:
+                            sized = Accelerator(
+                                num_pes=num_pes,
+                                l1_size=sizes[0],
+                                l2_size=sizes[1],
+                                noc=make_noc(bandwidth),
+                                spatial_reduction=spatial_reduction,
+                            )
+                            if (
+                                area_model.area(sized) > area_budget
+                                or area_model.power(sized) > power_budget
+                            ):
+                                pruned += 1
+                                capacity_rejects += 1
+                                if bandwidth == min_bw:
+                                    capacity_reject_floor[
+                                        (label, dataflow.name)
+                                    ] = min(
+                                        capacity_reject_floor.get(
+                                            (label, dataflow.name), num_pes
+                                        ),
+                                        num_pes,
+                                    )
+                                continue
                     candidates.append((num_pes, bandwidth, label, dataflow))
 
     def fold_point(
@@ -492,7 +575,9 @@ def explore(
     # symbolically discarded, or answered by the cost model (evaluated
     # successfully or failed).
     failures = calls_submitted - evaluated
-    budget_pruned = pruned - static_rejects - coverage_rejects - comm_rejects
+    budget_pruned = (
+        pruned - static_rejects - coverage_rejects - comm_rejects - capacity_rejects
+    )
     assert explored == space.size, (
         f"enumeration drift: walked {explored} of {space.size} grid points"
     )
@@ -502,6 +587,7 @@ def explore(
         + static_rejects
         + coverage_rejects
         + comm_rejects
+        + capacity_rejects
         + budget_pruned
         + symbolic_rejects
         + bnb_pruned
@@ -510,7 +596,7 @@ def explore(
     ), (
         f"statistics drift: evaluated={evaluated} failures={failures} "
         f"static_rejects={static_rejects} coverage_rejects={coverage_rejects} "
-        f"comm_rejects={comm_rejects} "
+        f"comm_rejects={comm_rejects} capacity_rejects={capacity_rejects} "
         f"budget_pruned={budget_pruned} symbolic_rejects={symbolic_rejects} "
         f"bnb_pruned={bnb_pruned} equiv_replays={equiv_replays} "
         f"do not partition the {space.size}-point grid"
@@ -523,6 +609,7 @@ def explore(
     obs.inc("dse.pruned_by_verify", coverage_rejects)
     obs.inc("dse.pruned_by_symbolic", symbolic_rejects + bnb_pruned)
     obs.inc("dse.pruned_by_comm", comm_rejects)
+    obs.inc("dse.pruned_by_capacity", capacity_rejects)
     statistics = DSEStatistics(
         explored=explored,
         evaluated=evaluated,
@@ -539,6 +626,7 @@ def explore(
         bnb_pruned=bnb_pruned,
         comm_rejects=comm_rejects,
         equiv_replays=equiv_replays,
+        capacity_rejects=capacity_rejects,
     )
     return DSEResult(
         points=tuple(points),

@@ -32,6 +32,7 @@ from repro.lint.engine import (
     lint_dataflow,
     lint_directives,
     lint_text,
+    nearest_rule,
     required_pes,
     rule_families,
     static_errors,
@@ -59,6 +60,7 @@ __all__ = [
     "lint_directives",
     "lint_symbolic",
     "lint_text",
+    "nearest_rule",
     "required_pes",
     "rule_families",
     "static_errors",

@@ -38,6 +38,7 @@ __all__ = [
     "lint_dataflow",
     "lint_directives",
     "lint_text",
+    "nearest_rule",
     "required_pes",
     "rule_families",
     "static_errors",
@@ -50,7 +51,58 @@ _FAMILIES = {
     "DF2": "symbolic range certificates from the abstract interpreter",
     "DF3": "certified communication classifications from repro.comm",
     "DF4": "equivalence/dominance findings from the repro.equiv canonical-form analyzer",
+    "DF5": "certified capacity/roofline feasibility bounds from repro.capacity",
 }
+
+
+def nearest_rule(code: str) -> Optional[str]:
+    """The registered rule code closest to ``code`` by edit distance.
+
+    Used by error paths (``lint --explain`` on a typo) to suggest what
+    the user probably meant. Returns ``None`` when no registry is
+    loadable or the best match is further than half the code's length
+    (suggesting something wildly unrelated helps nobody).
+    """
+    from repro.lint.rules import RULES as concrete
+    from repro.lint.symbolic import SYMBOLIC_RULES
+
+    code = code.upper()
+    known = sorted(set(concrete) | set(SYMBOLIC_RULES))
+    if not known:
+        return None
+    # Ties prefer the queried family (DF5xx typos suggest DF5xx rules).
+    best = min(
+        known,
+        key=lambda candidate: (
+            _edit_distance(code, candidate),
+            candidate[:3] != code[:3],
+            candidate,
+        ),
+    )
+    if _edit_distance(code, best) > max(1, len(code) // 2):
+        return None
+    return best
+
+
+def _edit_distance(a: str, b: str) -> int:
+    """Plain Levenshtein distance (small strings, no need for bands)."""
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            current.append(
+                min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + (char_a != char_b),
+                )
+            )
+        previous = current
+    return previous[-1]
 
 
 def rule_families() -> Dict[str, str]:
@@ -96,8 +148,11 @@ def explain_rule(code: str) -> str:
         symbolic = SYMBOLIC_RULES.get(code)
         if symbolic is None:
             known = sorted(set(concrete) | set(SYMBOLIC_RULES))
+            suggestion = nearest_rule(code)
+            hint = f"did you mean {suggestion}? " if suggestion else ""
             raise KeyError(
-                f"unknown lint rule {code!r}; known rules: {', '.join(known)}"
+                f"unknown lint rule {code!r}; {hint}"
+                f"known rules: {', '.join(known)}"
             )
         lines = [
             f"{symbolic.code}: {symbolic.title}",

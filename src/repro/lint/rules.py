@@ -1455,3 +1455,212 @@ def _check_statically_dominated(ctx: RuleContext) -> Iterator[Diagnostic]:
             provenance=DOMINANCE_PROVENANCE,
         )
         return
+
+
+# ======================================================================
+# Buffer-capacity & roofline feasibility, backed by repro.capacity
+# (DF500-DF504)
+#
+# These rules read the static occupancy analyzer: the bounds reproduce
+# the engine's Figure-8 sizing formulas bit-for-bit on the same bound
+# mapping, so every overflow verdict is certified, not estimated. The
+# capacity rules only fire when the accelerator declares the relevant
+# capacity (an unsized buffer is provisioned from the requirement);
+# DF504 reads the roofline certificate and always applies. None are
+# construction or binding-equivalent rules.
+# ======================================================================
+def _capacity_certificates(ctx: RuleContext):
+    """The (bounds, roofline) pair for this mapping, or ``None``."""
+    flow = _equiv_dataflow(ctx)
+    if flow is None or ctx.layer is None or ctx.accelerator is None:
+        return None
+    try:
+        from repro.capacity import classify_roofline
+
+        roofline = classify_roofline(flow, ctx.layer, ctx.accelerator)
+    except Exception:
+        return None
+    return roofline.bounds, roofline
+
+
+def _innermost_map_index(ctx: RuleContext) -> Optional[int]:
+    """Anchor index: the first map directive of the innermost level."""
+    levels = ctx.levels
+    if not levels or not levels[-1].maps:
+        return None
+    return levels[-1].maps[0][0]
+
+
+@rule(
+    "DF500",
+    "L1 working set overflows the declared per-PE buffer",
+    Severity.ERROR,
+    requires=("layer", "accelerator"),
+)
+def _check_l1_overflow(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Even a single buffer slot of the innermost tile set — every
+    tensor's clamped innermost chunk — exceeds the declared ``l1_size``.
+    The bound is the engine's own Figure-8 working set, so no schedule
+    of this mapping fits: the tiles must shrink or the buffer must grow.
+    """
+    certificates = _capacity_certificates(ctx)
+    if certificates is None:
+        return
+    bounds, _ = certificates
+    if bounds.l1.steady_fits:
+        return
+    from repro.capacity import CAPACITY_PROVENANCE
+
+    capacity = bounds.l1.capacity_bytes
+    steady = bounds.l1.steady_bytes
+    yield ctx.diag(
+        "DF500",
+        f"{ctx.name}: innermost tile set needs {steady:,} B per PE but "
+        f"l1_size is {capacity:,} B — over capacity even single-buffered",
+        index=_innermost_map_index(ctx),
+        provenance=CAPACITY_PROVENANCE,
+        fixit=FixIt(
+            f"shrink the innermost map sizes by at least "
+            f"{steady / max(capacity, 1):.1f}x (largest tiles first), or "
+            f"provision l1_size >= {bounds.l1.peak_bytes:,} B "
+            f"({steady:,} B single-buffered)"
+        ),
+    )
+
+
+@rule(
+    "DF501",
+    "L2 working set overflows the declared shared buffer",
+    Severity.WARNING,
+    requires=("layer", "accelerator"),
+)
+def _check_l2_overflow(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """The array-wide unique top-level chunk, double buffered, exceeds
+    the declared ``l2_size``. The engine does not reject such a design —
+    it streams the overflow from DRAM instead (the ``l2_fits`` spill
+    path), paying DRAM energy per re-fetch — so this is a performance
+    warning, not an infeasibility.
+    """
+    certificates = _capacity_certificates(ctx)
+    if certificates is None:
+        return
+    bounds, _ = certificates
+    if bounds.l2.fits:
+        return
+    from repro.capacity import CAPACITY_PROVENANCE
+
+    yield ctx.diag(
+        "DF501",
+        f"{ctx.name}: array working set needs {bounds.l2.peak_bytes:,} B "
+        f"but l2_size is {bounds.l2.capacity_bytes:,} B — the overflow "
+        f"streams from DRAM on every sweep",
+        provenance=CAPACITY_PROVENANCE,
+        fixit=FixIt(
+            f"shrink the top-level temporal tiles, or provision "
+            f"l2_size >= {bounds.l2.peak_bytes:,} B"
+        ),
+    )
+
+
+@rule(
+    "DF502",
+    "double buffering infeasible at the declared L1 capacity",
+    Severity.ERROR,
+    requires=("layer", "accelerator"),
+)
+def _check_double_buffering_infeasible(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """One tile set fits the declared ``l1_size``, but the two live
+    slots double buffering keeps (Figure 8's ``2 * max`` rule) do not.
+    The engine's performance model *assumes* the overlap; on this
+    capacity the real machine would serialize fetch and compute instead.
+    """
+    certificates = _capacity_certificates(ctx)
+    if certificates is None:
+        return
+    bounds, _ = certificates
+    if not bounds.double_buffered:
+        return
+    if not bounds.l1.steady_fits or bounds.l1.fits:
+        return  # DF500 territory / fits outright
+    from repro.capacity import CAPACITY_PROVENANCE
+
+    yield ctx.diag(
+        "DF502",
+        f"{ctx.name}: double buffering needs {bounds.l1.peak_bytes:,} B "
+        f"per PE (2 x {bounds.l1.steady_bytes:,} B) but l1_size is "
+        f"{bounds.l1.capacity_bytes:,} B — communication cannot overlap "
+        f"compute at this capacity",
+        index=_innermost_map_index(ctx),
+        provenance=CAPACITY_PROVENANCE,
+        fixit=FixIt(
+            f"provision l1_size >= {bounds.l1.peak_bytes:,} B, shrink the "
+            f"innermost tiles, or model the machine single-buffered "
+            f"(double_buffered=False)"
+        ),
+    )
+
+
+@rule(
+    "DF503",
+    "declared buffer under 25% utilized at peak",
+    Severity.WARNING,
+    requires=("layer", "accelerator"),
+)
+def _check_buffer_underutilized(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """The peak occupancy bound uses less than a quarter of a declared
+    capacity: the SRAM is area and leakage the mapping cannot exploit.
+    Fires per buffer; unsized buffers (provisioned from the requirement)
+    are exempt by construction.
+    """
+    certificates = _capacity_certificates(ctx)
+    if certificates is None:
+        return
+    bounds, _ = certificates
+    from repro.capacity import CAPACITY_PROVENANCE
+    from repro.capacity.bounds import UTILIZATION_FLOOR
+
+    for level in (bounds.l1, bounds.l2):
+        utilization = level.utilization
+        if utilization is None or not level.fits:
+            continue
+        if utilization < UTILIZATION_FLOOR:
+            yield ctx.diag(
+                "DF503",
+                f"{ctx.name}: {level.label} peaks at {level.peak_bytes:,} B "
+                f"of {level.capacity_bytes:,} B declared "
+                f"({utilization:.0%} utilized) — grow the tiles or shrink "
+                f"the buffer",
+                provenance=CAPACITY_PROVENANCE,
+            )
+
+
+@rule(
+    "DF504",
+    "certified NoC-bandwidth-bound at the declared bandwidth",
+    Severity.INFO,
+    requires=("layer", "accelerator"),
+)
+def _check_bandwidth_bound(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """The roofline certificate's communication floor exceeds its
+    compute floor: even with perfect overlap the NoC cannot feed the
+    array, so the mapping is provably bandwidth-bound at this bandwidth.
+    The message carries the closed-form break-even bandwidth at which
+    the verdict flips.
+    """
+    certificates = _capacity_certificates(ctx)
+    if certificates is None:
+        return
+    _, roofline = certificates
+    if not roofline.bandwidth_bound:
+        return
+    from repro.capacity import CAPACITY_PROVENANCE
+
+    yield ctx.diag(
+        "DF504",
+        f"{ctx.name}: certified bandwidth-bound on {ctx.layer.name} — "
+        f"ingress floor {roofline.comm_floor_cycles:,.0f} cyc exceeds "
+        f"compute floor {roofline.compute_floor_cycles:,.0f} cyc at "
+        f"bw={roofline.noc_bandwidth}; break-even NoC bandwidth is "
+        f"{roofline.crossover_bandwidth} elem/cycle",
+        provenance=CAPACITY_PROVENANCE,
+    )

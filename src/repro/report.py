@@ -93,8 +93,12 @@ def layer_report(analysis: LayerAnalysis) -> str:
         f"L1 per PE        : {analysis.l1_buffer_req:,} B",
         f"L2 shared        : {analysis.l2_buffer_req:,} B",
     ]
+    total_levels = len(analysis.level_stats)
     for depth, requirement in enumerate(analysis.intermediate_buffer_reqs):
-        buffers.append(f"cluster buffer L{depth}: {requirement:,} B")
+        buffers.append(
+            f"cluster buffer (level {depth}/{total_levels - 1} chunk, "
+            f"per depth-{depth + 1} sub-cluster): {requirement:,} B"
+        )
     sections.append("buffer requirements (double-buffered)\n" + "\n".join(buffers))
 
     sections.append(

@@ -304,6 +304,7 @@ def validate_dse(doc: Dict[str, Any]) -> Dict[str, Any]:
             "stream",
             "verify_coverage",
             "equiv_prune",
+            "capacity_prune",
             "spatial_reduction",
             "multicast",
         ),
@@ -337,6 +338,7 @@ def validate_dse(doc: Dict[str, Any]) -> Dict[str, Any]:
         "stream": _get_bool(doc, "stream", False),
         "verify_coverage": _get_bool(doc, "verify_coverage", False),
         "equiv_prune": _get_bool(doc, "equiv_prune", False),
+        "capacity_prune": _get_bool(doc, "capacity_prune", False),
         "spatial_reduction": _get_bool(doc, "spatial_reduction", True),
         "multicast": _get_bool(doc, "multicast", True),
     }
@@ -439,6 +441,7 @@ def dse_inputs(norm: Dict[str, Any]) -> Tuple[Layer, DesignSpace, Dict[str, Any]
         "power_budget": norm["power"],
         "verify_coverage": norm["verify_coverage"],
         "equiv_prune": norm["equiv_prune"],
+        "capacity_prune": norm["capacity_prune"],
         "spatial_reduction": norm["spatial_reduction"],
         "noc_multicast": norm["multicast"],
         "executor": norm["executor"],

@@ -68,6 +68,11 @@ class TunerResult:
     #: candidate's outcome instead of a cost-model call (``equiv_prune``:
     #: same canonical key, provably identical report).
     equiv_replayed: int = 0
+    #: How many of ``rejected`` the static capacity analyzer screened
+    #: out before evaluation (certified peak occupancy bound already
+    #: above a buffer cap — bit-identical to the phase-3 filter); only
+    #: counted when ``capacity_prune`` is enabled and a cap is set.
+    capacity_rejected: int = 0
     #: How many cost-model answers came from the memoization cache
     #: (free on tuner restarts and overlapping candidate grids).
     cache_hits: int = 0
@@ -102,6 +107,7 @@ def tune_layer(
     symbolic_prune: bool = False,
     comm_prune: bool = False,
     equiv_prune: bool = False,
+    capacity_prune: bool = False,
     executor: str = "auto",
     jobs: Optional[int] = None,
     cache: Union[bool, AnalysisCache, None] = True,
@@ -146,6 +152,15 @@ def tune_layer(
     reduction-capable hardware the screen never runs, so the result is
     bit-identical with or without the flag; candidates the classifier
     cannot bind or classify are never pruned.
+
+    With ``capacity_prune`` and a buffer cap, each candidate's *exact*
+    peak occupancy bounds — computed by the static capacity analyzer
+    (:mod:`repro.capacity`) without a cost-model run — are compared
+    against the caps up front (``capacity_rejected``). The bounds
+    reproduce the engine's ``l1_buffer_req``/``l2_buffer_req``
+    bit-for-bit, so exactly the candidates phase 3 would reject are
+    screened and the winner is unchanged; candidates whose bounds
+    cannot be certified are never pruned.
 
     With ``equiv_prune`` the surviving candidates are quotiented by the
     equivalence analyzer (:mod:`repro.equiv`): only one representative
@@ -230,6 +245,34 @@ def tune_layer(
                 if racy:
                     rejected += 1
                     comm_rejected += 1
+                    continue
+                survivors.append((spec, dataflow))
+            runnable = survivors
+
+    capacity_rejected = 0
+    if capacity_prune and (max_l1_bytes is not None or max_l2_bytes is not None):
+        with obs.span("tuner.capacity_screen", candidates=len(runnable)):
+            from repro.capacity import compute_capacity_bounds
+
+            survivors = []
+            peaks: Dict[str, Optional[Tuple[int, int]]] = {}
+            for spec, dataflow in runnable:
+                if dataflow.name not in peaks:
+                    try:
+                        bounds = compute_capacity_bounds(dataflow, layer, accelerator)
+                        peaks[dataflow.name] = (
+                            bounds.l1.peak_bytes,
+                            bounds.l2.peak_bytes,
+                        )
+                    except Exception:
+                        peaks[dataflow.name] = None  # never prune uncertified
+                peak = peaks[dataflow.name]
+                if peak is not None and (
+                    (max_l1_bytes is not None and peak[0] > max_l1_bytes)
+                    or (max_l2_bytes is not None and peak[1] > max_l2_bytes)
+                ):
+                    rejected += 1
+                    capacity_rejected += 1
                     continue
                 survivors.append((spec, dataflow))
             runnable = survivors
@@ -344,6 +387,7 @@ def tune_layer(
     obs.inc("tuner.pruned_by_verify", coverage_rejected)
     obs.inc("tuner.pruned_by_symbolic", symbolic_rejected)
     obs.inc("tuner.pruned_by_comm", comm_rejected)
+    obs.inc("tuner.pruned_by_capacity", capacity_rejected)
     return TunerResult(
         layer_name=layer.name,
         objective=objective,
@@ -356,6 +400,7 @@ def tune_layer(
         symbolic_rejected=symbolic_rejected,
         comm_rejected=comm_rejected,
         equiv_replayed=equiv_replayed,
+        capacity_rejected=capacity_rejected,
         cache_hits=batch.stats.cache_hits,
         cost_model_calls=batch.stats.submitted,
         elapsed_seconds=time.perf_counter() - start,

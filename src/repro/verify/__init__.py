@@ -8,6 +8,11 @@ classifies which lint rules the verifier certifies as sound, and
 the differential tests compare against.
 """
 
+from repro.capacity.crosscheck import (
+    CapacityCrosscheckReport,
+    CapacityMismatch,
+    crosscheck_capacity,
+)
 from repro.comm.crosscheck import (
     CommCrosscheckReport,
     CommMismatch,
@@ -32,6 +37,8 @@ from repro.verify.schedule import bind_for_verification, required_pes
 __all__ = [
     "DEFAULT_BUDGET",
     "REFERENCE_DIMS",
+    "CapacityCrosscheckReport",
+    "CapacityMismatch",
     "CommCrosscheckReport",
     "CommMismatch",
     "Counterexample",
@@ -46,6 +53,7 @@ __all__ = [
     "brute_force_counts",
     "count_group_point",
     "crosscheck_abstract",
+    "crosscheck_capacity",
     "crosscheck_comm",
     "required_pes",
     "total_cells",

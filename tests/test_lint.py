@@ -269,6 +269,7 @@ def test_rule_registry_is_complete():
     expected += ["DF101", "DF102", "DF103"]  # verifier-backed coverage codes
     expected += ["DF300", "DF301", "DF302", "DF303"]  # communication codes
     expected += ["DF400", "DF401", "DF402", "DF403"]  # equivalence/dominance
+    expected += ["DF500", "DF501", "DF502", "DF503", "DF504"]  # capacity/roofline
     assert sorted(RULES) == expected
     construction = {c for c, r in RULES.items() if r.construction}
     assert construction == {"DF001", "DF002", "DF003", "DF004"}

@@ -32,8 +32,9 @@ class TestLayerReport:
         for tensor in ("W", "I", "O"):
             assert tensor in text
 
-    def test_intermediate_buffers_listed_for_two_levels(self, analysis):
-        assert "cluster buffer L0" in layer_report(analysis)
+    def test_intermediate_buffers_labeled_with_level_depth(self, analysis):
+        text = layer_report(analysis)
+        assert "cluster buffer (level 0/1 chunk, per depth-1 sub-cluster)" in text
 
 
 class TestNetworkReport:
